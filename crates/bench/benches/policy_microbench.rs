@@ -1,0 +1,140 @@
+//! Criterion microbenchmarks of the hot structures: per-access cost of
+//! each replacement policy, the dynamic sampled cache, the slice hash, the
+//! mesh router and the DRAM model.
+//!
+//! These guard the simulator's throughput (experiments run millions of
+//! accesses per policy) and document the relative bookkeeping cost of the
+//! policies themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drishti_core::config::DrishtiConfig;
+use drishti_core::dsc::{DscConfig, DynamicSampledCache};
+use drishti_mem::access::Access;
+use drishti_mem::dram::{Dram, DramConfig};
+use drishti_mem::llc::{LlcGeometry, SlicedLlc};
+use drishti_noc::mesh::{Mesh, MeshConfig};
+use drishti_noc::slicehash::{SliceHasher, XorFoldHash};
+use drishti_policies::factory::PolicyKind;
+use std::hint::black_box;
+
+fn geom() -> LlcGeometry {
+    LlcGeometry {
+        slices: 8,
+        sets_per_slice: 256,
+        ways: 16,
+        latency: 20,
+    }
+}
+
+/// A deterministic pseudo-random access stream.
+fn stream(n: usize) -> Vec<Access> {
+    let mut state = 0x1234_5678u64;
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            Access::load(i % 8, 0x400 + (state >> 50), (state >> 20) % 100_000)
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let accesses = stream(4096);
+    let mut group = c.benchmark_group("llc_policy_per_access");
+    group.sample_size(10);
+    for kind in PolicyKind::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| {
+                let g = geom();
+                let mut llc = SlicedLlc::new(g, k.build(&g, DrishtiConfig::baseline(8)));
+                for (i, a) in accesses.iter().enumerate() {
+                    if !llc.lookup(a, i as u64).hit {
+                        llc.fill(a, i as u64);
+                    }
+                }
+                black_box(llc.stats().demand_misses)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_drishti_overhead(c: &mut Criterion) {
+    let accesses = stream(4096);
+    let mut group = c.benchmark_group("mockingjay_organisation");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("baseline", DrishtiConfig::baseline(8)),
+        ("drishti", DrishtiConfig::drishti(8)),
+        ("centralized", DrishtiConfig::centralized(8)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let g = geom();
+                let mut llc =
+                    SlicedLlc::new(g, PolicyKind::Mockingjay.build(&g, cfg.clone()));
+                for (i, a) in accesses.iter().enumerate() {
+                    if !llc.lookup(a, i as u64).hit {
+                        llc.fill(a, i as u64);
+                    }
+                }
+                black_box(llc.stats().fills)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dsc(c: &mut Criterion) {
+    c.bench_function("dsc_observe", |b| {
+        let mut dsc = DynamicSampledCache::new(DscConfig::paper_default(16), 2048);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(dsc.observe((i % 2048) as usize, i.is_multiple_of(3)))
+        });
+    });
+}
+
+fn bench_slice_hash(c: &mut Criterion) {
+    let h = XorFoldHash::new();
+    let mut i = 0u64;
+    c.bench_function("xorfold_slice_of", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            black_box(h.slice_of(i, 32))
+        });
+    });
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    c.bench_function("mesh_traverse_32", |b| {
+        let mut mesh = Mesh::new(MeshConfig::for_nodes(32));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(mesh.traverse((i % 32) as usize, ((i * 7) % 32) as usize, i, 8))
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_read", |b| {
+        let mut dram = Dram::new(DramConfig::for_cores(16));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(dram.read(i.wrapping_mul(97) % 1_000_000, i * 10))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_drishti_overhead,
+    bench_dsc,
+    bench_slice_hash,
+    bench_mesh,
+    bench_dram
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 13: performance improvement of Hawkeye, D-Hawkeye, Mockingjay and
+//! D-Mockingjay over LRU on 4-, 16- and 32-core systems with 8, 32 and
+//! 64 MB sliced LLCs, across homogeneous + heterogeneous mixes.
+//!
+//! Paper values (average normalised weighted speedup over LRU):
+//!   4 cores:  Hawkeye +3.1%, D-Hawkeye +4.2%, Mockingjay +6.4%, D-Mockingjay +6.9%
+//!   16 cores: (trend between 4 and 32)
+//!   32 cores: Hawkeye +3.3%, D-Hawkeye +5.6%, Mockingjay +6.7%, D-Mockingjay +13.2%
+
+use drishti_bench::{evaluate_mix, header, headline_policies, mean_improvements, pct, ExpOpts};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    println!("# Figure 13: normalised weighted speedup over LRU\n");
+    let policies_labels = ["hawkeye", "d-hawkeye", "mockingjay", "d-mockingjay"];
+    header(
+        "cores (LLC)",
+        &policies_labels.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    for &cores in &opts.cores {
+        let rc = opts.rc(cores);
+        let policies = headline_policies(cores);
+        let evals: Vec<_> = opts
+            .paper_mixes(cores)
+            .iter()
+            .map(|m| evaluate_mix(m, &policies, &rc))
+            .collect();
+        let means = mean_improvements(&evals);
+        drishti_bench::row(
+            &format!("{cores} cores ({} MB)", cores * 2),
+            &means.iter().map(|(_, v)| pct(*v)).collect::<Vec<_>>(),
+        );
+    }
+    println!("\npaper: 4-core +3.1/+4.2/+6.4/+6.9; 32-core +3.3/+5.6/+6.7/+13.2");
+}

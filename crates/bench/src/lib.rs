@@ -1,0 +1,251 @@
+//! Experiment harness shared by the per-figure/per-table binaries.
+//!
+//! Every binary reproduces one table or figure of the Drishti paper (see
+//! DESIGN.md §4 for the index and EXPERIMENTS.md for paper-vs-measured
+//! results). They share a common protocol:
+//!
+//! 1. build the paper's workload mixes ([`drishti_trace::mix`]);
+//! 2. run each mix under LRU (the baseline), measure per-core alone-IPCs;
+//! 3. run each mix under the policies being compared;
+//! 4. report weighted speedup normalised to LRU (and the figure's other
+//!    metrics).
+//!
+//! # Scale
+//!
+//! By default the binaries run *shape-preserving* reduced configurations
+//! (fewer mixes, shorter traces, 4/16 cores) so the whole suite finishes in
+//! minutes. Pass `--full` for paper-scale mixes (70), core counts
+//! (4/16/32) and longer traces; `--mixes N` / `--cores a,b,c` /
+//! `--accesses N` override individual knobs.
+
+use drishti_core::config::DrishtiConfig;
+use drishti_policies::factory::PolicyKind;
+use drishti_sim::config::SystemConfig;
+use drishti_sim::metrics::{mean, MixMetrics};
+use drishti_sim::runner::{alone_ipcs, mix_metrics, run_mix, RunConfig, RunResult};
+use drishti_trace::mix::Mix;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpOpts {
+    /// Paper-scale run (70 mixes, 4/16/32 cores, long traces).
+    pub full: bool,
+    /// Number of mixes per configuration.
+    pub mixes: usize,
+    /// Core counts to evaluate.
+    pub cores: Vec<usize>,
+    /// Measured accesses per core.
+    pub accesses: u64,
+}
+
+impl ExpOpts {
+    /// Parse `std::env::args`. Unknown arguments are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut opts = ExpOpts {
+            full: false,
+            mixes: 6,
+            cores: vec![4, 16],
+            accesses: 80_000,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => {
+                    opts.full = true;
+                    opts.mixes = 70;
+                    opts.cores = vec![4, 16, 32];
+                    opts.accesses = 400_000;
+                }
+                "--mixes" => {
+                    i += 1;
+                    opts.mixes = args[i].parse().expect("--mixes takes a number");
+                }
+                "--accesses" => {
+                    i += 1;
+                    opts.accesses = args[i].parse().expect("--accesses takes a number");
+                }
+                "--cores" => {
+                    i += 1;
+                    opts.cores = args[i]
+                        .split(',')
+                        .map(|c| c.parse().expect("--cores takes e.g. 4,16,32"))
+                        .collect();
+                }
+                other => panic!(
+                    "unknown argument {other}; usage: [--full] [--mixes N] [--cores a,b,c] [--accesses N]"
+                ),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The run configuration for `cores` cores.
+    pub fn rc(&self, cores: usize) -> RunConfig {
+        RunConfig {
+            system: SystemConfig::paper_baseline(cores),
+            accesses_per_core: self.accesses,
+            warmup_accesses: self.accesses / 4,
+            record_llc_stream: false,
+        }
+    }
+
+    /// The paper's main mix set scaled to `self.mixes` (half homogeneous,
+    /// half heterogeneous, like the paper's 35 + 35).
+    pub fn paper_mixes(&self, cores: usize) -> Vec<Mix> {
+        drishti_trace::mix::paper_mixes(cores, self.mixes.div_ceil(2), self.mixes / 2)
+    }
+}
+
+/// One evaluated (mix, policy) cell.
+#[derive(Debug)]
+pub struct Cell {
+    /// Name the policy reported.
+    pub policy: String,
+    /// Weighted speedup normalised to the same mix under LRU, ×100 − 100
+    /// (i.e. "% improvement over LRU", the paper's headline metric).
+    pub ws_improvement_pct: f64,
+    /// The raw run result.
+    pub result: RunResult,
+    /// Mix metrics against alone-IPC baselines.
+    pub metrics: MixMetrics,
+}
+
+/// Evaluation of one mix under LRU plus a set of policies.
+#[derive(Debug)]
+pub struct MixEval {
+    /// The mix name.
+    pub mix: String,
+    /// LRU baseline run.
+    pub lru: RunResult,
+    /// LRU weighted speedup (the normalisation denominator).
+    pub lru_ws: f64,
+    /// LRU mix metrics.
+    pub lru_metrics: MixMetrics,
+    /// Per-policy cells, in the order requested.
+    pub cells: Vec<Cell>,
+}
+
+/// Run `mix` under LRU and every `(policy, organisation)` pair.
+pub fn evaluate_mix(
+    mix: &Mix,
+    policies: &[(PolicyKind, DrishtiConfig)],
+    rc: &RunConfig,
+) -> MixEval {
+    let alone = alone_ipcs(mix, rc);
+    let lru = run_mix(mix, PolicyKind::Lru, DrishtiConfig::baseline(mix.cores()), rc);
+    let lru_metrics = mix_metrics(&lru, &alone);
+    let lru_ws = lru_metrics.weighted_speedup();
+    let cells = policies
+        .iter()
+        .map(|(pk, cfg)| {
+            let result = run_mix(mix, *pk, cfg.clone(), rc);
+            let metrics = mix_metrics(&result, &alone);
+            Cell {
+                policy: result.policy.clone(),
+                ws_improvement_pct: (metrics.weighted_speedup() / lru_ws - 1.0) * 100.0,
+                result,
+                metrics,
+            }
+        })
+        .collect();
+    MixEval {
+        mix: mix.name.clone(),
+        lru,
+        lru_ws,
+        lru_metrics,
+        cells,
+    }
+}
+
+/// Mean % WS improvement per policy across a set of mix evaluations.
+pub fn mean_improvements(evals: &[MixEval]) -> Vec<(String, f64)> {
+    if evals.is_empty() {
+        return Vec::new();
+    }
+    (0..evals[0].cells.len())
+        .map(|p| {
+            let vals: Vec<f64> = evals.iter().map(|e| e.cells[p].ws_improvement_pct).collect();
+            (evals[0].cells[p].policy.clone(), mean(&vals))
+        })
+        .collect()
+}
+
+/// The four headline configurations of the paper's main figures:
+/// Hawkeye, D-Hawkeye, Mockingjay, D-Mockingjay.
+pub fn headline_policies(cores: usize) -> Vec<(PolicyKind, DrishtiConfig)> {
+    vec![
+        (PolicyKind::Hawkeye, DrishtiConfig::baseline(cores)),
+        (PolicyKind::Hawkeye, DrishtiConfig::drishti(cores)),
+        (PolicyKind::Mockingjay, DrishtiConfig::baseline(cores)),
+        (PolicyKind::Mockingjay, DrishtiConfig::drishti(cores)),
+    ]
+}
+
+/// Print a markdown-style table row.
+pub fn row(label: &str, values: &[String]) {
+    print!("| {label:<28} |");
+    for v in values {
+        print!(" {v:>12} |");
+    }
+    println!();
+}
+
+/// Print a markdown-style table header.
+pub fn header(label: &str, columns: &[String]) {
+    row(label, columns);
+    print!("|{}|", "-".repeat(30));
+    for _ in columns {
+        print!("{}|", "-".repeat(14));
+    }
+    println!();
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+/// Format a float.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drishti_trace::presets::Benchmark;
+
+    #[test]
+    fn evaluate_mix_smoke() {
+        let mix = Mix::homogeneous(Benchmark::Deepsjeng, 4, 1);
+        let rc = RunConfig {
+            system: SystemConfig::paper_baseline(4),
+            accesses_per_core: 3_000,
+            warmup_accesses: 500,
+            record_llc_stream: false,
+        };
+        let eval = evaluate_mix(
+            &mix,
+            &[(PolicyKind::Srrip, DrishtiConfig::baseline(4))],
+            &rc,
+        );
+        assert_eq!(eval.cells.len(), 1);
+        assert!(eval.lru_ws > 0.0);
+        assert!(eval.cells[0].ws_improvement_pct.is_finite());
+        let means = mean_improvements(&[eval]);
+        assert_eq!(means.len(), 1);
+        assert_eq!(means[0].0, "srrip");
+    }
+
+    #[test]
+    fn headline_policies_are_four() {
+        let hp = headline_policies(4);
+        assert_eq!(hp.len(), 4);
+    }
+}

@@ -1,0 +1,356 @@
+//! The predictor fabric: placement + transport for reuse-predictor access.
+//!
+//! Every prediction-based policy funnels its predictor traffic through a
+//! [`PredictorFabric`]. The fabric answers two questions per access:
+//!
+//! * **which bank** holds the entry — a function of the [`PredictorOrg`]
+//!   (the slice's own bank, the single central bank, or the requesting
+//!   core's bank); and
+//! * **what it costs** — the transport latency over the configured
+//!   [`PredictorLink`] (nothing for local, mesh hops for the no-NOCSTAR
+//!   ablation of Fig 11a, 3 cycles for NOCSTAR, or a fixed latency for the
+//!   Fig 11b sweep), plus traffic/energy accounting.
+//!
+//! Training and prediction lookups are counted separately because the
+//! paper's Fig 10 reports their sum per kilo-instruction for the
+//! centralized vs. per-core organisations.
+
+use crate::org::{PredictorOrg, SamplerOrg};
+use drishti_noc::link::{FixedLatencyLink, LocalLink, MeshLink, NocstarLink, PredictorLink};
+use drishti_noc::{NocStats, NodeId};
+
+/// Which transport carries predictor messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FabricKind {
+    /// No transport (predictor co-located with each slice).
+    Local,
+    /// The regular mesh NoC (Fig 11a ablation: Drishti *without* NOCSTAR).
+    Mesh,
+    /// The dedicated NOCSTAR side-band interconnect (Drishti default).
+    Nocstar,
+    /// A fixed per-access latency (Fig 11b sensitivity sweep).
+    Fixed(u64),
+}
+
+impl FabricKind {
+    fn build(self, tiles: usize) -> Box<dyn PredictorLink> {
+        match self {
+            FabricKind::Local => Box::new(LocalLink),
+            FabricKind::Mesh => Box::new(MeshLink::new(tiles)),
+            FabricKind::Nocstar => Box::new(NocstarLink::new(tiles)),
+            FabricKind::Fixed(lat) => Box::new(FixedLatencyLink::new(lat)),
+        }
+    }
+}
+
+/// Separated counts of the two predictor access categories (Fig 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricCounters {
+    /// Training updates pushed by samplers.
+    pub train_accesses: u64,
+    /// Prediction lookups on the fill path.
+    pub predict_accesses: u64,
+    /// Broadcast fan-out messages (global-sampler organisations only).
+    pub broadcast_messages: u64,
+}
+
+impl FabricCounters {
+    /// Total predictor accesses (the quantity Fig 10 normalises per kilo
+    /// instruction).
+    pub fn total(&self) -> u64 {
+        self.train_accesses + self.predict_accesses
+    }
+}
+
+/// Placement + transport for predictor access.
+#[derive(Debug)]
+pub struct PredictorFabric {
+    org: PredictorOrg,
+    sampler_org: SamplerOrg,
+    kind: FabricKind,
+    link: Box<dyn PredictorLink>,
+    tiles: usize,
+    central: NodeId,
+    counters: FabricCounters,
+}
+
+impl PredictorFabric {
+    /// Build a fabric for `tiles` tiles (cores = slices = tiles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is zero.
+    pub fn new(org: PredictorOrg, sampler_org: SamplerOrg, kind: FabricKind, tiles: usize) -> Self {
+        assert!(tiles > 0, "fabric needs at least one tile");
+        PredictorFabric {
+            org,
+            sampler_org,
+            kind,
+            link: kind.build(tiles),
+            tiles,
+            central: tiles / 2, // a roughly central tile for the centralized bank
+            counters: FabricCounters::default(),
+        }
+    }
+
+    /// The predictor organisation.
+    pub fn org(&self) -> PredictorOrg {
+        self.org
+    }
+
+    /// The sampled-cache organisation.
+    pub fn sampler_org(&self) -> SamplerOrg {
+        self.sampler_org
+    }
+
+    /// The transport kind.
+    pub fn kind(&self) -> FabricKind {
+        self.kind
+    }
+
+    /// Number of predictor banks the governing policy must allocate.
+    pub fn banks(&self) -> usize {
+        self.org.banks(self.tiles)
+    }
+
+    /// Whether predictors see a global training view (i.e. whether one
+    /// core's reuse behaviour observed at any slice reaches the bank used
+    /// for that core's fills at every slice).
+    pub fn global_view(&self) -> bool {
+        self.org.is_global_view() || self.sampler_org.requires_broadcast()
+    }
+
+    /// Bank index that handles an access from `slice` on behalf of `core`.
+    /// The baseline keeps one bank per (slice, core) pair — paper Fig 1's
+    /// per-slice per-core predictors, indexed by hash(PC, core ID).
+    pub fn bank_of(&self, slice: usize, core: usize) -> usize {
+        match self.org {
+            PredictorOrg::LocalPerSlice => slice * self.tiles + core,
+            PredictorOrg::GlobalCentralized => 0,
+            PredictorOrg::GlobalPerCore => core,
+        }
+    }
+
+    /// Banks holding `core`'s entries across all slices (the broadcast
+    /// targets of a global-sampler organisation, paper Figs 6–7).
+    pub fn broadcast_banks(&self, core: usize) -> Vec<usize> {
+        match self.org {
+            PredictorOrg::LocalPerSlice => {
+                (0..self.tiles).map(|s| s * self.tiles + core).collect()
+            }
+            PredictorOrg::GlobalCentralized => vec![0],
+            PredictorOrg::GlobalPerCore => vec![core],
+        }
+    }
+
+    /// Tile that hosts `bank`.
+    fn tile_of_bank(&self, bank: usize) -> NodeId {
+        match self.org {
+            PredictorOrg::LocalPerSlice => bank / self.tiles,
+            PredictorOrg::GlobalPerCore => bank,
+            PredictorOrg::GlobalCentralized => self.central,
+        }
+    }
+
+    /// A sampler at `slice` trains the predictor for `core`'s PC at `cycle`.
+    /// Returns `(bank, latency)` — training is off the critical path, so
+    /// the latency only matters for fabric occupancy, but it is returned
+    /// for completeness.
+    pub fn train(&mut self, slice: usize, core: usize, cycle: u64) -> (usize, u64) {
+        self.counters.train_accesses += 1;
+        let bank = self.bank_of(slice, core);
+        let lat = match self.org {
+            PredictorOrg::LocalPerSlice => {
+                // Global-sampler organisations broadcast each training to
+                // every slice's local predictor (paper Figs 6–7). A
+                // *centralized* sampler additionally ships every sampled
+                // access (PC, address, hit/miss) inbound to the central
+                // node first (paper Fig 6 step 1) — the "High" bandwidth
+                // row of Table 2.
+                if self.sampler_org.requires_broadcast() {
+                    let mut worst = 0;
+                    if self.sampler_org == SamplerOrg::GlobalCentralized {
+                        worst = self.link.access(slice, self.central, cycle);
+                    }
+                    for dest in 0..self.tiles {
+                        let l = self.link.access(slice, dest, cycle);
+                        worst = worst.max(l);
+                        self.counters.broadcast_messages += 1;
+                    }
+                    worst
+                } else {
+                    0
+                }
+            }
+            _ => {
+                let dest = self.tile_of_bank(bank);
+                self.link.access(slice, dest, cycle)
+            }
+        };
+        (bank, lat)
+    }
+
+    /// Cycles of predictor-lookup latency hidden under the fill itself: the
+    /// lookup launches when the miss is detected and the insertion decision
+    /// is only needed when the data returns, so a short transport is fully
+    /// overlapped. The paper's Fig 11b calibrates this window — "latency of
+    /// less than five cycles does not lead to a significant performance
+    /// slowdown" — while ~20-cycle mesh transports are exposed (Fig 11a).
+    pub const OVERLAP_WINDOW: u64 = 8;
+
+    /// A fill at `slice` for `core`'s request looks up the predictor at
+    /// `cycle`. Returns `(bank, latency)` — the *exposed* interconnect
+    /// latency the lookup adds to the fill path: the one-way transport
+    /// latency minus the [`Self::OVERLAP_WINDOW`] hidden under the miss.
+    pub fn predict(&mut self, slice: usize, core: usize, cycle: u64) -> (usize, u64) {
+        self.counters.predict_accesses += 1;
+        let bank = self.bank_of(slice, core);
+        let lat = match self.org {
+            PredictorOrg::LocalPerSlice => 0,
+            _ => {
+                let dest = self.tile_of_bank(bank);
+                // Both legs are issued at the current time: reserving the
+                // response link at `cycle + req` would make later near-time
+                // messages wait for a reservation in their future, which
+                // destabilises an occupancy model (the same rule the demand
+                // mesh follows). Only the slower leg is exposed.
+                let req = self.link.access(slice, dest, cycle);
+                let resp = self.link.access_response(dest, slice, cycle);
+                req.max(resp).saturating_sub(Self::OVERLAP_WINDOW)
+            }
+        };
+        (bank, lat)
+    }
+
+    /// Access-category counters (Fig 10).
+    pub fn counters(&self) -> &FabricCounters {
+        &self.counters
+    }
+
+    /// Transport traffic/energy statistics.
+    pub fn link_stats(&self) -> NocStats {
+        self.link.stats()
+    }
+
+    /// Reset all counters and transport statistics (used after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.counters = FabricCounters::default();
+        self.link.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(org: PredictorOrg, kind: FabricKind) -> PredictorFabric {
+        PredictorFabric::new(org, SamplerOrg::LocalPerSlice, kind, 32)
+    }
+
+    #[test]
+    fn local_org_is_free_and_myopic() {
+        let mut f = fabric(PredictorOrg::LocalPerSlice, FabricKind::Local);
+        assert!(!f.global_view());
+        // Paper Fig 1: one bank per (slice, core) pair.
+        assert_eq!(f.banks(), 32 * 32);
+        let (bank, lat) = f.train(5, 9, 0);
+        assert_eq!(bank, 5 * 32 + 9, "bank is the slice's table for core 9");
+        assert_eq!(lat, 0);
+        let (_, plat) = f.predict(5, 9, 0);
+        assert_eq!(plat, 0);
+    }
+
+    #[test]
+    fn per_core_org_routes_to_core_bank() {
+        let mut f = fabric(PredictorOrg::GlobalPerCore, FabricKind::Nocstar);
+        assert!(f.global_view());
+        let (bank, lat) = f.train(5, 9, 0);
+        assert_eq!(bank, 9, "per-core predictor bank is the requesting core's");
+        assert_eq!(lat, 3);
+    }
+
+    #[test]
+    fn per_core_predict_is_hidden_under_the_miss() {
+        let mut f = fabric(PredictorOrg::GlobalPerCore, FabricKind::Nocstar);
+        // An uncontended NOCSTAR traversal (3 cycles) fits entirely within
+        // the overlap window: no exposed latency.
+        let (bank, lat) = f.predict(5, 9, 0);
+        assert_eq!(bank, 9);
+        assert_eq!(lat, 0, "3-cycle NOCSTAR lookup is fully hidden");
+    }
+
+    #[test]
+    fn centralized_org_uses_one_bank() {
+        let mut f = fabric(PredictorOrg::GlobalCentralized, FabricKind::Mesh);
+        assert_eq!(f.banks(), 1);
+        let (bank, lat) = f.train(0, 31, 0);
+        assert_eq!(bank, 0);
+        assert!(lat > 0, "mesh transport must cost cycles");
+    }
+
+    #[test]
+    fn mesh_fabric_is_much_slower_than_nocstar() {
+        let mut mesh = fabric(PredictorOrg::GlobalPerCore, FabricKind::Mesh);
+        let mut star = fabric(PredictorOrg::GlobalPerCore, FabricKind::Nocstar);
+        let mut mesh_total = 0;
+        let mut star_total = 0;
+        for s in 0..32 {
+            for c in 0..32 {
+                mesh_total += mesh.predict(s, c, (s * 32 + c) as u64 * 1000).1;
+                star_total += star.predict(s, c, (s * 32 + c) as u64 * 1000).1;
+            }
+        }
+        assert!(
+            mesh_total > 3 * star_total,
+            "mesh {mesh_total} vs nocstar {star_total}"
+        );
+    }
+
+    #[test]
+    fn fixed_fabric_exposes_latency_beyond_overlap() {
+        let mut f = fabric(PredictorOrg::GlobalPerCore, FabricKind::Fixed(20));
+        let (_, lat) = f.predict(0, 31, 0);
+        assert_eq!(
+            lat,
+            20 - PredictorFabric::OVERLAP_WINDOW,
+            "a Fig 11b sweep value of N exposes N − overlap cycles"
+        );
+        let mut f = fabric(PredictorOrg::GlobalPerCore, FabricKind::Fixed(4));
+        let (_, lat) = f.predict(0, 31, 0);
+        assert_eq!(lat, 0, "below-window latencies are free (Fig 11b ≤5)");
+    }
+
+    #[test]
+    fn counters_separate_train_and_predict() {
+        let mut f = fabric(PredictorOrg::GlobalPerCore, FabricKind::Nocstar);
+        f.train(0, 1, 0);
+        f.train(2, 1, 0);
+        f.predict(3, 1, 0);
+        let c = f.counters();
+        assert_eq!(c.train_accesses, 2);
+        assert_eq!(c.predict_accesses, 1);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn global_sampler_broadcasts_to_all_tiles() {
+        let mut f = PredictorFabric::new(
+            PredictorOrg::LocalPerSlice,
+            SamplerOrg::GlobalDistributed,
+            FabricKind::Mesh,
+            16,
+        );
+        assert!(f.global_view());
+        f.train(0, 3, 0);
+        assert_eq!(f.counters().broadcast_messages, 16);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut f = fabric(PredictorOrg::GlobalPerCore, FabricKind::Nocstar);
+        f.train(0, 1, 0);
+        f.reset_stats();
+        assert_eq!(f.counters().total(), 0);
+        assert_eq!(f.link_stats().messages, 0);
+    }
+}

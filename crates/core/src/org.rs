@@ -1,0 +1,220 @@
+//! The predictor/sampler organisation design space (paper §4.1, Table 2).
+//!
+//! Four structural choices exist for (sampled cache × reuse predictor)
+//! placement; the paper's Table 2 catalogues their costs. Functionally they
+//! collapse into two *views* — a **myopic** view (both structures local)
+//! and a **global** view (at least one structure global) — but their
+//! traffic, latency and broadcast characteristics differ enormously, which
+//! is why Drishti lands on a local sampler plus a distributed per-core
+//! predictor.
+
+/// Where the reuse predictor lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorOrg {
+    /// Per-slice *per-core* predictors, trained only by the slice's own
+    /// sampler (the baseline port of Hawkeye/Mockingjay, paper Fig 1:
+    /// "each slice has its per-core predictor, indexed with a hash of PC
+    /// and core ID"; *myopic*).
+    LocalPerSlice,
+    /// A single predictor shared by all slices at a central tile.
+    /// Global view, but every sampled access and every fill-path lookup
+    /// crosses the chip to one node — the bandwidth bottleneck of
+    /// paper Fig 10 (≥65 accesses per kilo-instruction at 32 cores).
+    GlobalCentralized,
+    /// Drishti Enhancement I: one predictor per *core*, placed at the
+    /// core's home tile, used by all slices. Global view; traffic spreads
+    /// over per-core structures (~2.46 APKI average at 32 cores).
+    GlobalPerCore,
+}
+
+impl PredictorOrg {
+    /// Whether this organisation trains predictors on all slices' samplers.
+    pub fn is_global_view(self) -> bool {
+        !matches!(self, PredictorOrg::LocalPerSlice)
+    }
+
+    /// How many predictor banks exist for `cores` cores / slices.
+    pub fn banks(self, cores: usize) -> usize {
+        match self {
+            // Baseline: one bank per (slice, core) pair — paper Fig 1.
+            PredictorOrg::LocalPerSlice => cores * cores,
+            PredictorOrg::GlobalPerCore => cores,
+            PredictorOrg::GlobalCentralized => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for PredictorOrg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PredictorOrg::LocalPerSlice => "local",
+            PredictorOrg::GlobalCentralized => "centralized-global",
+            PredictorOrg::GlobalPerCore => "per-core-global",
+        })
+    }
+}
+
+/// Where the sampled cache lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SamplerOrg {
+    /// One sampler per slice observing that slice's sampled sets
+    /// (Drishti's choice — sampler contents are inherently slice-local).
+    LocalPerSlice,
+    /// One sampler shared by all slices (paper Fig 6). Every sampled-set
+    /// access ships (PC, block address, hit/miss) to one node, and each
+    /// training *broadcasts* to all local predictors.
+    GlobalCentralized,
+    /// Sampler distributed across slices but training all slices'
+    /// predictors (paper Fig 7). Fixes the inbound bandwidth, keeps the
+    /// broadcast.
+    GlobalDistributed,
+}
+
+impl SamplerOrg {
+    /// Whether sampler training events must be broadcast to every
+    /// predictor bank (paper: any global sampler with local predictors).
+    pub fn requires_broadcast(self) -> bool {
+        !matches!(self, SamplerOrg::LocalPerSlice)
+    }
+}
+
+impl std::fmt::Display for SamplerOrg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SamplerOrg::LocalPerSlice => "local",
+            SamplerOrg::GlobalCentralized => "centralized-global",
+            SamplerOrg::GlobalDistributed => "distributed-global",
+        })
+    }
+}
+
+/// One row of the paper's Table 2: a (sampler, predictor) combination and
+/// its qualitative costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignPoint {
+    /// Sampled-cache placement.
+    pub sampler: SamplerOrg,
+    /// Predictor placement.
+    pub predictor: PredictorOrg,
+}
+
+impl DesignPoint {
+    /// The paper's baseline: everything local (myopic).
+    pub fn baseline() -> Self {
+        DesignPoint {
+            sampler: SamplerOrg::LocalPerSlice,
+            predictor: PredictorOrg::LocalPerSlice,
+        }
+    }
+
+    /// Drishti: local sampler, per-core-yet-global predictor.
+    pub fn drishti() -> Self {
+        DesignPoint {
+            sampler: SamplerOrg::LocalPerSlice,
+            predictor: PredictorOrg::GlobalPerCore,
+        }
+    }
+
+    /// Whether the combination achieves a global training view.
+    pub fn global_view(&self) -> bool {
+        self.predictor.is_global_view() || self.sampler.requires_broadcast()
+    }
+
+    /// Whether the combination needs broadcast messages.
+    pub fn broadcast(&self) -> bool {
+        self.sampler.requires_broadcast()
+            && matches!(self.predictor, PredictorOrg::LocalPerSlice)
+    }
+
+    /// Whether the combination funnels traffic through a single node
+    /// ("High" bandwidth demand in Table 2).
+    pub fn high_bandwidth(&self) -> bool {
+        matches!(self.sampler, SamplerOrg::GlobalCentralized)
+            || matches!(self.predictor, PredictorOrg::GlobalCentralized)
+    }
+
+    /// The six meaningful rows of the design space, in Table 2 order
+    /// (global sampler × local predictor: centralized/distributed; local
+    /// sampler × global predictor: centralized/distributed), prefixed by
+    /// the baseline and suffixed by Drishti's pick for measurement.
+    pub fn design_space() -> Vec<DesignPoint> {
+        vec![
+            DesignPoint::baseline(),
+            DesignPoint {
+                sampler: SamplerOrg::GlobalCentralized,
+                predictor: PredictorOrg::LocalPerSlice,
+            },
+            DesignPoint {
+                sampler: SamplerOrg::GlobalDistributed,
+                predictor: PredictorOrg::LocalPerSlice,
+            },
+            DesignPoint {
+                sampler: SamplerOrg::LocalPerSlice,
+                predictor: PredictorOrg::GlobalCentralized,
+            },
+            DesignPoint::drishti(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_myopic() {
+        assert!(!DesignPoint::baseline().global_view());
+        assert!(!DesignPoint::baseline().broadcast());
+        assert!(!DesignPoint::baseline().high_bandwidth());
+    }
+
+    #[test]
+    fn drishti_is_global_low_bandwidth_no_broadcast() {
+        let d = DesignPoint::drishti();
+        assert!(d.global_view());
+        assert!(!d.broadcast());
+        assert!(!d.high_bandwidth());
+    }
+
+    #[test]
+    fn table2_rows_match_paper() {
+        // Global sampler + local predictor, centralized: global, high BW, broadcast.
+        let p = DesignPoint {
+            sampler: SamplerOrg::GlobalCentralized,
+            predictor: PredictorOrg::LocalPerSlice,
+        };
+        assert!(p.global_view() && p.high_bandwidth() && p.broadcast());
+
+        // Global sampler + local predictor, distributed: global, low BW, broadcast.
+        let p = DesignPoint {
+            sampler: SamplerOrg::GlobalDistributed,
+            predictor: PredictorOrg::LocalPerSlice,
+        };
+        assert!(p.global_view() && !p.high_bandwidth() && p.broadcast());
+
+        // Local sampler + centralized predictor: global, high BW, no broadcast.
+        let p = DesignPoint {
+            sampler: SamplerOrg::LocalPerSlice,
+            predictor: PredictorOrg::GlobalCentralized,
+        };
+        assert!(p.global_view() && p.high_bandwidth() && !p.broadcast());
+
+        // Local sampler + distributed (per-core) predictor: global, low BW, no broadcast.
+        let p = DesignPoint::drishti();
+        assert!(p.global_view() && !p.high_bandwidth() && !p.broadcast());
+    }
+
+    #[test]
+    fn bank_counts() {
+        // Baseline: per-slice per-core (paper Fig 1) ⇒ slices × cores.
+        assert_eq!(PredictorOrg::LocalPerSlice.banks(32), 32 * 32);
+        assert_eq!(PredictorOrg::GlobalCentralized.banks(32), 1);
+        assert_eq!(PredictorOrg::GlobalPerCore.banks(32), 32);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PredictorOrg::GlobalPerCore.to_string(), "per-core-global");
+        assert_eq!(SamplerOrg::GlobalDistributed.to_string(), "distributed-global");
+    }
+}

@@ -1,0 +1,127 @@
+//! The memory-access vocabulary shared by every hierarchy level.
+
+use crate::{CoreId, LineAddr};
+
+/// What kind of request is flowing through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand load (has a PC; trains reuse predictors).
+    Load,
+    /// A demand store (has a PC; marks lines dirty).
+    Store,
+    /// A hardware prefetch. Carries the *triggering* load's PC, because
+    /// "prefetch requests do not have a PC associated with [them]; policies
+    /// like Mockingjay use the PC of the load that triggered the prefetch"
+    /// (paper §3.3). Predictors fold a *prefetch bit* into the signature.
+    Prefetch,
+    /// A write-back of a dirty victim from an inner level. No PC.
+    Writeback,
+}
+
+impl AccessKind {
+    /// Whether this request kind carries a meaningful PC signature.
+    pub fn has_pc(self) -> bool {
+        !matches!(self, AccessKind::Writeback)
+    }
+
+    /// Whether this is a demand request (load or store).
+    pub fn is_demand(self) -> bool {
+        matches!(self, AccessKind::Load | AccessKind::Store)
+    }
+}
+
+/// One memory request as seen by the shared LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The requesting core.
+    pub core: CoreId,
+    /// Program counter of the instruction (or triggering instruction for a
+    /// prefetch; 0 for write-backs).
+    pub pc: u64,
+    /// Cache-line address.
+    pub line: LineAddr,
+    /// Request kind.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Convenience constructor for a demand load.
+    pub fn load(core: CoreId, pc: u64, line: LineAddr) -> Self {
+        Access {
+            core,
+            pc,
+            line,
+            kind: AccessKind::Load,
+        }
+    }
+
+    /// Convenience constructor for a demand store.
+    pub fn store(core: CoreId, pc: u64, line: LineAddr) -> Self {
+        Access {
+            core,
+            pc,
+            line,
+            kind: AccessKind::Store,
+        }
+    }
+
+    /// Convenience constructor for a prefetch triggered by `pc`.
+    pub fn prefetch(core: CoreId, pc: u64, line: LineAddr) -> Self {
+        Access {
+            core,
+            pc,
+            line,
+            kind: AccessKind::Prefetch,
+        }
+    }
+
+    /// Convenience constructor for a write-back.
+    pub fn writeback(core: CoreId, line: LineAddr) -> Self {
+        Access {
+            core,
+            pc: 0,
+            line,
+            kind: AccessKind::Writeback,
+        }
+    }
+
+    /// The PC signature predictors should use: the PC with a folded-in
+    /// prefetch bit so demand and prefetch streams from the same PC train
+    /// separate entries (paper §3.3).
+    pub fn signature(&self) -> u64 {
+        match self.kind {
+            AccessKind::Prefetch => self.pc | (1 << 63),
+            _ => self.pc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_classify() {
+        assert!(AccessKind::Load.has_pc());
+        assert!(AccessKind::Prefetch.has_pc());
+        assert!(!AccessKind::Writeback.has_pc());
+        assert!(AccessKind::Load.is_demand());
+        assert!(AccessKind::Store.is_demand());
+        assert!(!AccessKind::Prefetch.is_demand());
+    }
+
+    #[test]
+    fn prefetch_signature_differs_from_demand() {
+        let ld = Access::load(0, 0x400, 10);
+        let pf = Access::prefetch(0, 0x400, 11);
+        assert_ne!(ld.signature(), pf.signature());
+        assert_eq!(ld.signature(), 0x400);
+    }
+
+    #[test]
+    fn writeback_has_no_pc() {
+        let wb = Access::writeback(3, 99);
+        assert_eq!(wb.pc, 0);
+        assert_eq!(wb.kind, AccessKind::Writeback);
+    }
+}

@@ -1,0 +1,471 @@
+//! Private set-associative caches (L1D and L2).
+//!
+//! These levels only need to *filter* the stream that reaches the shared
+//! LLC, so they use simple stack policies: true LRU at L1D and SRRIP at L2
+//! (paper Table 4). The LLC itself lives in [`crate::llc`] with pluggable
+//! policies.
+
+use crate::LineAddr;
+
+/// Replacement policy for a private cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementKind {
+    /// True least-recently-used.
+    Lru,
+    /// Static re-reference interval prediction (2-bit RRPV, insert at 2,
+    /// promote to 0 on hit) — the paper's L2 policy.
+    Srrip,
+}
+
+/// Geometry and policy of a [`PrivateCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Replacement policy.
+    pub replacement: ReplacementKind,
+    /// Access latency in cycles (hit latency).
+    pub latency: u64,
+    /// Miss-status-holding registers: outstanding misses this level supports.
+    pub mshrs: usize,
+}
+
+impl CacheConfig {
+    /// Paper Table 4 L1D: 32 KB, 8-way, 4 cycles, 8 MSHRs, LRU.
+    pub fn l1d() -> Self {
+        CacheConfig {
+            sets: 64,
+            ways: 8,
+            replacement: ReplacementKind::Lru,
+            latency: 4,
+            mshrs: 8,
+        }
+    }
+
+    /// Paper Table 4 L2: 512 KB, 8-way, 15 cycles, 32 MSHRs, SRRIP.
+    pub fn l2() -> Self {
+        CacheConfig {
+            sets: 1024,
+            ways: 8,
+            replacement: ReplacementKind::Srrip,
+            latency: 15,
+            mshrs: 32,
+        }
+    }
+
+    /// An L2 of `kib` kibibytes (8-way), for the paper's Fig 21 L2-size
+    /// sensitivity sweep (256 KB … 2 MB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting set count is not a power of two or is zero.
+    pub fn l2_with_kib(kib: usize) -> Self {
+        let sets = kib * 1024 / 64 / 8;
+        assert!(sets.is_power_of_two() && sets > 0, "invalid L2 size {kib} KiB");
+        CacheConfig {
+            sets,
+            ..CacheConfig::l2()
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * crate::LINE_BYTES as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp or RRPV, depending on the policy.
+    meta: u64,
+}
+
+/// Hit/miss and write-back statistics for one private cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookup count.
+    pub accesses: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Dirty victims produced by fills.
+    pub writebacks: u64,
+    /// Fills performed.
+    pub fills: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]` (0 if no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A victim line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The victim's line address.
+    pub line: LineAddr,
+    /// Whether it must be written back to the next level.
+    pub dirty: bool,
+}
+
+/// A private (per-core) set-associative cache.
+///
+/// The functional contract is split in two so the caller controls timing:
+/// [`PrivateCache::access`] probes (and on a hit updates recency/dirty
+/// state); on a miss the caller fetches the line from the next level and
+/// then calls [`PrivateCache::fill`], which may hand back a dirty victim to
+/// write back.
+#[derive(Debug, Clone)]
+pub struct PrivateCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+const SRRIP_MAX: u64 = 3;
+const SRRIP_INSERT: u64 = 2;
+
+impl PrivateCache {
+    /// Create an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(cfg.ways > 0, "ways must be nonzero");
+        PrivateCache {
+            sets: vec![vec![Line::default(); cfg.ways]; cfg.sets],
+            cfg,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn index(&self, line: LineAddr) -> (usize, u64) {
+        let set = (line as usize) & (self.cfg.sets - 1);
+        let tag = line >> self.cfg.sets.trailing_zeros();
+        (set, tag)
+    }
+
+    /// Probe for `line`. On a hit, recency state is updated and the line is
+    /// marked dirty if `is_store`. Returns `true` on hit.
+    pub fn access(&mut self, line: LineAddr, is_store: bool) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let (set, tag) = self.index(line);
+        let clock = self.clock;
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                self.stats.hits += 1;
+                way.dirty |= is_store;
+                match self.cfg.replacement {
+                    ReplacementKind::Lru => way.meta = clock,
+                    ReplacementKind::Srrip => way.meta = 0,
+                }
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Probe without updating any state (for instrumentation).
+    pub fn peek(&self, line: LineAddr) -> bool {
+        let (set, tag) = self.index(line);
+        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Install `line` (after a miss was serviced). Returns a dirty victim if
+    /// one must be written back. Filling a line that is already present just
+    /// refreshes it.
+    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
+        self.clock += 1;
+        self.stats.fills += 1;
+        let (set, tag) = self.index(line);
+        let sets_bits = self.cfg.sets.trailing_zeros();
+        let clock = self.clock;
+
+        // Already present (e.g. a racing prefetch): refresh in place.
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.dirty |= dirty;
+            match self.cfg.replacement {
+                ReplacementKind::Lru => way.meta = clock,
+                ReplacementKind::Srrip => way.meta = 0,
+            }
+            return None;
+        }
+
+        let victim_way = self.choose_victim(set);
+        let victim = &mut self.sets[set][victim_way];
+        let evicted = if victim.valid && victim.dirty {
+            Some(Evicted {
+                line: (victim.tag << sets_bits) | set as u64,
+                dirty: true,
+            })
+        } else {
+            None
+        };
+        if evicted.is_some() {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty,
+            meta: match self.cfg.replacement {
+                ReplacementKind::Lru => clock,
+                ReplacementKind::Srrip => SRRIP_INSERT,
+            },
+        };
+        None.or(evicted)
+    }
+
+    fn choose_victim(&mut self, set: usize) -> usize {
+        // Prefer an invalid way.
+        if let Some(w) = self.sets[set].iter().position(|l| !l.valid) {
+            return w;
+        }
+        match self.cfg.replacement {
+            ReplacementKind::Lru => self
+                .sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.meta)
+                .map(|(i, _)| i)
+                .expect("nonzero ways"),
+            ReplacementKind::Srrip => loop {
+                if let Some(w) = self.sets[set].iter().position(|l| l.meta >= SRRIP_MAX) {
+                    return w;
+                }
+                for l in &mut self.sets[set] {
+                    l.meta += 1;
+                }
+            },
+        }
+    }
+
+    /// Invalidate `line` if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let (set, tag) = self.index(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                way.valid = false;
+                return Some(way.dirty);
+            }
+        }
+        None
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset statistics (contents retained) — used after warm-up.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of valid lines currently resident (for tests).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1d_capacity_is_32_kib() {
+        assert_eq!(CacheConfig::l1d().capacity_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn l2_capacity_is_512_kib() {
+        assert_eq!(CacheConfig::l2().capacity_bytes(), 512 * 1024);
+    }
+
+    #[test]
+    fn l2_size_sweep_configs() {
+        assert_eq!(CacheConfig::l2_with_kib(256).capacity_bytes(), 256 * 1024);
+        assert_eq!(CacheConfig::l2_with_kib(1024).capacity_bytes(), 1024 * 1024);
+        assert_eq!(CacheConfig::l2_with_kib(2048).capacity_bytes(), 2048 * 1024);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = PrivateCache::new(CacheConfig::l1d());
+        assert!(!c.access(100, false));
+        c.fill(100, false);
+        assert!(c.access(100, false));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 2,
+            replacement: ReplacementKind::Lru,
+            latency: 1,
+            mshrs: 8,
+        };
+        let mut c = PrivateCache::new(cfg);
+        c.fill(1, false);
+        c.fill(2, false);
+        c.access(1, false); // 1 is now MRU
+        c.fill(3, false); // evicts 2
+        assert!(c.peek(1));
+        assert!(!c.peek(2));
+        assert!(c.peek(3));
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 1,
+            replacement: ReplacementKind::Lru,
+            latency: 1,
+            mshrs: 8,
+        };
+        let mut c = PrivateCache::new(cfg);
+        c.fill(5, true);
+        let ev = c.fill(9, false).expect("dirty victim");
+        assert_eq!(ev.line, 5);
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 1,
+            replacement: ReplacementKind::Lru,
+            latency: 1,
+            mshrs: 8,
+        };
+        let mut c = PrivateCache::new(cfg);
+        c.fill(5, false);
+        assert!(c.fill(9, false).is_none());
+    }
+
+    #[test]
+    fn store_hit_marks_dirty_and_later_writes_back() {
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 1,
+            replacement: ReplacementKind::Lru,
+            latency: 1,
+            mshrs: 8,
+        };
+        let mut c = PrivateCache::new(cfg);
+        c.fill(5, false);
+        assert!(c.access(5, true)); // store hit marks dirty
+        let ev = c.fill(9, false).expect("dirty victim");
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn victim_line_address_reconstruction() {
+        let cfg = CacheConfig {
+            sets: 4,
+            ways: 1,
+            replacement: ReplacementKind::Lru,
+            latency: 1,
+            mshrs: 8,
+        };
+        let mut c = PrivateCache::new(cfg);
+        let addr = 0b1011_01; // set 1, tag 0b1011
+        c.fill(addr, true);
+        let ev = c.fill(addr + 4 * 7, false).expect("same set, dirty victim");
+        assert_eq!(ev.line, addr);
+    }
+
+    #[test]
+    fn srrip_promotes_on_hit() {
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 2,
+            replacement: ReplacementKind::Srrip,
+            latency: 1,
+            mshrs: 8,
+        };
+        let mut c = PrivateCache::new(cfg);
+        c.fill(1, false);
+        c.fill(2, false);
+        c.access(1, false); // rrpv(1) = 0
+        c.fill(3, false); // must evict 2 (rrpv 2) not 1 (rrpv 0)
+        assert!(c.peek(1));
+        assert!(!c.peek(2));
+    }
+
+    #[test]
+    fn fill_present_line_does_not_duplicate() {
+        let mut c = PrivateCache::new(CacheConfig::l1d());
+        c.fill(7, false);
+        c.fill(7, true);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = PrivateCache::new(CacheConfig::l1d());
+        c.fill(7, true);
+        assert_eq!(c.invalidate(7), Some(true));
+        assert!(!c.peek(7));
+        assert_eq!(c.invalidate(7), None);
+    }
+
+    #[test]
+    fn resident_never_exceeds_capacity() {
+        let cfg = CacheConfig {
+            sets: 4,
+            ways: 2,
+            replacement: ReplacementKind::Lru,
+            latency: 1,
+            mshrs: 8,
+        };
+        let mut c = PrivateCache::new(cfg);
+        for a in 0..1000u64 {
+            if !c.access(a % 37, a % 3 == 0) {
+                c.fill(a % 37, false);
+            }
+            assert!(c.resident_lines() <= 8);
+        }
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = PrivateCache::new(CacheConfig::l1d());
+        c.access(1, false);
+        c.fill(1, false);
+        c.access(1, false);
+        let s = c.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,51 @@
+//! Memory-hierarchy substrate for the Drishti reproduction.
+//!
+//! The paper evaluates LLC replacement policies on a ChampSim-style
+//! trace-driven system: per-core L1D/L2 private caches with hardware
+//! prefetchers, a sliced non-inclusive LLC distributed over a mesh (one 2 MB
+//! 16-way slice per core), and a DDR DRAM model with FR-FCFS-like bank/row
+//! timing. This crate implements all of that from scratch:
+//!
+//! * [`access`] — the memory-access vocabulary ([`access::Access`],
+//!   [`access::AccessKind`]) shared by every level.
+//! * [`cache`] — a private set-associative cache ([`cache::PrivateCache`])
+//!   with LRU/SRRIP replacement, used for L1D and L2.
+//! * [`policy`] — the sliced-LLC replacement-policy trait
+//!   ([`policy::LlcPolicy`]) that `drishti-policies` implements; a policy
+//!   object owns the state of *all* slices so slice-global organisations
+//!   (the Drishti predictor) are expressible.
+//! * [`llc`] — the sliced LLC container ([`llc::SlicedLlc`]): slice hashing,
+//!   per-slice arrays, per-set instrumentation (for the paper's MPKA
+//!   studies), write-back generation.
+//! * [`dram`] — DDR model ([`dram::Dram`]): channels, banks, open-page row
+//!   buffer, bank/bus occupancy, read/write energy accounting.
+//! * [`prefetch`] — the prefetcher framework plus seven prefetchers:
+//!   next-line, IP-stride (the baseline pair), and simplified SPP+PPF,
+//!   Bingo, IPCP, Berti and Gaze models for the paper's Fig 23 sweep.
+//!
+//! # Example: a tiny two-level lookup
+//!
+//! ```
+//! use drishti_mem::cache::{CacheConfig, PrivateCache};
+//!
+//! let mut l1 = PrivateCache::new(CacheConfig::l1d());
+//! assert!(!l1.access(0x40, false)); // cold miss
+//! l1.fill(0x40, false);
+//! assert!(l1.access(0x40, false)); // now a hit
+//! ```
+
+pub mod access;
+pub mod cache;
+pub mod dram;
+pub mod llc;
+pub mod policy;
+pub mod prefetch;
+
+/// Bytes per cache line across the hierarchy.
+pub const LINE_BYTES: u64 = 64;
+
+/// A cache-line address (byte address >> 6).
+pub type LineAddr = u64;
+
+/// Identifier of a core (and, one slice per core, of its home tile).
+pub type CoreId = usize;

@@ -1,0 +1,577 @@
+//! The sliced, NUCA last-level cache container.
+//!
+//! One slice per core (paper Table 4: 2 MB, 16-way, 20-cycle slices,
+//! non-inclusive, address-to-slice mapping per the complex hash). The
+//! container owns the line arrays and per-set instrumentation; all
+//! replacement intelligence lives behind [`LlcPolicy`].
+//!
+//! Protocol per request (driven by the simulator):
+//!
+//! 1. [`SlicedLlc::lookup`] — returns hit/miss (plus any policy-charged
+//!    extra cycles). On write-back hits the line is marked dirty.
+//! 2. On a miss, the caller services the request from DRAM and then calls
+//!    [`SlicedLlc::fill`], which picks a victim via the policy (or bypasses)
+//!    and returns an evicted dirty line for the caller to write back.
+//!
+//! Per-set access/miss counters are always maintained: they feed the
+//! paper's Fig 5 (MPKA per LLC set) and the Table 1 oracle-selection study.
+
+use crate::access::{Access, AccessKind};
+use crate::policy::{Decision, LlcLineState, LlcLoc, LlcPolicy};
+use crate::LineAddr;
+use drishti_noc::slicehash::{SliceHasher, XorFoldHash};
+
+/// Geometry of the sliced LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcGeometry {
+    /// Number of slices (= cores in the baseline).
+    pub slices: usize,
+    /// Sets per slice (2 MB 16-way slice ⇒ 2048).
+    pub sets_per_slice: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Slice access latency, cycles (paper: 20).
+    pub latency: u64,
+}
+
+impl LlcGeometry {
+    /// The paper's baseline: one 2 MB, 16-way, 20-cycle slice per core.
+    pub fn per_core_2mb(cores: usize) -> Self {
+        LlcGeometry {
+            slices: cores,
+            sets_per_slice: 2048,
+            ways: 16,
+            latency: 20,
+        }
+    }
+
+    /// A slice of `mib` MiB per core (16-way), for the Fig 20 LLC-size sweep
+    /// (1, 2, 4 MB per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting set count is not a power of two.
+    pub fn per_core_mib(cores: usize, mib: usize) -> Self {
+        let sets = mib * 1024 * 1024 / 64 / 16;
+        assert!(sets.is_power_of_two() && sets > 0, "invalid slice size {mib} MiB");
+        LlcGeometry {
+            slices: cores,
+            sets_per_slice: sets,
+            ways: 16,
+            latency: 20,
+        }
+    }
+
+    /// Total capacity in bytes across all slices.
+    pub fn capacity_bytes(&self) -> usize {
+        self.slices * self.sets_per_slice * self.ways * crate::LINE_BYTES as usize
+    }
+
+    /// Total lines in one slice.
+    pub fn lines_per_slice(&self) -> usize {
+        self.sets_per_slice * self.ways
+    }
+}
+
+/// Counters the LLC keeps for every request category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LlcStats {
+    /// Demand (load/store) lookups.
+    pub demand_accesses: u64,
+    /// Demand lookup misses.
+    pub demand_misses: u64,
+    /// Prefetch lookups.
+    pub prefetch_accesses: u64,
+    /// Prefetch lookup misses.
+    pub prefetch_misses: u64,
+    /// Write-back lookups arriving from L2.
+    pub writeback_accesses: u64,
+    /// Dirty victims the LLC pushed to DRAM.
+    pub dram_writebacks: u64,
+    /// Fills that the policy chose to bypass.
+    pub bypasses: u64,
+    /// Fills installed.
+    pub fills: u64,
+}
+
+/// Per-set instrumentation record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetCounters {
+    /// Lookups that indexed this set.
+    pub accesses: u64,
+    /// Lookups that missed in this set.
+    pub misses: u64,
+}
+
+impl SetCounters {
+    /// Misses per kilo-access for this set (the paper's MPKA metric, Fig 5).
+    pub fn mpka(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / self.accesses as f64
+        }
+    }
+}
+
+/// Result of an LLC lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Whether the line was resident.
+    pub hit: bool,
+    /// The slice the address maps to (for NUCA distance).
+    pub slice: usize,
+    /// Extra critical-path cycles charged by the policy.
+    pub extra_latency: u64,
+}
+
+/// Result of an LLC fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillResult {
+    /// A dirty victim that must be written to DRAM, if any.
+    pub writeback: Option<LineAddr>,
+    /// Extra critical-path cycles charged by the policy (e.g. a remote
+    /// predictor lookup on the fill path).
+    pub extra_latency: u64,
+    /// Whether the policy chose not to cache the line.
+    pub bypassed: bool,
+}
+
+/// The sliced LLC.
+pub struct SlicedLlc {
+    geom: LlcGeometry,
+    hasher: Box<dyn SliceHasher>,
+    policy: Box<dyn LlcPolicy>,
+    /// `lines[slice][set * ways + way]`.
+    lines: Vec<Vec<LlcLineState>>,
+    set_counters: Vec<Vec<SetCounters>>,
+    stats: LlcStats,
+}
+
+impl std::fmt::Debug for SlicedLlc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlicedLlc")
+            .field("geom", &self.geom)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SlicedLlc {
+    /// Build an LLC with the default complex slice hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has zero slices/sets/ways or a non-power-of-two
+    /// set count.
+    pub fn new(geom: LlcGeometry, policy: Box<dyn LlcPolicy>) -> Self {
+        SlicedLlc::with_hasher(geom, policy, Box::new(XorFoldHash::new()))
+    }
+
+    /// Build an LLC with an explicit slice hash (tests use [`ModuloHash`] to
+    /// create degenerate mappings).
+    ///
+    /// [`ModuloHash`]: drishti_noc::slicehash::ModuloHash
+    pub fn with_hasher(
+        geom: LlcGeometry,
+        policy: Box<dyn LlcPolicy>,
+        hasher: Box<dyn SliceHasher>,
+    ) -> Self {
+        assert!(geom.slices > 0 && geom.ways > 0, "degenerate geometry");
+        assert!(
+            geom.sets_per_slice.is_power_of_two(),
+            "sets per slice must be a power of two"
+        );
+        SlicedLlc {
+            lines: vec![
+                vec![LlcLineState::default(); geom.sets_per_slice * geom.ways];
+                geom.slices
+            ],
+            set_counters: vec![vec![SetCounters::default(); geom.sets_per_slice]; geom.slices],
+            geom,
+            hasher,
+            policy,
+            stats: LlcStats::default(),
+        }
+    }
+
+    /// The LLC geometry.
+    pub fn geometry(&self) -> &LlcGeometry {
+        &self.geom
+    }
+
+    /// The governing policy (shared reference).
+    pub fn policy(&self) -> &dyn LlcPolicy {
+        self.policy.as_ref()
+    }
+
+    /// The governing policy (mutable, for instrumentation toggles).
+    pub fn policy_mut(&mut self) -> &mut dyn LlcPolicy {
+        self.policy.as_mut()
+    }
+
+    /// Slice index for a line address.
+    pub fn slice_of(&self, line: LineAddr) -> usize {
+        self.hasher.slice_of(line, self.geom.slices)
+    }
+
+    /// Set index (within its slice) for a line address.
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line as usize) & (self.geom.sets_per_slice - 1)
+    }
+
+    #[inline]
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.geom.ways..(set + 1) * self.geom.ways
+    }
+
+    /// Probe the LLC for `acc`. Hits update recency (via the policy) and
+    /// dirty state; misses notify the policy so samplers observe them.
+    pub fn lookup(&mut self, acc: &Access, cycle: u64) -> LookupResult {
+        let slice = self.slice_of(acc.line);
+        let set = self.set_of(acc.line);
+        let loc = LlcLoc { slice, set };
+        self.set_counters[slice][set].accesses += 1;
+        match acc.kind {
+            AccessKind::Load | AccessKind::Store => self.stats.demand_accesses += 1,
+            AccessKind::Prefetch => self.stats.prefetch_accesses += 1,
+            AccessKind::Writeback => self.stats.writeback_accesses += 1,
+        }
+
+        let range = self.set_range(set);
+        let way = self.lines[slice][range.clone()]
+            .iter()
+            .position(|l| l.valid && l.line == acc.line);
+
+        if let Some(way) = way {
+            let base = set * self.geom.ways;
+            if matches!(acc.kind, AccessKind::Store | AccessKind::Writeback) {
+                self.lines[slice][base + way].dirty = true;
+            }
+            let set_lines = &self.lines[slice][range];
+            let extra = self.policy.on_hit(loc, way, set_lines, acc, cycle);
+            LookupResult {
+                hit: true,
+                slice,
+                extra_latency: extra,
+            }
+        } else {
+            self.set_counters[slice][set].misses += 1;
+            match acc.kind {
+                AccessKind::Load | AccessKind::Store => self.stats.demand_misses += 1,
+                AccessKind::Prefetch => self.stats.prefetch_misses += 1,
+                AccessKind::Writeback => {}
+            }
+            self.policy.on_miss(loc, acc, cycle);
+            LookupResult {
+                hit: false,
+                slice,
+                extra_latency: 0,
+            }
+        }
+    }
+
+    /// Install the line for `acc` after its miss was serviced. The policy
+    /// picks the victim (or bypasses); a dirty victim is returned for DRAM
+    /// write-back.
+    pub fn fill(&mut self, acc: &Access, cycle: u64) -> FillResult {
+        let slice = self.slice_of(acc.line);
+        let set = self.set_of(acc.line);
+        let loc = LlcLoc { slice, set };
+        let base = set * self.geom.ways;
+        let range = self.set_range(set);
+
+        // Already resident (e.g. two cores racing on one line): refresh dirty.
+        if let Some(way) = self.lines[slice][range.clone()]
+            .iter()
+            .position(|l| l.valid && l.line == acc.line)
+        {
+            if matches!(acc.kind, AccessKind::Store | AccessKind::Writeback) {
+                self.lines[slice][base + way].dirty = true;
+            }
+            return FillResult {
+                writeback: None,
+                extra_latency: 0,
+                bypassed: false,
+            };
+        }
+
+        // Prefer an invalid way; otherwise ask the policy.
+        let invalid = self.lines[slice][range.clone()].iter().position(|l| !l.valid);
+        let (way, evicted) = match invalid {
+            Some(w) => (w, None),
+            None => {
+                let set_lines = &self.lines[slice][range.clone()];
+                match self.policy.choose_victim(loc, set_lines, acc, cycle) {
+                    Decision::Evict(w) => {
+                        assert!(w < self.geom.ways, "policy returned way {w} out of range");
+                        (w, Some(self.lines[slice][base + w]))
+                    }
+                    Decision::Bypass => {
+                        self.stats.bypasses += 1;
+                        // The policy still sees the fill event as a bypass so
+                        // it can train; we model that as no state change.
+                        return FillResult {
+                            writeback: None,
+                            extra_latency: 0,
+                            bypassed: true,
+                        };
+                    }
+                }
+            }
+        };
+
+        let writeback = evicted.and_then(|v| if v.dirty { Some(v.line) } else { None });
+        if writeback.is_some() {
+            self.stats.dram_writebacks += 1;
+        }
+
+        self.lines[slice][base + way] = LlcLineState {
+            line: acc.line,
+            valid: true,
+            dirty: matches!(acc.kind, AccessKind::Store | AccessKind::Writeback),
+            core: acc.core,
+            signature: acc.signature(),
+        };
+        self.stats.fills += 1;
+
+        let set_lines = &self.lines[slice][self.set_range(set)];
+        let extra =
+            self.policy
+                .on_fill(loc, way, set_lines, acc, evicted.as_ref(), cycle);
+        FillResult {
+            writeback,
+            extra_latency: extra,
+            bypassed: false,
+        }
+    }
+
+    /// Whether `line` is currently resident (no state change).
+    pub fn peek(&self, line: LineAddr) -> bool {
+        let slice = self.slice_of(line);
+        let set = self.set_of(line);
+        self.lines[slice][self.set_range(set)]
+            .iter()
+            .any(|l| l.valid && l.line == line)
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &LlcStats {
+        &self.stats
+    }
+
+    /// Per-set counters of one slice (Fig 5 instrumentation).
+    pub fn set_counters(&self, slice: usize) -> &[SetCounters] {
+        &self.set_counters[slice]
+    }
+
+    /// Reset aggregate and per-set statistics (contents retained) — used at
+    /// the end of warm-up.
+    pub fn reset_stats(&mut self) {
+        self.stats = LlcStats::default();
+        for slice in &mut self.set_counters {
+            slice.fill(SetCounters::default());
+        }
+    }
+
+    /// Number of valid lines resident across all slices (tests).
+    pub fn resident_lines(&self) -> usize {
+        self.lines
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|l| l.valid)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Decision;
+    use drishti_noc::slicehash::ModuloHash;
+
+    /// Tiny always-evict-way-0 policy for container tests.
+    #[derive(Debug, Default)]
+    struct EvictZero {
+        hits: u64,
+        misses: u64,
+        fills: u64,
+    }
+
+    impl LlcPolicy for EvictZero {
+        fn name(&self) -> String {
+            "evict-zero".into()
+        }
+        fn on_hit(
+            &mut self,
+            _: LlcLoc,
+            _: usize,
+            _: &[LlcLineState],
+            _: &Access,
+            _: u64,
+        ) -> u64 {
+            self.hits += 1;
+            0
+        }
+        fn on_miss(&mut self, _: LlcLoc, _: &Access, _: u64) {
+            self.misses += 1;
+        }
+        fn choose_victim(
+            &mut self,
+            _: LlcLoc,
+            _: &[LlcLineState],
+            _: &Access,
+            _: u64,
+        ) -> Decision {
+            Decision::Evict(0)
+        }
+        fn on_fill(
+            &mut self,
+            _: LlcLoc,
+            _: usize,
+            _: &[LlcLineState],
+            _: &Access,
+            _: Option<&LlcLineState>,
+            _: u64,
+        ) -> u64 {
+            self.fills += 1;
+            0
+        }
+    }
+
+    fn small_geom() -> LlcGeometry {
+        LlcGeometry {
+            slices: 4,
+            sets_per_slice: 8,
+            ways: 2,
+            latency: 20,
+        }
+    }
+
+    #[test]
+    fn per_core_2mb_geometry() {
+        let g = LlcGeometry::per_core_2mb(32);
+        assert_eq!(g.capacity_bytes(), 32 * 2 * 1024 * 1024);
+        assert_eq!(g.lines_per_slice(), 32 * 1024);
+    }
+
+    #[test]
+    fn size_sweep_geometries() {
+        assert_eq!(LlcGeometry::per_core_mib(16, 1).capacity_bytes(), 16 << 20);
+        assert_eq!(LlcGeometry::per_core_mib(16, 4).capacity_bytes(), 64 << 20);
+    }
+
+    #[test]
+    fn miss_fill_hit_roundtrip() {
+        let mut llc = SlicedLlc::new(small_geom(), Box::new(EvictZero::default()));
+        let acc = Access::load(0, 0x400, 0x1234);
+        assert!(!llc.lookup(&acc, 0).hit);
+        llc.fill(&acc, 0);
+        assert!(llc.lookup(&acc, 1).hit);
+        assert_eq!(llc.stats().demand_accesses, 2);
+        assert_eq!(llc.stats().demand_misses, 1);
+    }
+
+    #[test]
+    fn same_line_same_slice_always() {
+        let llc = SlicedLlc::new(small_geom(), Box::new(EvictZero::default()));
+        for line in 0..1000u64 {
+            assert_eq!(llc.slice_of(line), llc.slice_of(line));
+            assert!(llc.slice_of(line) < 4);
+        }
+    }
+
+    #[test]
+    fn dirty_victim_produces_dram_writeback() {
+        let g = LlcGeometry {
+            slices: 1,
+            sets_per_slice: 1,
+            ways: 1,
+            latency: 20,
+        };
+        let mut llc =
+            SlicedLlc::with_hasher(g, Box::new(EvictZero::default()), Box::new(ModuloHash::new()));
+        let st = Access::store(0, 0x1, 100);
+        llc.lookup(&st, 0);
+        llc.fill(&st, 0);
+        let ld = Access::load(0, 0x2, 200);
+        llc.lookup(&ld, 1);
+        let fr = llc.fill(&ld, 1);
+        assert_eq!(fr.writeback, Some(100));
+        assert_eq!(llc.stats().dram_writebacks, 1);
+    }
+
+    #[test]
+    fn writeback_hit_marks_dirty() {
+        let g = LlcGeometry {
+            slices: 1,
+            sets_per_slice: 1,
+            ways: 2,
+            latency: 20,
+        };
+        let mut llc =
+            SlicedLlc::with_hasher(g, Box::new(EvictZero::default()), Box::new(ModuloHash::new()));
+        let ld = Access::load(0, 0x1, 100);
+        llc.lookup(&ld, 0);
+        llc.fill(&ld, 0);
+        let wb = Access::writeback(0, 100);
+        assert!(llc.lookup(&wb, 1).hit);
+        // Evict it: way 0 holds line 100 and is now dirty.
+        let ld2 = Access::load(0, 0x2, 200);
+        llc.lookup(&ld2, 2);
+        llc.fill(&ld2, 2);
+        let ld3 = Access::load(0, 0x3, 300);
+        llc.lookup(&ld3, 3);
+        let fr = llc.fill(&ld3, 3);
+        assert_eq!(fr.writeback, Some(100));
+    }
+
+    #[test]
+    fn set_counters_track_mpka() {
+        let mut llc = SlicedLlc::new(small_geom(), Box::new(EvictZero::default()));
+        let acc = Access::load(0, 0x1, 0x40);
+        let slice = llc.slice_of(0x40);
+        let set = llc.set_of(0x40);
+        llc.lookup(&acc, 0); // miss
+        llc.fill(&acc, 0);
+        llc.lookup(&acc, 1); // hit
+        let c = llc.set_counters(slice)[set];
+        assert_eq!(c.accesses, 2);
+        assert_eq!(c.misses, 1);
+        assert!((c.mpka() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resident_never_exceeds_capacity() {
+        let mut llc = SlicedLlc::new(small_geom(), Box::new(EvictZero::default()));
+        for a in 0..2000u64 {
+            let acc = Access::load(0, 0x1, a % 257);
+            if !llc.lookup(&acc, a).hit {
+                llc.fill(&acc, a);
+            }
+        }
+        assert!(llc.resident_lines() <= 4 * 8 * 2);
+    }
+
+    #[test]
+    fn refill_of_resident_line_is_idempotent() {
+        let mut llc = SlicedLlc::new(small_geom(), Box::new(EvictZero::default()));
+        let acc = Access::load(0, 0x1, 42);
+        llc.lookup(&acc, 0);
+        llc.fill(&acc, 0);
+        llc.fill(&acc, 1);
+        assert_eq!(llc.resident_lines(), 1);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters_but_keeps_contents() {
+        let mut llc = SlicedLlc::new(small_geom(), Box::new(EvictZero::default()));
+        let acc = Access::load(0, 0x1, 7);
+        llc.lookup(&acc, 0);
+        llc.fill(&acc, 0);
+        llc.reset_stats();
+        assert_eq!(llc.stats().demand_accesses, 0);
+        assert!(llc.peek(7));
+    }
+}

@@ -1,0 +1,174 @@
+//! The sliced-LLC replacement-policy interface.
+//!
+//! A single [`LlcPolicy`] object governs *all* slices of the LLC. This is
+//! deliberate: the Drishti design space is about which state is per-slice
+//! (sampled caches) and which is global (reuse predictors), so the policy
+//! must be able to own both kinds of state. Per-slice policies (LRU, SRRIP)
+//! simply keep independent state per slice and ignore the rest.
+//!
+//! The container ([`crate::llc::SlicedLlc`]) drives the policy with four
+//! events per request: `on_hit`, `on_miss`, `choose_victim` (only when the
+//! set is full) and `on_fill`. Two of them return *extra critical-path
+//! cycles*, which is how predictor-fabric latency (mesh vs. NOCSTAR,
+//! paper Fig 11) is charged to the request.
+
+use crate::access::Access;
+use crate::{CoreId, LineAddr};
+use drishti_noc::NocStats;
+
+/// Where a request landed inside the sliced LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LlcLoc {
+    /// Slice index (one slice per core in the baseline).
+    pub slice: usize,
+    /// Set index within the slice.
+    pub set: usize,
+}
+
+/// Replacement-relevant state of one resident LLC line, as exposed to
+/// policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct LlcLineState {
+    /// The resident line address (0 if invalid).
+    pub line: LineAddr,
+    /// Whether this way holds a valid line.
+    pub valid: bool,
+    /// Whether the line is dirty (must be written back on eviction).
+    pub dirty: bool,
+    /// The core whose request installed the line.
+    pub core: CoreId,
+    /// The PC signature ([`Access::signature`]) that installed the line.
+    pub signature: u64,
+}
+
+
+/// A victim decision for a fill into a full set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Evict the line in this way and install the new line there.
+    Evict(usize),
+    /// Do not cache the new line at all (paper policies may bypass
+    /// cache-averse fills).
+    Bypass,
+}
+
+/// A replacement policy for the sliced LLC.
+///
+/// Implementations are constructed with the LLC geometry (see
+/// [`crate::llc::LlcGeometry`]) so they can size per-slice/per-set metadata.
+pub trait LlcPolicy: std::fmt::Debug {
+    /// Human-readable policy name, e.g. `"mockingjay"` or `"d-hawkeye"`.
+    fn name(&self) -> String;
+
+    /// A resident line was hit. `way` indexes into `lines`. Returns extra
+    /// critical-path cycles (almost always 0 on hits).
+    fn on_hit(
+        &mut self,
+        loc: LlcLoc,
+        way: usize,
+        lines: &[LlcLineState],
+        acc: &Access,
+        cycle: u64,
+    ) -> u64;
+
+    /// A lookup missed (called before the fill, so samplers observe the
+    /// miss even if the fill later bypasses).
+    fn on_miss(&mut self, loc: LlcLoc, acc: &Access, cycle: u64);
+
+    /// Choose a victim for a fill into a *full* set.
+    fn choose_victim(
+        &mut self,
+        loc: LlcLoc,
+        lines: &[LlcLineState],
+        acc: &Access,
+        cycle: u64,
+    ) -> Decision;
+
+    /// A line was installed in `way` (after any eviction). `evicted` is the
+    /// line that was displaced, if the set was full. Returns extra
+    /// critical-path cycles charged to the miss — this is where remote
+    /// predictor lookups bill their fabric latency.
+    fn on_fill(
+        &mut self,
+        loc: LlcLoc,
+        way: usize,
+        lines: &[LlcLineState],
+        acc: &Access,
+        evicted: Option<&LlcLineState>,
+        cycle: u64,
+    ) -> u64;
+
+    /// Predictor-fabric traffic accumulated by this policy (zero for
+    /// memoryless policies).
+    fn fabric_stats(&self) -> NocStats {
+        NocStats::default()
+    }
+
+    /// Per-policy diagnostic counters (sampler hits, trainings, …) as
+    /// `(name, value)` pairs for experiment output.
+    fn diagnostics(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal always-evict-way-0 policy to exercise the trait surface.
+    #[derive(Debug, Default)]
+    struct EvictZero;
+
+    impl LlcPolicy for EvictZero {
+        fn name(&self) -> String {
+            "evict-zero".into()
+        }
+        fn on_hit(
+            &mut self,
+            _: LlcLoc,
+            _: usize,
+            _: &[LlcLineState],
+            _: &Access,
+            _: u64,
+        ) -> u64 {
+            0
+        }
+        fn on_miss(&mut self, _: LlcLoc, _: &Access, _: u64) {}
+        fn choose_victim(
+            &mut self,
+            _: LlcLoc,
+            _: &[LlcLineState],
+            _: &Access,
+            _: u64,
+        ) -> Decision {
+            Decision::Evict(0)
+        }
+        fn on_fill(
+            &mut self,
+            _: LlcLoc,
+            _: usize,
+            _: &[LlcLineState],
+            _: &Access,
+            _: Option<&LlcLineState>,
+            _: u64,
+        ) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let p: Box<dyn LlcPolicy> = Box::new(EvictZero);
+        assert_eq!(p.name(), "evict-zero");
+        assert_eq!(p.fabric_stats(), NocStats::default());
+        assert!(p.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn default_line_state_is_invalid() {
+        let l = LlcLineState::default();
+        assert!(!l.valid);
+        assert!(!l.dirty);
+    }
+}

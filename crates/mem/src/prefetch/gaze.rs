@@ -1,0 +1,217 @@
+//! Simplified Gaze: spatial patterns with internal temporal correlation.
+//!
+//! Gaze [Chen et al., HPCA 2025 — paper ref 21] observes that the *first
+//! few* offsets touched in a spatial region strongly predict the region's
+//! full footprint, and that replaying the footprint in the learned
+//! *temporal order* (rather than bitmap order) improves timeliness. It also
+//! separates dense streaming regions (handled by a cheap stream engine)
+//! from sparse patterned regions.
+//!
+//! This model keeps: (i) per-region tracking of the ordered touch sequence,
+//! (ii) a pattern history keyed by the PC and the first two offsets (the
+//! "probing" prefix), (iii) ordered replay, and (iv) a dense-region stream
+//! bypass.
+
+use super::{PrefetchRequest, Prefetcher};
+use crate::LineAddr;
+use std::collections::HashMap;
+
+/// Lines per Gaze region (4 KB ⇒ 64 lines).
+pub const REGION_LINES: u64 = 64;
+const TRACKERS: usize = 64;
+const HISTORY_CAPACITY: usize = 4096;
+const MAX_PATTERN: usize = 16;
+const DENSE_THRESHOLD: usize = 12;
+const STREAM_DEGREE: u64 = 4;
+
+#[derive(Debug, Clone)]
+struct Tracker {
+    region: u64,
+    pc: u64,
+    order: Vec<u8>,
+    age: u64,
+}
+
+/// Simplified Gaze.
+#[derive(Debug)]
+pub struct Gaze {
+    trackers: Vec<Tracker>,
+    /// hash(pc, first two offsets) → ordered offset sequence.
+    history: HashMap<u64, Vec<u8>>,
+    clock: u64,
+}
+
+impl Gaze {
+    /// Create the prefetcher.
+    pub fn new() -> Self {
+        Gaze {
+            trackers: Vec::with_capacity(TRACKERS),
+            history: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    fn key(pc: u64, first: u8, second: u8) -> u64 {
+        pc.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (u64::from(first) << 8) ^ u64::from(second)
+    }
+
+    fn retire(&mut self, idx: usize) {
+        let t = self.trackers.swap_remove(idx);
+        if t.order.len() >= 3 {
+            if self.history.len() >= HISTORY_CAPACITY {
+                self.history.clear();
+            }
+            let mut order = t.order;
+            order.truncate(MAX_PATTERN);
+            self.history
+                .insert(Self::key(t.pc, order[0], order[1]), order);
+        }
+    }
+}
+
+impl Default for Gaze {
+    fn default() -> Self {
+        Gaze::new()
+    }
+}
+
+impl Prefetcher for Gaze {
+    fn name(&self) -> &'static str {
+        "gaze"
+    }
+
+    fn on_access(&mut self, pc: u64, line: LineAddr, _hit: bool, out: &mut Vec<PrefetchRequest>) {
+        self.clock += 1;
+        let region = line / REGION_LINES;
+        let offset = (line % REGION_LINES) as u8;
+
+        if let Some(pos) = self.trackers.iter().position(|t| t.region == region) {
+            let clock = self.clock;
+            let (fire, first, second) = {
+                let t = &mut self.trackers[pos];
+                t.age = clock;
+                if !t.order.contains(&offset) {
+                    t.order.push(offset);
+                }
+                if t.order.len() == 2 {
+                    (true, t.order[0], t.order[1])
+                } else {
+                    (false, 0, 0)
+                }
+            };
+            // Dense-region stream bypass: once the region looks like a
+            // stream, run ahead of the leading edge.
+            let len = self.trackers[pos].order.len();
+            if len >= DENSE_THRESHOLD {
+                let dir: i64 = {
+                    let o = &self.trackers[pos].order;
+                    if o[len - 1] >= o[0] {
+                        1
+                    } else {
+                        -1
+                    }
+                };
+                for d in 1..=STREAM_DEGREE {
+                    let t = line as i64 + dir * d as i64;
+                    if t >= 0 {
+                        out.push(PrefetchRequest {
+                            line: t as LineAddr,
+                            trigger_pc: pc,
+                        });
+                    }
+                }
+                return;
+            }
+            // The two-offset probing prefix is complete: replay the learned
+            // pattern in temporal order.
+            if fire {
+                if let Some(pattern) = self.history.get(&Self::key(pc, first, second)) {
+                    for &o in pattern.iter().skip(2) {
+                        out.push(PrefetchRequest {
+                            line: region * REGION_LINES + u64::from(o),
+                            trigger_pc: pc,
+                        });
+                    }
+                }
+            }
+            return;
+        }
+
+        if self.trackers.len() >= TRACKERS {
+            let oldest = self
+                .trackers
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| t.age)
+                .map(|(i, _)| i)
+                .expect("trackers nonempty");
+            self.retire(oldest);
+        }
+        self.trackers.push(Tracker {
+            region,
+            pc,
+            order: vec![offset],
+            age: self.clock,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_pattern_in_temporal_order() {
+        let mut p = Gaze::new();
+        let mut out = Vec::new();
+        let pattern = [2u64, 9, 30, 17, 4]; // deliberately non-monotonic
+        for r in 0..200u64 {
+            for &o in &pattern {
+                p.on_access(0xF0, r * REGION_LINES + o, false, &mut out);
+            }
+        }
+        out.clear();
+        // New region: touch the two-offset probing prefix.
+        let base = 7_000_000 * REGION_LINES;
+        p.on_access(0xF0, base + 2, false, &mut out);
+        p.on_access(0xF0, base + 9, false, &mut out);
+        let offs: Vec<u64> = out.iter().map(|r| r.line - base).collect();
+        assert_eq!(offs, vec![30, 17, 4], "ordered replay mismatch: {offs:?}");
+    }
+
+    #[test]
+    fn dense_region_switches_to_streaming() {
+        let mut p = Gaze::new();
+        let mut out = Vec::new();
+        let base = 50 * REGION_LINES;
+        for i in 0..20u64 {
+            p.on_access(0xE0, base + i, false, &mut out);
+        }
+        let max = out.iter().map(|r| r.line).max().unwrap_or(0);
+        assert!(max > base + 20, "stream bypass should run ahead: {max}");
+    }
+
+    #[test]
+    fn cold_start_is_silent() {
+        let mut p = Gaze::new();
+        let mut out = Vec::new();
+        p.on_access(0x1, 100, false, &mut out);
+        p.on_access(0x1, 105, false, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn short_patterns_are_not_remembered() {
+        let mut p = Gaze::new();
+        let mut out = Vec::new();
+        for r in 0..200u64 {
+            p.on_access(0xD0, r * REGION_LINES + 1, false, &mut out);
+            p.on_access(0xD0, r * REGION_LINES + 2, false, &mut out);
+        }
+        out.clear();
+        let base = 9_000_000 * REGION_LINES;
+        p.on_access(0xD0, base + 1, false, &mut out);
+        p.on_access(0xD0, base + 2, false, &mut out);
+        assert!(out.is_empty(), "two-touch regions carry no replayable tail");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the memory-hierarchy substrate.
+
+use drishti_mem::cache::{CacheConfig, PrivateCache, ReplacementKind};
+use drishti_mem::dram::{Dram, DramConfig};
+use drishti_mem::prefetch::{Prefetcher, PrefetcherKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The private cache never exceeds capacity, and hits+misses == accesses.
+    #[test]
+    fn private_cache_invariants(
+        ops in prop::collection::vec((0u64..500, any::<bool>()), 50..500),
+        ways in 1usize..8,
+        lru in any::<bool>(),
+    ) {
+        let cfg = CacheConfig {
+            sets: 16,
+            ways,
+            replacement: if lru { ReplacementKind::Lru } else { ReplacementKind::Srrip },
+            latency: 1,
+            mshrs: 8,
+        };
+        let mut c = PrivateCache::new(cfg);
+        for &(line, store) in &ops {
+            if !c.access(line, store) {
+                c.fill(line, store);
+            }
+            prop_assert!(c.resident_lines() <= 16 * ways);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert_eq!(s.accesses, ops.len() as u64);
+    }
+
+    /// A filled line is immediately resident; re-access hits.
+    #[test]
+    fn fill_then_hit(lines in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut c = PrivateCache::new(CacheConfig::l1d());
+        for &l in &lines {
+            if !c.access(l, false) {
+                c.fill(l, false);
+            }
+            prop_assert!(c.access(l, false), "line {l} missing after fill");
+        }
+    }
+
+    /// DRAM latencies are bounded below by the column access + burst and
+    /// above by the backlog ceiling; row hits never exceed row misses in
+    /// the steady state of a single bank.
+    #[test]
+    fn dram_latency_bounds(
+        reqs in prop::collection::vec((0u64..1_000_000, 0u64..100_000, any::<bool>()), 1..300)
+    ) {
+        let cfg = DramConfig::default();
+        let mut d = Dram::new(cfg);
+        let mut sorted = reqs.clone();
+        sorted.sort_by_key(|&(_, t, _)| t);
+        for (line, cycle, write) in sorted {
+            if write {
+                d.write(line, cycle);
+            } else {
+                let lat = d.read(line, cycle);
+                prop_assert!(lat >= cfg.t_cas + cfg.burst);
+                prop_assert!(lat < 10_000_000, "runaway DRAM latency {lat}");
+            }
+        }
+        let s = d.stats();
+        prop_assert_eq!(s.reads + s.writes, reqs.len() as u64);
+        // Writes are posted into the queue and may not have drained yet,
+        // so serviced events (row hits + activations) cover all reads but
+        // at most reads + writes.
+        prop_assert!(s.row_hits + s.activations >= s.reads);
+        prop_assert!(s.row_hits + s.activations <= s.reads + s.writes);
+    }
+
+    /// No prefetcher may emit unbounded requests per access, and every
+    /// request must carry the triggering PC.
+    #[test]
+    fn prefetchers_are_bounded(
+        accesses in prop::collection::vec((0u64..64, 0u64..100_000, any::<bool>()), 20..300)
+    ) {
+        for kind in [
+            PrefetcherKind::NextLine,
+            PrefetcherKind::IpStride,
+            PrefetcherKind::SppPpf,
+            PrefetcherKind::Bingo,
+            PrefetcherKind::Ipcp,
+            PrefetcherKind::Berti,
+            PrefetcherKind::Gaze,
+        ] {
+            let mut p: Box<dyn Prefetcher> = kind.build();
+            for &(pc, line, hit) in &accesses {
+                let mut out = Vec::new();
+                p.on_access(0x400 + pc, line, hit, &mut out);
+                prop_assert!(out.len() <= 16, "{} burst of {}", p.name(), out.len());
+                for r in &out {
+                    prop_assert_eq!(r.trigger_pc, 0x400 + pc);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Address-to-slice hashing for the sliced LLC.
+//!
+//! Commercial processors distribute physical line addresses over LLC slices
+//! with an undocumented "complex addressing" hash (reverse-engineered by
+//! Maurice et al. [41] for Intel parts; the paper's baseline cites the
+//! Kayaalp et al. [33] construction). Two properties matter for this study:
+//!
+//! 1. **Uniformity** — consecutive and strided lines spread evenly over
+//!    slices, so no slice is hot merely because of the hash.
+//! 2. **Scattering** — the set of lines touched by *one PC* lands on many
+//!    slices, which is exactly what makes a per-slice reuse predictor myopic
+//!    (paper Observation I, Fig 2).
+//!
+//! [`XorFoldHash`] reproduces both. [`ModuloHash`] (low-order bits) is kept
+//! as a contrast/test hash, and [`SliceHasher`] is the trait the LLC
+//! container consumes.
+
+/// Maps a cache-line address to an LLC slice index.
+///
+/// Implementations must be pure functions of `(line_addr, n_slices)`.
+pub trait SliceHasher: std::fmt::Debug + Send + Sync {
+    /// Slice index in `0..n_slices` for the given *line* address (byte
+    /// address >> 6).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `n_slices == 0`.
+    fn slice_of(&self, line_addr: u64, n_slices: usize) -> usize;
+}
+
+/// XOR-fold complex-addressing hash.
+///
+/// For a power-of-two slice count `2^k`, slice bit `i` is the XOR of line
+/// address bits `i, i+k, i+2k, …` — the classic structure recovered from
+/// Intel complex addressing. For non-power-of-two counts we fold through a
+/// 64-bit mix and reduce modulo `n_slices`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XorFoldHash;
+
+impl XorFoldHash {
+    /// Create the hash function.
+    pub fn new() -> Self {
+        XorFoldHash
+    }
+}
+
+/// 64-bit finalizer (splitmix64) used for the non-power-of-two fallback.
+#[inline]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl SliceHasher for XorFoldHash {
+    fn slice_of(&self, line_addr: u64, n_slices: usize) -> usize {
+        assert!(n_slices > 0, "n_slices must be nonzero");
+        if n_slices == 1 {
+            return 0;
+        }
+        if n_slices.is_power_of_two() {
+            let k = n_slices.trailing_zeros();
+            let mut folded = 0u64;
+            let mut a = line_addr;
+            while a != 0 {
+                folded ^= a & (n_slices as u64 - 1);
+                a >>= k;
+            }
+            folded as usize
+        } else {
+            (mix64(line_addr) % n_slices as u64) as usize
+        }
+    }
+}
+
+/// Trivial low-order-bits slice selection (`line_addr % n_slices`).
+///
+/// Used as a test contrast: it keeps strided streams on one slice, which is
+/// precisely what real parts avoid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModuloHash;
+
+impl ModuloHash {
+    /// Create the hash function.
+    pub fn new() -> Self {
+        ModuloHash
+    }
+}
+
+impl SliceHasher for ModuloHash {
+    fn slice_of(&self, line_addr: u64, n_slices: usize) -> usize {
+        assert!(n_slices > 0, "n_slices must be nonzero");
+        (line_addr % n_slices as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_slice_always_zero() {
+        let h = XorFoldHash::new();
+        for a in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(h.slice_of(a, 1), 0);
+        }
+    }
+
+    #[test]
+    fn in_range_for_all_counts() {
+        let h = XorFoldHash::new();
+        for n in 1..=40usize {
+            for a in 0..4096u64 {
+                assert!(h.slice_of(a * 97 + 13, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_lines_spread_uniformly_16_slices() {
+        let h = XorFoldHash::new();
+        let n = 16usize;
+        let mut counts = vec![0u64; n];
+        for a in 0..160_000u64 {
+            counts[h.slice_of(a, n)] += 1;
+        }
+        let expect = 160_000 / n as u64;
+        for &c in &counts {
+            let dev = (c as f64 - expect as f64).abs() / expect as f64;
+            assert!(dev < 0.02, "slice imbalance {dev} on counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn strided_lines_spread_over_slices() {
+        // Page-strided accesses (same set bits) must still scatter: this is
+        // what defeats a modulo hash and motivates complex addressing.
+        let h = XorFoldHash::new();
+        let n = 16usize;
+        let mut touched = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            touched.insert(h.slice_of(i * 1024, n));
+        }
+        assert!(touched.len() >= n / 2, "stride collapsed to {touched:?}");
+    }
+
+    #[test]
+    fn modulo_hash_keeps_stride_on_one_slice() {
+        let h = ModuloHash::new();
+        let n = 16usize;
+        let mut touched = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            touched.insert(h.slice_of(i * 16, n));
+        }
+        assert_eq!(touched.len(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = XorFoldHash::new();
+        assert_eq!(h.slice_of(0xabcdef, 32), h.slice_of(0xabcdef, 32));
+    }
+
+    #[test]
+    fn non_power_of_two_uniformity() {
+        let h = XorFoldHash::new();
+        let n = 12usize;
+        let mut counts = vec![0u64; n];
+        for a in 0..120_000u64 {
+            counts[h.slice_of(a, n)] += 1;
+        }
+        let expect = 120_000 / n as u64;
+        for &c in &counts {
+            let dev = (c as f64 - expect as f64).abs() / expect as f64;
+            assert!(dev < 0.05);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Shared infrastructure for replacement policies.
+
+use drishti_mem::llc::LlcGeometry;
+use drishti_mem::CoreId;
+
+/// Per-line policy metadata, indexed `(slice, set, way)`.
+#[derive(Debug, Clone)]
+pub struct PerLine<T> {
+    data: Vec<Vec<T>>,
+    ways: usize,
+}
+
+impl<T: Clone + Default> PerLine<T> {
+    /// Allocate metadata for the given geometry, default-initialised.
+    pub fn new(geom: &LlcGeometry) -> Self {
+        PerLine {
+            data: vec![vec![T::default(); geom.sets_per_slice * geom.ways]; geom.slices],
+            ways: geom.ways,
+        }
+    }
+
+    /// Shared access.
+    #[inline]
+    pub fn get(&self, slice: usize, set: usize, way: usize) -> &T {
+        &self.data[slice][set * self.ways + way]
+    }
+
+    /// Mutable access.
+    #[inline]
+    pub fn get_mut(&mut self, slice: usize, set: usize, way: usize) -> &mut T {
+        &mut self.data[slice][set * self.ways + way]
+    }
+
+    /// All ways of one set, mutable.
+    #[inline]
+    pub fn set_mut(&mut self, slice: usize, set: usize) -> &mut [T] {
+        &mut self.data[slice][set * self.ways..(set + 1) * self.ways]
+    }
+
+    /// All ways of one set, shared.
+    #[inline]
+    pub fn set(&self, slice: usize, set: usize) -> &[T] {
+        &self.data[slice][set * self.ways..(set + 1) * self.ways]
+    }
+}
+
+/// Index a predictor table with `bits` index bits from a PC signature and
+/// the requesting core. The core is folded in because baseline Mockingjay's
+/// per-slice predictors are "indexed with a hash of PC and core ID"
+/// (paper Fig 1) — the same indexing is used for every organisation so
+/// myopic/global comparisons differ only in which bank is trained.
+#[inline]
+pub fn predictor_index(signature: u64, core: CoreId, bits: u32) -> usize {
+    let mut x = signature ^ (core as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 29;
+    (x & ((1 << bits) - 1)) as usize
+}
+
+/// A compact hash of a line address for sampler tags.
+#[inline]
+pub fn line_tag(line: u64, bits: u32) -> u32 {
+    let mut x = line;
+    x ^= x >> 31;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    (x & ((1 << bits) - 1)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> LlcGeometry {
+        LlcGeometry {
+            slices: 2,
+            sets_per_slice: 4,
+            ways: 3,
+            latency: 20,
+        }
+    }
+
+    #[test]
+    fn per_line_round_trips() {
+        let mut p: PerLine<u8> = PerLine::new(&geom());
+        *p.get_mut(1, 2, 0) = 7;
+        assert_eq!(*p.get(1, 2, 0), 7);
+        assert_eq!(*p.get(0, 2, 0), 0);
+        assert_eq!(p.set(1, 2), &[7, 0, 0]);
+        p.set_mut(1, 2)[2] = 9;
+        assert_eq!(*p.get(1, 2, 2), 9);
+    }
+
+    #[test]
+    fn predictor_index_in_range_and_core_sensitive() {
+        for core in 0..8 {
+            for sig in [0u64, 0x400, 0xdead_beef] {
+                assert!(predictor_index(sig, core, 11) < 2048);
+            }
+        }
+        assert_ne!(
+            predictor_index(0x400, 0, 11),
+            predictor_index(0x400, 1, 11),
+            "core must influence the index"
+        );
+    }
+
+    #[test]
+    fn line_tag_is_stable_and_bounded() {
+        assert_eq!(line_tag(123, 10), line_tag(123, 10));
+        for l in 0..1000u64 {
+            assert!(line_tag(l, 10) < 1024);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Uniform construction of every replacement policy.
+
+use crate::chrome::Chrome;
+use crate::dip::Dip;
+use crate::drrip::Drrip;
+use crate::glider::Glider;
+use crate::hawkeye::Hawkeye;
+use crate::lru::Lru;
+use crate::mockingjay::Mockingjay;
+use crate::sdbp::Sdbp;
+use crate::ship::ShipPp;
+use crate::srrip::Srrip;
+use drishti_core::config::DrishtiConfig;
+use drishti_mem::llc::LlcGeometry;
+use drishti_mem::policy::LlcPolicy;
+
+/// Every online replacement policy in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// True LRU (the paper's baseline).
+    Lru,
+    /// Static RRIP.
+    Srrip,
+    /// Dynamic insertion policy (set dueling).
+    Dip,
+    /// Dynamic RRIP (SRRIP/BRRIP set dueling).
+    Drrip,
+    /// Sampling dead block prediction.
+    Sdbp,
+    /// SHiP++ signature hit prediction.
+    ShipPp,
+    /// Hawkeye (OPTgen, binary reuse classes).
+    Hawkeye,
+    /// Mockingjay (ETR, multi-class reuse).
+    Mockingjay,
+    /// Glider-like ISVM predictor.
+    Glider,
+    /// CHROME-like online-RL manager.
+    Chrome,
+}
+
+impl PolicyKind {
+    /// Construct the policy for `geom` under the organisation `cfg`.
+    /// Memoryless policies (LRU, SRRIP) ignore the configuration; DIP uses
+    /// only its sampled-set selection.
+    pub fn build(self, geom: &LlcGeometry, cfg: DrishtiConfig) -> Box<dyn LlcPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(geom)),
+            PolicyKind::Srrip => Box::new(Srrip::new(geom)),
+            PolicyKind::Dip => Box::new(Dip::new(geom, &cfg)),
+            PolicyKind::Drrip => Box::new(Drrip::new(geom, &cfg)),
+            PolicyKind::Sdbp => Box::new(Sdbp::new(geom, &cfg)),
+            PolicyKind::ShipPp => Box::new(ShipPp::new(geom, &cfg)),
+            PolicyKind::Hawkeye => Box::new(Hawkeye::new(geom, &cfg)),
+            PolicyKind::Mockingjay => Box::new(Mockingjay::new(geom, &cfg)),
+            PolicyKind::Glider => Box::new(Glider::new(geom, &cfg)),
+            PolicyKind::Chrome => Box::new(Chrome::new(geom, &cfg)),
+        }
+    }
+
+    /// The baseline (non-Drishti) name of the policy.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Srrip => "srrip",
+            PolicyKind::Dip => "dip",
+            PolicyKind::Drrip => "drrip",
+            PolicyKind::Sdbp => "sdbp",
+            PolicyKind::ShipPp => "ship++",
+            PolicyKind::Hawkeye => "hawkeye",
+            PolicyKind::Mockingjay => "mockingjay",
+            PolicyKind::Glider => "glider",
+            PolicyKind::Chrome => "chrome",
+        }
+    }
+
+    /// Whether the policy uses a reuse predictor (and therefore benefits
+    /// from Drishti's Enhancement I) — paper Table 7.
+    pub fn is_prediction_based(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Sdbp
+                | PolicyKind::ShipPp
+                | PolicyKind::Hawkeye
+                | PolicyKind::Mockingjay
+                | PolicyKind::Glider
+                | PolicyKind::Chrome
+        )
+    }
+
+    /// All policies, in a stable order.
+    pub fn all() -> [PolicyKind; 10] {
+        [
+            PolicyKind::Lru,
+            PolicyKind::Srrip,
+            PolicyKind::Dip,
+            PolicyKind::Drrip,
+            PolicyKind::Sdbp,
+            PolicyKind::ShipPp,
+            PolicyKind::Hawkeye,
+            PolicyKind::Mockingjay,
+            PolicyKind::Glider,
+            PolicyKind::Chrome,
+        ]
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_policy_builds_and_names_itself() {
+        let geom = LlcGeometry {
+            slices: 2,
+            sets_per_slice: 64,
+            ways: 4,
+            latency: 20,
+        };
+        for kind in PolicyKind::all() {
+            let p = kind.build(&geom, DrishtiConfig::baseline(2));
+            assert_eq!(p.name(), kind.label(), "baseline name mismatch");
+        }
+    }
+
+    #[test]
+    fn drishti_variants_get_d_prefix() {
+        let geom = LlcGeometry {
+            slices: 2,
+            sets_per_slice: 64,
+            ways: 4,
+            latency: 20,
+        };
+        for kind in PolicyKind::all() {
+            let p = kind.build(&geom, DrishtiConfig::drishti(2));
+            if kind.is_prediction_based() {
+                assert_eq!(p.name(), format!("d-{}", kind.label()));
+            }
+        }
+    }
+
+    #[test]
+    fn applicability_matrix_matches_table7() {
+        assert!(!PolicyKind::Lru.is_prediction_based());
+        assert!(!PolicyKind::Srrip.is_prediction_based());
+        assert!(!PolicyKind::Dip.is_prediction_based());
+        assert!(!PolicyKind::Drrip.is_prediction_based());
+        assert!(PolicyKind::Sdbp.is_prediction_based());
+        assert!(PolicyKind::Hawkeye.is_prediction_based());
+        assert!(PolicyKind::Mockingjay.is_prediction_based());
+        assert!(PolicyKind::Glider.is_prediction_based());
+        assert!(PolicyKind::Chrome.is_prediction_based());
+        assert!(PolicyKind::ShipPp.is_prediction_based());
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline Belady oracle.
+//!
+//! Belady's MIN is the optimum replacement policy: evict the line whose
+//! next use is farthest in the future. It needs the future, so it only
+//! exists offline — the paper uses it as the "oracle view" in its ETR case
+//! studies (Figs 3, 18), and we additionally use it as a test oracle
+//! (no online policy may beat OPT's hit count).
+
+use drishti_mem::access::Access;
+use drishti_mem::llc::LlcGeometry;
+use drishti_mem::LineAddr;
+use drishti_noc::slicehash::{SliceHasher, XorFoldHash};
+use std::collections::HashMap;
+
+/// Outcome of an offline OPT simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptResult {
+    /// Lookup hits under OPT.
+    pub hits: u64,
+    /// Lookup misses under OPT.
+    pub misses: u64,
+    /// Per-access hit flag (same indexing as the input trace).
+    pub per_access_hit: Vec<bool>,
+}
+
+impl OptResult {
+    /// Hit ratio in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// For each access, the index of the *next* access to the same line
+/// (`u64::MAX` when the line is never touched again).
+pub fn next_use_indices(trace: &[Access]) -> Vec<u64> {
+    let mut next = vec![u64::MAX; trace.len()];
+    let mut last_seen: HashMap<LineAddr, u64> = HashMap::new();
+    for (i, acc) in trace.iter().enumerate().rev() {
+        if let Some(&n) = last_seen.get(&acc.line) {
+            next[i] = n;
+        }
+        last_seen.insert(acc.line, i as u64);
+    }
+    next
+}
+
+/// Simulate Belady's MIN over `trace` on a sliced LLC of geometry `geom`
+/// (complex slice hash, set = low line bits — matching
+/// [`drishti_mem::llc::SlicedLlc`]).
+///
+/// # Panics
+///
+/// Panics if `geom` has zero ways.
+pub fn simulate_opt(trace: &[Access], geom: &LlcGeometry) -> OptResult {
+    assert!(geom.ways > 0, "degenerate geometry");
+    let hasher = XorFoldHash::new();
+    let next = next_use_indices(trace);
+    let n_sets_mask = geom.sets_per_slice - 1;
+    // Resident lines per (slice, set): (line, next_use).
+    let mut sets: Vec<Vec<(LineAddr, u64)>> =
+        vec![Vec::with_capacity(geom.ways); geom.slices * geom.sets_per_slice];
+    let mut hits = 0;
+    let mut misses = 0;
+    let mut per_access_hit = vec![false; trace.len()];
+
+    for (i, acc) in trace.iter().enumerate() {
+        let slice = hasher.slice_of(acc.line, geom.slices);
+        let set = (acc.line as usize) & n_sets_mask;
+        let bucket = &mut sets[slice * geom.sets_per_slice + set];
+        if let Some(entry) = bucket.iter_mut().find(|(l, _)| *l == acc.line) {
+            hits += 1;
+            per_access_hit[i] = true;
+            entry.1 = next[i];
+            continue;
+        }
+        misses += 1;
+        if bucket.len() < geom.ways {
+            bucket.push((acc.line, next[i]));
+        } else {
+            // MIN with bypass: if the incoming line's next use is farther
+            // than every resident line's, OPT would not cache it at all.
+            let (victim, &(_, victim_next)) = bucket
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &(_, n))| n)
+                .expect("bucket full");
+            if next[i] < victim_next {
+                bucket[victim] = (acc.line, next[i]);
+            }
+        }
+    }
+    OptResult {
+        hits,
+        misses,
+        per_access_hit,
+    }
+}
+
+/// For each access, the forward reuse distance of its line measured in
+/// accesses *to the same (slice, set)* — the unit Mockingjay's ETR lives
+/// in. `None` when the line is never reused.
+pub fn set_local_reuse_distances(trace: &[Access], geom: &LlcGeometry) -> Vec<Option<u64>> {
+    let hasher = XorFoldHash::new();
+    let n_sets_mask = geom.sets_per_slice - 1;
+    // Per-set logical clocks.
+    let mut clocks: Vec<u64> = vec![0; geom.slices * geom.sets_per_slice];
+    // line -> (trace index of last access, set clock at that access).
+    let mut pending: HashMap<LineAddr, (usize, u64)> = HashMap::new();
+    let mut out = vec![None; trace.len()];
+
+    for (i, acc) in trace.iter().enumerate() {
+        let slice = hasher.slice_of(acc.line, geom.slices);
+        let set = (acc.line as usize) & n_sets_mask;
+        let clock = &mut clocks[slice * geom.sets_per_slice + set];
+        *clock += 1;
+        if let Some((prev_i, prev_clock)) = pending.insert(acc.line, (i, *clock)) {
+            out[prev_i] = Some(*clock - prev_clock);
+        }
+    }
+    out
+}
+
+/// The oracle "ETR view" of Fig 3/18: for every load of `pc`, its true
+/// forward reuse distance in granularity units (`granularity` set accesses
+/// per unit), capped at `inf` for never-reused lines.
+pub fn oracle_etr_for_pc(
+    trace: &[Access],
+    geom: &LlcGeometry,
+    pc: u64,
+    granularity: u64,
+    inf: u8,
+) -> Vec<u8> {
+    let dists = set_local_reuse_distances(trace, geom);
+    trace
+        .iter()
+        .zip(&dists)
+        .filter(|(acc, _)| acc.pc == pc)
+        .map(|(_, d)| match d {
+            Some(d) => ((d / granularity).min(u64::from(inf) - 1)) as u8,
+            None => inf,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom1() -> LlcGeometry {
+        LlcGeometry {
+            slices: 1,
+            sets_per_slice: 1,
+            ways: 2,
+            latency: 20,
+        }
+    }
+
+    fn loads(lines: &[u64]) -> Vec<Access> {
+        lines.iter().map(|&l| Access::load(0, 0x1, l)).collect()
+    }
+
+    #[test]
+    fn next_use_computation() {
+        let t = loads(&[1, 2, 1, 3, 2]);
+        assert_eq!(next_use_indices(&t), vec![2, 4, u64::MAX, u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn friendly_pattern_hits_after_cold() {
+        let t = loads(&(0..20).map(|i| i % 2).collect::<Vec<_>>());
+        let r = simulate_opt(&t, &geom1());
+        assert_eq!(r.misses, 2);
+        assert_eq!(r.hits, 18);
+    }
+
+    #[test]
+    fn opt_on_cyclic_thrash_keeps_partial_set() {
+        // A,B,C cyclic with 2 ways: OPT hit ratio is 1/3 steady state.
+        let t = loads(&(0..30).map(|i| i % 3).collect::<Vec<_>>());
+        let r = simulate_opt(&t, &geom1());
+        // LRU would be 0 hits. OPT keeps one line pinned.
+        assert!(r.hits >= 9, "OPT must retain lines: {r:?}");
+    }
+
+    #[test]
+    fn opt_is_at_least_as_good_as_lru_randomized() {
+        use drishti_mem::llc::SlicedLlc;
+        let geom = LlcGeometry {
+            slices: 2,
+            sets_per_slice: 4,
+            ways: 2,
+            latency: 20,
+        };
+        let mut state = 0x1234u64;
+        for _ in 0..10 {
+            let t: Vec<Access> = (0..400)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    Access::load(0, 0x1, (state >> 33) % 40)
+                })
+                .collect();
+            let opt = simulate_opt(&t, &geom);
+            let mut lru = SlicedLlc::new(geom, Box::new(crate::lru::Lru::new(&geom)));
+            let mut lru_hits = 0;
+            for (i, a) in t.iter().enumerate() {
+                if lru.lookup(a, i as u64).hit {
+                    lru_hits += 1;
+                } else {
+                    lru.fill(a, i as u64);
+                }
+            }
+            assert!(
+                opt.hits >= lru_hits,
+                "OPT ({}) must not lose to LRU ({lru_hits})",
+                opt.hits
+            );
+        }
+    }
+
+    #[test]
+    fn set_local_distances() {
+        // Two lines in the same set, interleaved.
+        let t = loads(&[0, 8, 0]);
+        let g = LlcGeometry {
+            slices: 1,
+            sets_per_slice: 8,
+            ways: 2,
+            latency: 20,
+        };
+        let d = set_local_reuse_distances(&t, &g);
+        // Line 0 and 8 share set 0 ⇒ reuse of 0 spans 2 set accesses.
+        assert_eq!(d[0], Some(2));
+        assert_eq!(d[1], None);
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn oracle_etr_caps_at_inf() {
+        let t = loads(&[1, 2, 3, 4]);
+        let g = geom1();
+        let etr = oracle_etr_for_pc(&t, &g, 0x1, 8, 127);
+        assert_eq!(etr, vec![127, 127, 127, 127]);
+    }
+
+    #[test]
+    fn oracle_etr_reflects_short_reuse() {
+        let t = loads(&[5, 5, 5, 5]);
+        let g = geom1();
+        let etr = oracle_etr_for_pc(&t, &g, 0x1, 1, 127);
+        assert_eq!(etr, vec![1, 1, 1, 127]);
+    }
+}

@@ -1,0 +1,149 @@
+//! `drishti-sim`: command-line driver for one-off simulations.
+//!
+//! ```text
+//! drishti-sim --cores 16 --policy mockingjay --org drishti --mix homo:mcf
+//! drishti-sim --cores 8 --policy hawkeye --org baseline --mix hetero:3 \
+//!             --accesses 200000 --l2-kib 1024 --llc-mib 4 --channels 2
+//! ```
+//!
+//! Prints per-core IPC, LLC/DRAM statistics, predictor-fabric traffic and
+//! the uncore energy breakdown for the requested configuration.
+
+use drishti_core::config::DrishtiConfig;
+use drishti_policies::factory::PolicyKind;
+use drishti_sim::config::SystemConfig;
+use drishti_sim::runner::{run_mix, RunConfig};
+use drishti_trace::mix::Mix;
+use drishti_trace::presets::Benchmark;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: drishti-sim [--cores N] [--policy P] [--org O] [--mix M]\n\
+         \x20      [--accesses N] [--warmup N] [--l2-kib K] [--llc-mib M] [--channels C]\n\
+         \x20 P: lru srrip dip ship++ hawkeye mockingjay glider chrome\n\
+         \x20 O: baseline drishti global-view dsc-only centralized mesh\n\
+         \x20 M: homo:<bench> | hetero:<seed>   (bench: mcf xalan lbm gcc ... )"
+    );
+    std::process::exit(2);
+}
+
+fn parse_policy(s: &str) -> PolicyKind {
+    PolicyKind::all()
+        .into_iter()
+        .find(|p| p.label() == s)
+        .unwrap_or_else(|| {
+            eprintln!("unknown policy {s}");
+            usage()
+        })
+}
+
+fn parse_bench(s: &str) -> Benchmark {
+    Benchmark::spec_and_gap()
+        .into_iter()
+        .chain(Benchmark::server().iter().copied())
+        .find(|b| b.label() == s)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {s}");
+            usage()
+        })
+}
+
+fn main() {
+    let mut cores = 8usize;
+    let mut policy = PolicyKind::Mockingjay;
+    let mut org = "baseline".to_string();
+    let mut mix_spec = "homo:mcf".to_string();
+    let mut accesses = 100_000u64;
+    let mut warmup = 25_000u64;
+    let mut l2_kib = 512usize;
+    let mut llc_mib = 2usize;
+    let mut channels: Option<usize> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--cores" => cores = need(i).parse().unwrap_or_else(|_| usage()),
+            "--policy" => policy = parse_policy(&need(i)),
+            "--org" => org = need(i),
+            "--mix" => mix_spec = need(i),
+            "--accesses" => accesses = need(i).parse().unwrap_or_else(|_| usage()),
+            "--warmup" => warmup = need(i).parse().unwrap_or_else(|_| usage()),
+            "--l2-kib" => l2_kib = need(i).parse().unwrap_or_else(|_| usage()),
+            "--llc-mib" => llc_mib = need(i).parse().unwrap_or_else(|_| usage()),
+            "--channels" => channels = Some(need(i).parse().unwrap_or_else(|_| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    let mix = match mix_spec.split_once(':') {
+        Some(("homo", bench)) => Mix::homogeneous(parse_bench(bench), cores, 1),
+        Some(("hetero", seed)) => Mix::heterogeneous(
+            &Benchmark::spec_and_gap(),
+            cores,
+            seed.parse().unwrap_or_else(|_| usage()),
+        ),
+        _ => usage(),
+    };
+    let drishti = match org.as_str() {
+        "baseline" => DrishtiConfig::baseline(cores),
+        "drishti" => DrishtiConfig::drishti(cores),
+        "global-view" => DrishtiConfig::global_view_only(cores),
+        "dsc-only" => DrishtiConfig::dsc_only(cores),
+        "centralized" => DrishtiConfig::centralized(cores),
+        "mesh" => DrishtiConfig::drishti_without_nocstar(cores),
+        _ => usage(),
+    };
+
+    let mut system = SystemConfig::paper_baseline(cores);
+    system.l2 = drishti_mem::cache::CacheConfig::l2_with_kib(l2_kib);
+    system.llc = drishti_mem::llc::LlcGeometry::per_core_mib(cores, llc_mib);
+    if let Some(ch) = channels {
+        system.dram = drishti_mem::dram::DramConfig::with_channels(ch);
+    }
+    let rc = RunConfig {
+        system,
+        accesses_per_core: accesses,
+        warmup_accesses: warmup,
+        record_llc_stream: false,
+    };
+
+    println!(
+        "mix={} policy={} org={} cores={cores} llc={llc_mib}MB/core l2={l2_kib}KB",
+        mix.name,
+        policy.label(),
+        org
+    );
+    let t = std::time::Instant::now();
+    let r = run_mix(&mix, policy, drishti, &rc);
+    println!("\nsimulated in {:.1?}\n", t.elapsed());
+
+    println!("policy reported: {}", r.policy);
+    println!("total IPC      : {:.3}", r.total_ipc());
+    for (c, cr) in r.per_core.iter().enumerate() {
+        println!(
+            "  core {c:>2} ({:<10}) IPC {:.3}  MPKI {:.1}",
+            mix.benchmarks[c].label(),
+            cr.ipc(),
+            cr.llc_mpki()
+        );
+    }
+    println!("\nLLC    : {:?}", r.llc);
+    println!("DRAM   : reads {} writes {} mean-read-lat {:.0}",
+        r.dram.reads, r.dram.writes, r.dram.mean_read_latency());
+    println!("mesh   : msgs {} mean-lat {:.1}", r.mesh.messages, r.mesh.mean_latency());
+    println!("fabric : msgs {} mean-lat {:.1} energy {} pJ",
+        r.fabric.messages, r.fabric.mean_latency(), r.fabric.energy_pj);
+    println!(
+        "energy : LLC {} + NoC {} + DRAM {} + fabric {} = {} µJ",
+        r.energy.llc_pj / 1_000_000,
+        r.energy.noc_pj / 1_000_000,
+        r.energy.dram_pj / 1_000_000,
+        r.energy.fabric_pj / 1_000_000,
+        r.energy.total_pj() / 1_000_000
+    );
+    println!("diag   : {:?}", r.diagnostics);
+}

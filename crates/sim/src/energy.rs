@@ -1,0 +1,131 @@
+//! Uncore dynamic energy accounting (paper Fig 15).
+//!
+//! The paper computes cache/DRAM energy with CACTI-P and the Micron power
+//! calculator and interconnect energy with McPAT, then reports *normalised*
+//! uncore (LLC + NoC + DRAM) energy. We use per-event energy constants in
+//! the same spirit: event counts come from the simulation, constants are
+//! representative 7 nm-class values, and the figure-level comparison is a
+//! ratio so only relative magnitudes matter. NOCSTAR energy (50 pJ per
+//! message) is included for the D-variants, as in the paper.
+
+use drishti_mem::dram::DramStats;
+use drishti_mem::llc::LlcStats;
+use drishti_noc::NocStats;
+
+/// Dynamic energy per LLC slice lookup/fill, picojoules.
+pub const LLC_ACCESS_PJ: u64 = 1_200;
+
+/// Uncore energy breakdown, picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyBreakdown {
+    /// LLC array energy.
+    pub llc_pj: u64,
+    /// Demand-mesh energy.
+    pub noc_pj: u64,
+    /// DRAM energy (reads, writes, activations).
+    pub dram_pj: u64,
+    /// Predictor-fabric energy (NOCSTAR or mesh side traffic).
+    pub fabric_pj: u64,
+}
+
+impl EnergyBreakdown {
+    /// Compute the breakdown from subsystem statistics.
+    pub fn from_stats(
+        llc: &LlcStats,
+        mesh: &NocStats,
+        dram: &DramStats,
+        fabric: &NocStats,
+    ) -> Self {
+        let llc_events = llc.demand_accesses
+            + llc.prefetch_accesses
+            + llc.writeback_accesses
+            + llc.fills;
+        EnergyBreakdown {
+            llc_pj: llc_events * LLC_ACCESS_PJ,
+            noc_pj: mesh.energy_pj,
+            dram_pj: dram.energy_pj,
+            fabric_pj: fabric.energy_pj,
+        }
+    }
+
+    /// Total uncore energy in picojoules.
+    pub fn total_pj(&self) -> u64 {
+        self.llc_pj + self.noc_pj + self.dram_pj + self.fabric_pj
+    }
+
+    /// This breakdown's total normalised to `baseline`'s total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline total is zero.
+    pub fn normalized_to(&self, baseline: &EnergyBreakdown) -> f64 {
+        let b = baseline.total_pj();
+        assert!(b > 0, "baseline energy must be nonzero");
+        self.total_pj() as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn llc_stats(demand: u64, fills: u64) -> LlcStats {
+        LlcStats {
+            demand_accesses: demand,
+            fills,
+            ..LlcStats::default()
+        }
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        let e = EnergyBreakdown {
+            llc_pj: 10,
+            noc_pj: 20,
+            dram_pj: 30,
+            fabric_pj: 5,
+        };
+        assert_eq!(e.total_pj(), 65);
+    }
+
+    #[test]
+    fn from_stats_counts_all_llc_event_classes() {
+        let llc = LlcStats {
+            demand_accesses: 2,
+            prefetch_accesses: 1,
+            writeback_accesses: 1,
+            fills: 1,
+            ..LlcStats::default()
+        };
+        let e = EnergyBreakdown::from_stats(
+            &llc,
+            &NocStats::default(),
+            &DramStats::default(),
+            &NocStats::default(),
+        );
+        assert_eq!(e.llc_pj, 5 * LLC_ACCESS_PJ);
+    }
+
+    #[test]
+    fn fewer_dram_events_less_energy() {
+        let a = EnergyBreakdown::from_stats(
+            &llc_stats(100, 50),
+            &NocStats::default(),
+            &DramStats {
+                energy_pj: 1_000_000,
+                ..DramStats::default()
+            },
+            &NocStats::default(),
+        );
+        let b = EnergyBreakdown::from_stats(
+            &llc_stats(100, 30),
+            &NocStats::default(),
+            &DramStats {
+                energy_pj: 600_000,
+                ..DramStats::default()
+            },
+            &NocStats::default(),
+        );
+        assert!(b.normalized_to(&a) < 1.0);
+    }
+}

@@ -1,0 +1,572 @@
+//! The trace-driven simulation engine.
+//!
+//! Cores are actors with local clocks; the engine always advances the core
+//! with the smallest clock, so contention on shared resources (DRAM banks,
+//! NoC links, the LLC) is resolved in a consistent global order. Each core
+//! follows a simple out-of-order model: instructions retire at
+//! `issue_width` per cycle until a load's latency must be absorbed; loads
+//! enter a bounded outstanding-load window (completing out of order,
+//! retiring in order), so independent misses overlap up to the window size
+//! — the first-order memory-level-parallelism effect for LLC studies.
+//!
+//! The memory path is exact functionally: L1D → L2 (both private,
+//! write-back, with prefetchers) → sliced LLC over the mesh → DRAM, with
+//! dirty victims written back level by level and LLC victims to DRAM.
+
+use crate::config::SystemConfig;
+use drishti_mem::access::{Access, AccessKind};
+use drishti_mem::cache::PrivateCache;
+use drishti_mem::dram::Dram;
+use drishti_mem::llc::SlicedLlc;
+use drishti_mem::policy::LlcPolicy;
+use drishti_mem::prefetch::{PrefetchRequest, Prefetcher};
+use drishti_mem::LineAddr;
+use drishti_noc::mesh::{Mesh, MeshConfig, ADDRESS_PACKET_FLITS, DATA_PACKET_FLITS};
+use drishti_trace::{TraceRecord, WorkloadGen};
+use std::collections::VecDeque;
+
+/// Per-core measured results.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoreResult {
+    /// Instructions retired during measurement.
+    pub instructions: u64,
+    /// Cycles elapsed during measurement.
+    pub cycles: u64,
+    /// Demand accesses issued during measurement.
+    pub accesses: u64,
+    /// Demand misses observed at the LLC attributable to this core.
+    pub llc_misses: u64,
+}
+
+impl CoreResult {
+    /// Instructions per cycle (0 when no cycles elapsed).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// LLC misses per kilo-instruction.
+    pub fn llc_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+struct CoreState {
+    workload: Option<Box<dyn WorkloadGen>>,
+    l1: PrivateCache,
+    l2: PrivateCache,
+    l1_pf: Box<dyn Prefetcher>,
+    l2_pf: Box<dyn Prefetcher>,
+    cycle: u64,
+    instr_carry: u32,
+    retired: u64,
+    accesses: u64,
+    outstanding: VecDeque<u64>,
+    finished: bool,
+    measuring: bool,
+    meas_start_cycle: u64,
+    meas_start_retired: u64,
+    meas_start_accesses: u64,
+    meas_llc_misses: u64,
+    /// Recently issued L2 prefetches, for usefulness feedback.
+    pf_ring: VecDeque<LineAddr>,
+    /// In-flight prefetch fills: line → cycle at which the data arrives.
+    /// A demand access that lands on a still-in-flight prefetched line
+    /// waits for the remainder (prefetch *timeliness*).
+    inflight: std::collections::HashMap<LineAddr, u64>,
+}
+
+impl std::fmt::Debug for CoreState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreState")
+            .field("cycle", &self.cycle)
+            .field("retired", &self.retired)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The assembled system plus simulation state.
+pub struct Engine {
+    cfg: SystemConfig,
+    cores: Vec<CoreState>,
+    llc: SlicedLlc,
+    dram: Dram,
+    mesh: Mesh,
+    /// Optionally captured LLC-level demand stream (for oracles, Fig 2–4).
+    pub llc_stream: Vec<Access>,
+    record_llc_stream: bool,
+    accesses_per_core: u64,
+    warmup_accesses: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("cores", &self.cores.len())
+            .field("llc", &self.llc)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Assemble a system: `workloads[c]` drives core `c` (`None` = idle
+    /// core, used for alone-IPC runs), `policy` governs the LLC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads.len() != cfg.cores`.
+    pub fn new(
+        cfg: SystemConfig,
+        workloads: Vec<Option<Box<dyn WorkloadGen>>>,
+        policy: Box<dyn LlcPolicy>,
+        accesses_per_core: u64,
+        warmup_accesses: u64,
+        record_llc_stream: bool,
+    ) -> Self {
+        assert_eq!(workloads.len(), cfg.cores, "one workload slot per core");
+        let cores = workloads
+            .into_iter()
+            .map(|w| CoreState {
+                finished: w.is_none(),
+                workload: w,
+                l1: PrivateCache::new(cfg.l1d),
+                l2: PrivateCache::new(cfg.l2),
+                l1_pf: cfg.l1_prefetcher.build(),
+                l2_pf: cfg.l2_prefetcher.build(),
+                cycle: 0,
+                instr_carry: 0,
+                retired: 0,
+                accesses: 0,
+                outstanding: VecDeque::with_capacity(cfg.core.mlp_window),
+                measuring: warmup_accesses == 0,
+                meas_start_cycle: 0,
+                meas_start_retired: 0,
+                meas_start_accesses: 0,
+                meas_llc_misses: 0,
+                pf_ring: VecDeque::with_capacity(64),
+                inflight: std::collections::HashMap::new(),
+            })
+            .collect();
+        Engine {
+            llc: SlicedLlc::new(cfg.llc, policy),
+            dram: Dram::new(cfg.dram),
+            mesh: Mesh::new(MeshConfig::for_nodes(cfg.cores)),
+            cores,
+            llc_stream: Vec::new(),
+            record_llc_stream,
+            accesses_per_core,
+            warmup_accesses,
+            cfg,
+        }
+    }
+
+    /// Run to completion: every active core processes `accesses_per_core`
+    /// records (after `warmup_accesses` of warm-up). Returns per-core
+    /// results.
+    pub fn run(&mut self) -> Vec<CoreResult> {
+        loop {
+            // Advance the unfinished core with the minimum local clock.
+            let Some(c) = (0..self.cores.len())
+                .filter(|&c| !self.cores[c].finished)
+                .min_by_key(|&c| self.cores[c].cycle)
+            else {
+                break;
+            };
+            self.step(c);
+        }
+        self.cores
+            .iter()
+            .map(|core| CoreResult {
+                instructions: core.retired - core.meas_start_retired,
+                cycles: core.cycle.saturating_sub(core.meas_start_cycle),
+                accesses: core.accesses - core.meas_start_accesses,
+                llc_misses: core.meas_llc_misses,
+            })
+            .collect()
+    }
+
+    /// The LLC (for stats and per-set counters).
+    pub fn llc(&self) -> &SlicedLlc {
+        &self.llc
+    }
+
+    /// The DRAM subsystem (for stats).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// The demand mesh (for stats).
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    fn step(&mut self, c: usize) {
+        let rec = {
+            let core = &mut self.cores[c];
+            let rec = core
+                .workload
+                .as_mut()
+                .expect("active core has a workload")
+                .next_record();
+            // Retire the gap at issue_width instructions per cycle.
+            core.instr_carry += rec.instr_gap + 1;
+            core.cycle += u64::from(core.instr_carry / self.cfg.core.issue_width);
+            core.instr_carry %= self.cfg.core.issue_width;
+            core.retired += u64::from(rec.instr_gap) + 1;
+            // Drain loads that have completed by now.
+            while core
+                .outstanding
+                .front()
+                .is_some_and(|&done| done <= core.cycle)
+            {
+                core.outstanding.pop_front();
+            }
+            rec
+        };
+
+        let latency = self.memory_access(c, &rec);
+
+        let core = &mut self.cores[c];
+        if !rec.is_store && latency > self.cfg.l1d.latency {
+            // The load occupies an MLP window slot; a full window forces
+            // in-order-retire stalls until the oldest load completes.
+            if core.outstanding.len() >= self.cfg.core.mlp_window {
+                let oldest = core.outstanding.pop_front().expect("window full");
+                core.cycle = core.cycle.max(oldest);
+            }
+            let issue = core.cycle;
+            core.outstanding.push_back(issue + latency);
+        }
+
+        core.accesses += 1;
+        if !core.measuring && core.accesses >= self.warmup_accesses {
+            core.measuring = true;
+            core.meas_start_cycle = core.cycle;
+            core.meas_start_retired = core.retired;
+            core.meas_start_accesses = core.accesses;
+        }
+        if core.accesses >= self.warmup_accesses + self.accesses_per_core {
+            core.finished = true;
+        }
+    }
+
+    /// Walk the hierarchy for one demand access; returns the load-to-use
+    /// latency in cycles.
+    fn memory_access(&mut self, c: usize, rec: &TraceRecord) -> u64 {
+        let line = rec.line;
+        let cycle = self.cores[c].cycle;
+
+        // A still-in-flight prefetch of this line: the demand access pays
+        // the remaining fetch latency.
+        let pending = match self.cores[c].inflight.remove(&line) {
+            Some(ready) if ready > cycle => ready - cycle,
+            _ => 0,
+        };
+        if self.cores[c].inflight.len() > 4096 {
+            let now = cycle;
+            self.cores[c].inflight.retain(|_, &mut t| t > now);
+        }
+
+        // L1D.
+        let l1_hit = self.cores[c].l1.access(line, rec.is_store);
+        // L1 prefetcher trains on every L1 access.
+        let mut l1_reqs = Vec::new();
+        self.cores[c]
+            .l1_pf
+            .on_access(rec.pc, line, l1_hit, &mut l1_reqs);
+        if l1_hit {
+            self.issue_l1_prefetches(c, &l1_reqs, cycle);
+            return pending; // pipelined L1 hit (or waiting on a prefetch)
+        }
+
+        // L2.
+        let l2_hit = self.cores[c].l2.access(line, false);
+        let mut l2_reqs = Vec::new();
+        self.cores[c]
+            .l2_pf
+            .on_access(rec.pc, line, l2_hit, &mut l2_reqs);
+        // Prefetch-usefulness feedback for filters (SPP+PPF).
+        if l2_hit {
+            if let Some(pos) = self.cores[c].pf_ring.iter().position(|&l| l == line) {
+                self.cores[c].pf_ring.remove(pos);
+                self.cores[c].l2_pf.on_feedback(line, true);
+            }
+        }
+
+        let latency = if l2_hit {
+            self.cfg.l2.latency
+        } else {
+            // Shared LLC over the mesh.
+            let kind = if rec.is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            let acc = Access {
+                core: c,
+                pc: rec.pc,
+                line,
+                kind,
+            };
+            let llc_latency = self.llc_access(&acc, cycle, true);
+            // Fill L2 with the returned line; dirty L2 victims write back
+            // into the LLC.
+            if let Some(ev) = self.cores[c].l2.fill(line, false) {
+                let wb = Access::writeback(c, ev.line);
+                self.llc_access(&wb, cycle + llc_latency, false);
+            }
+            self.cfg.l2.latency + llc_latency
+        };
+
+        // Fill L1; dirty L1 victims land in L2.
+        if let Some(ev) = self.cores[c].l1.fill(line, rec.is_store) {
+            if !self.cores[c].l2.access(ev.line, true) {
+                self.cores[c].l2.fill(ev.line, true);
+            }
+        }
+
+        self.issue_l1_prefetches(c, &l1_reqs, cycle);
+        self.issue_l2_prefetches(c, &l2_reqs, cycle);
+        (self.cfg.l1d.latency + latency).max(pending)
+    }
+
+    /// One access to the sliced LLC (and DRAM below it). Returns latency
+    /// from L2-miss to data-return. `demand` controls miss accounting and
+    /// stream recording.
+    fn llc_access(&mut self, acc: &Access, cycle: u64, demand: bool) -> u64 {
+        let slice = self.llc.slice_of(acc.line);
+        let req = self
+            .mesh
+            .traverse(acc.core, slice, cycle, ADDRESS_PACKET_FLITS);
+        let t_at_slice = cycle + req;
+
+        if self.record_llc_stream && self.cores[acc.core].measuring {
+            self.llc_stream.push(*acc);
+        }
+
+        let lookup = self.llc.lookup(acc, t_at_slice);
+        let mut lat = req + self.cfg.llc.latency + lookup.extra_latency;
+        // NOTE: all contention-stateful resources (mesh links, DRAM banks)
+        // are touched at near-current timestamps. Reserving them at
+        // far-future times (e.g. response departure after a DRAM round
+        // trip) makes an occupancy model unstable: a later near-time
+        // message would wait for the far-future reservation, and latencies
+        // run away. Charging the response path at `t_at_slice` preserves
+        // its bandwidth usage and contention while keeping time coherent.
+        if lookup.hit {
+            lat += self
+                .mesh
+                .traverse(slice, acc.core, t_at_slice, DATA_PACKET_FLITS);
+            return lat;
+        }
+
+        // Miss path.
+        if demand && self.cores[acc.core].measuring && acc.kind.is_demand() {
+            self.cores[acc.core].meas_llc_misses += 1;
+        }
+        // Write-back misses allocate without a DRAM fetch (non-inclusive
+        // write-allocate); demand/prefetch misses fetch from DRAM.
+        if acc.kind != AccessKind::Writeback {
+            lat += self.dram.read(acc.line, t_at_slice + self.cfg.llc.latency);
+        }
+        let fill = self.llc.fill(acc, t_at_slice);
+        lat += fill.extra_latency;
+        if let Some(victim) = fill.writeback {
+            self.dram.write(victim, t_at_slice);
+        }
+        if fill.bypassed && acc.kind == AccessKind::Writeback {
+            // A bypassed write-back must still reach memory.
+            self.dram.write(acc.line, t_at_slice);
+        }
+        lat += self
+            .mesh
+            .traverse(slice, acc.core, t_at_slice, DATA_PACKET_FLITS);
+        lat
+    }
+
+    /// MSHR-style admission control: prefetches are dropped when too many
+    /// fills are already in flight (hardware drops them when MSHRs fill).
+    fn prefetch_budget_exhausted(&mut self, c: usize, cycle: u64) -> bool {
+        let core = &mut self.cores[c];
+        if core.inflight.len() >= 48 {
+            core.inflight.retain(|_, &mut t| t > cycle);
+        }
+        core.inflight.len() >= 48
+    }
+
+    fn issue_l1_prefetches(&mut self, c: usize, reqs: &[PrefetchRequest], cycle: u64) {
+        for (k, r) in reqs.iter().enumerate() {
+            // Prefetches leave the queue one every couple of cycles, not as
+            // an instantaneous burst.
+            let cycle = cycle + 2 * k as u64;
+            if self.cores[c].l1.peek(r.line) || self.prefetch_budget_exhausted(c, cycle) {
+                continue;
+            }
+            // Fetch the line without stalling the core; the fill "arrives"
+            // after the fetch latency (timeliness).
+            let mut ready = cycle + self.cfg.l2.latency;
+            if !self.cores[c].l2.access(r.line, false) {
+                let acc = Access::prefetch(c, r.trigger_pc, r.line);
+                ready = cycle + self.llc_access(&acc, cycle, false);
+                self.cores[c].l2.fill(r.line, false);
+            }
+            self.cores[c].l1.fill(r.line, false);
+            self.cores[c].inflight.insert(r.line, ready);
+        }
+    }
+
+    fn issue_l2_prefetches(&mut self, c: usize, reqs: &[PrefetchRequest], cycle: u64) {
+        for (k, r) in reqs.iter().enumerate() {
+            let cycle = cycle + 2 * k as u64;
+            if self.cores[c].l2.peek(r.line) || self.prefetch_budget_exhausted(c, cycle) {
+                continue;
+            }
+            let acc = Access::prefetch(c, r.trigger_pc, r.line);
+            let lat = self.llc_access(&acc, cycle, false);
+            self.cores[c].inflight.insert(r.line, cycle + lat);
+            if let Some(ev) = self.cores[c].l2.fill(r.line, false) {
+                let wb = Access::writeback(c, ev.line);
+                self.llc_access(&wb, cycle, false);
+            }
+            let core = &mut self.cores[c];
+            if core.pf_ring.len() >= 64 {
+                if let Some(old) = core.pf_ring.pop_front() {
+                    core.l2_pf.on_feedback(old, false);
+                }
+            }
+            core.pf_ring.push_back(r.line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drishti_core::config::DrishtiConfig;
+    use drishti_policies::factory::PolicyKind;
+    use drishti_trace::mix::Mix;
+    use drishti_trace::presets::Benchmark;
+
+    fn engine_for(
+        mix: &Mix,
+        policy: PolicyKind,
+        accesses: u64,
+        warmup: u64,
+    ) -> Engine {
+        let cfg = SystemConfig::paper_baseline(mix.cores());
+        let workloads = mix
+            .build()
+            .into_iter()
+            .map(|w| Some(Box::new(w) as Box<dyn WorkloadGen>))
+            .collect();
+        let pol = policy.build(&cfg.llc, DrishtiConfig::baseline(mix.cores()));
+        Engine::new(cfg, workloads, pol, accesses, warmup, false)
+    }
+
+    #[test]
+    fn four_core_run_completes_with_sane_ipc() {
+        let mix = Mix::homogeneous(Benchmark::Gcc, 4, 1);
+        let mut e = engine_for(&mix, PolicyKind::Lru, 5_000, 500);
+        let res = e.run();
+        assert_eq!(res.len(), 4);
+        for r in &res {
+            let ipc = r.ipc();
+            assert!(ipc > 0.05 && ipc < 6.0, "implausible IPC {ipc}");
+            assert!(r.instructions > 0);
+        }
+        assert!(e.llc().stats().demand_accesses > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mix = Mix::heterogeneous(&Benchmark::spec_and_gap(), 4, 7);
+        let mut a = engine_for(&mix, PolicyKind::Mockingjay, 3_000, 300);
+        let mut b = engine_for(&mix, PolicyKind::Mockingjay, 3_000, 300);
+        assert_eq!(a.run(), b.run());
+    }
+
+    #[test]
+    fn idle_cores_are_skipped_in_alone_mode() {
+        let mix = Mix::homogeneous(Benchmark::Mcf, 4, 1);
+        let cfg = SystemConfig::paper_baseline(4);
+        let mut workloads: Vec<Option<Box<dyn WorkloadGen>>> =
+            (0..4).map(|_| None).collect();
+        workloads[2] = Some(Box::new(mix.build_core(2)));
+        let pol = PolicyKind::Lru.build(&cfg.llc, DrishtiConfig::baseline(4));
+        let mut e = Engine::new(cfg, workloads, pol, 2_000, 200, false);
+        let res = e.run();
+        assert!(res[2].instructions > 0);
+        assert_eq!(res[0].instructions, 0);
+        assert_eq!(res[1].cycles, 0);
+    }
+
+    #[test]
+    fn alone_ipc_not_below_together_ipc() {
+        // Contention can only hurt: core 0 alone must be at least as fast
+        // as core 0 sharing with three memory-hungry neighbours.
+        let mix = Mix::homogeneous(Benchmark::Mcf, 4, 1);
+        let mut together = engine_for(&mix, PolicyKind::Lru, 4_000, 400);
+        let t_ipc = together.run()[0].ipc();
+
+        let cfg = SystemConfig::paper_baseline(4);
+        let mut workloads: Vec<Option<Box<dyn WorkloadGen>>> =
+            (0..4).map(|_| None).collect();
+        workloads[0] = Some(Box::new(mix.build_core(0)));
+        let pol = PolicyKind::Lru.build(&cfg.llc, DrishtiConfig::baseline(4));
+        let mut alone = Engine::new(cfg, workloads, pol, 4_000, 400, false);
+        let a_ipc = alone.run()[0].ipc();
+        assert!(
+            a_ipc >= t_ipc * 0.98,
+            "alone {a_ipc} should not lose to together {t_ipc}"
+        );
+    }
+
+    #[test]
+    fn llc_stream_recording_captures_demand() {
+        let mix = Mix::homogeneous(Benchmark::Mcf, 4, 1);
+        let cfg = SystemConfig::paper_baseline(4);
+        let workloads = mix
+            .build()
+            .into_iter()
+            .map(|w| Some(Box::new(w) as Box<dyn WorkloadGen>))
+            .collect();
+        let pol = PolicyKind::Lru.build(&cfg.llc, DrishtiConfig::baseline(4));
+        let mut e = Engine::new(cfg, workloads, pol, 3_000, 300, true);
+        e.run();
+        assert!(!e.llc_stream.is_empty());
+        assert!(e.llc_stream.iter().any(|a| a.kind.is_demand()));
+    }
+
+    #[test]
+    fn streaming_workload_misses_more_than_resident_one() {
+        let lbm = Mix::homogeneous(Benchmark::Lbm, 4, 1);
+        let sjeng = Mix::homogeneous(Benchmark::Deepsjeng, 4, 1);
+        let mut a = engine_for(&lbm, PolicyKind::Lru, 5_000, 500);
+        let ra = a.run();
+        let mut b = engine_for(&sjeng, PolicyKind::Lru, 5_000, 500);
+        let rb = b.run();
+        // Streaming traffic is prefetch-covered at the demand level, so
+        // compare total memory traffic (DRAM reads per instruction).
+        let instr_a: u64 = ra.iter().map(|r| r.instructions).sum();
+        let instr_b: u64 = rb.iter().map(|r| r.instructions).sum();
+        let rpki_lbm = a.dram().stats().reads as f64 * 1000.0 / instr_a as f64;
+        let rpki_sjeng = b.dram().stats().reads as f64 * 1000.0 / instr_b as f64;
+        assert!(
+            rpki_lbm > rpki_sjeng,
+            "lbm {rpki_lbm} must out-read deepsjeng {rpki_sjeng}"
+        );
+    }
+}

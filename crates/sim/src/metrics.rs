@@ -1,0 +1,141 @@
+//! Multi-programmed performance metrics (paper §5.2).
+//!
+//! With `IS_i = IPC_i^together / IPC_i^alone`:
+//!
+//! * weighted speedup `WS = Σ IS_i`;
+//! * harmonic mean of speedups `HS = N / Σ (1 / IS_i)`;
+//! * maximum individual slowdown `MIS = max IS_i` (reported as the worst
+//!   *slowdown*, i.e. `1 − min IS_i`, when quoted as a percentage);
+//! * unfairness `max IS / min IS`.
+
+/// Individual speedups of one mix run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixMetrics {
+    /// Per-core individual speedups `IS_i` (together / alone).
+    pub individual: Vec<f64>,
+}
+
+impl MixMetrics {
+    /// Compute `IS_i` from together/alone IPC pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, are empty, or any alone IPC
+    /// is non-positive.
+    pub fn new(together: &[f64], alone: &[f64]) -> Self {
+        assert_eq!(together.len(), alone.len(), "core count mismatch");
+        assert!(!together.is_empty(), "empty mix");
+        let individual = together
+            .iter()
+            .zip(alone)
+            .map(|(&t, &a)| {
+                assert!(a > 0.0, "alone IPC must be positive");
+                t / a
+            })
+            .collect();
+        MixMetrics { individual }
+    }
+
+    /// Weighted speedup `Σ IS_i`.
+    pub fn weighted_speedup(&self) -> f64 {
+        self.individual.iter().sum()
+    }
+
+    /// Harmonic mean of speedups.
+    pub fn harmonic_speedup(&self) -> f64 {
+        let n = self.individual.len() as f64;
+        n / self.individual.iter().map(|&s| 1.0 / s.max(1e-9)).sum::<f64>()
+    }
+
+    /// Maximum individual slowdown, expressed as `1 − min IS` (how much the
+    /// most-victimised core lost).
+    pub fn max_individual_slowdown(&self) -> f64 {
+        1.0 - self
+            .individual
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Unfairness `max IS / min IS`.
+    pub fn unfairness(&self) -> f64 {
+        let max = self.individual.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self.individual.iter().cloned().fold(f64::MAX, f64::min);
+        max / min.max(1e-9)
+    }
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Percentage improvement of `x` over `baseline` (e.g. `+5.6`).
+pub fn pct_improvement(x: f64, baseline: f64) -> f64 {
+    (x / baseline - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_on_ideal_mix() {
+        let m = MixMetrics::new(&[1.0, 2.0], &[1.0, 2.0]);
+        assert!((m.weighted_speedup() - 2.0).abs() < 1e-12);
+        assert!((m.harmonic_speedup() - 1.0).abs() < 1e-12);
+        assert!((m.unfairness() - 1.0).abs() < 1e-12);
+        assert!(m.max_individual_slowdown().abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_on_skewed_mix() {
+        // Core 0 halves, core 1 keeps 80%.
+        let m = MixMetrics::new(&[0.5, 0.8], &[1.0, 1.0]);
+        assert!((m.weighted_speedup() - 1.3).abs() < 1e-12);
+        assert!((m.max_individual_slowdown() - 0.5).abs() < 1e-12);
+        assert!((m.unfairness() - 1.6).abs() < 1e-12);
+        let hs = m.harmonic_speedup();
+        assert!(hs < 0.65 && hs > 0.6, "{hs}");
+    }
+
+    #[test]
+    fn ws_bounded_by_core_count() {
+        let m = MixMetrics::new(&[0.9, 0.7, 0.4, 1.0], &[1.0, 1.0, 1.0, 1.0]);
+        assert!(m.weighted_speedup() <= 4.0);
+        assert!(m.harmonic_speedup() <= 1.0);
+    }
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_improvement_signs() {
+        assert!((pct_improvement(1.05, 1.0) - 5.0).abs() < 1e-9);
+        assert!(pct_improvement(0.95, 1.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = MixMetrics::new(&[1.0], &[1.0, 2.0]);
+    }
+}

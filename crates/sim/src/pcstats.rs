@@ -1,0 +1,127 @@
+//! PC-to-slice concentration analysis (paper Fig 2).
+//!
+//! Fig 2 reports, per core, the fraction of PCs — excluding those that
+//! bring only a single load — whose demand loads all map to *one* LLC
+//! slice for the whole execution. High concentration (pr) means per-slice
+//! predictors see a PC's full behaviour; low concentration (xalan) means
+//! they are myopic. The paper notes the metric is independent of
+//! replacement policy and prefetching, so it is computed directly on the
+//! LLC-level demand stream.
+
+use drishti_mem::access::Access;
+use std::collections::HashMap;
+
+/// Per-core concentration summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcSliceStats {
+    /// Fraction (per core) of multi-load PCs mapping to exactly one slice.
+    pub per_core_fraction: Vec<f64>,
+}
+
+impl PcSliceStats {
+    /// Average concentration across cores (the Fig 2 bar height).
+    pub fn average(&self) -> f64 {
+        if self.per_core_fraction.is_empty() {
+            return 0.0;
+        }
+        self.per_core_fraction.iter().sum::<f64>() / self.per_core_fraction.len() as f64
+    }
+}
+
+/// Analyse an LLC-level demand stream: for each core, the fraction of its
+/// multi-load PCs whose loads all land on one slice of `n_slices` (slice
+/// mapping per the given function — pass the LLC's `slice_of`).
+pub fn pc_slice_concentration(
+    stream: &[Access],
+    cores: usize,
+    slice_of: impl Fn(u64) -> usize,
+) -> PcSliceStats {
+    // (core, pc) -> (first slice, single_slice, loads)
+    let mut per_pc: HashMap<(usize, u64), (usize, bool, u64)> = HashMap::new();
+    for acc in stream.iter().filter(|a| a.kind.is_demand()) {
+        let slice = slice_of(acc.line);
+        per_pc
+            .entry((acc.core, acc.pc))
+            .and_modify(|(first, single, loads)| {
+                *single &= *first == slice;
+                *loads += 1;
+            })
+            .or_insert((slice, true, 1));
+    }
+    let mut one_slice = vec![0u64; cores];
+    let mut multi_load = vec![0u64; cores];
+    for (&(core, _), &(_, single, loads)) in &per_pc {
+        if loads > 1 {
+            multi_load[core] += 1;
+            if single {
+                one_slice[core] += 1;
+            }
+        }
+    }
+    PcSliceStats {
+        per_core_fraction: (0..cores)
+            .map(|c| {
+                if multi_load[c] == 0 {
+                    0.0
+                } else {
+                    one_slice[c] as f64 / multi_load[c] as f64
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(core: usize, pc: u64, line: u64) -> Access {
+        Access::load(core, pc, line)
+    }
+
+    #[test]
+    fn concentrated_pc_counts() {
+        // PC 1 on core 0: two loads, both slice 0. PC 2: loads on two slices.
+        let stream = vec![
+            load(0, 1, 0),
+            load(0, 1, 16),
+            load(0, 2, 0),
+            load(0, 2, 1),
+        ];
+        let s = pc_slice_concentration(&stream, 1, |l| (l % 16) as usize);
+        assert!((s.per_core_fraction[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_load_pcs_are_excluded() {
+        let stream = vec![load(0, 1, 0), load(0, 2, 5), load(0, 2, 6)];
+        let s = pc_slice_concentration(&stream, 1, |_| 0);
+        // PC 1 excluded (single load); PC 2 concentrated.
+        assert!((s.per_core_fraction[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cores_tracked_separately() {
+        let stream = vec![
+            load(0, 1, 0),
+            load(0, 1, 1),
+            load(1, 1, 0),
+            load(1, 1, 16),
+        ];
+        let s = pc_slice_concentration(&stream, 2, |l| (l % 16) as usize);
+        assert!((s.per_core_fraction[0] - 0.0).abs() < 1e-12); // slices 0 and 1
+        assert!((s.per_core_fraction[1] - 1.0).abs() < 1e-12); // both slice 0
+        assert!((s.average() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writebacks_are_ignored() {
+        let stream = vec![
+            load(0, 1, 0),
+            load(0, 1, 1),
+            Access::writeback(0, 99),
+        ];
+        let s = pc_slice_concentration(&stream, 1, |l| (l % 2) as usize);
+        assert_eq!(s.per_core_fraction.len(), 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! One-call experiment runners.
+//!
+//! Every bench target boils down to: build a mix, run it under several
+//! policies, normalise to LRU. [`run_mix`] does one (mix, policy,
+//! organisation) run; [`alone_ipcs`] produces the `IPC_alone` baselines the
+//! multi-programmed metrics need (measured under LRU, the paper's baseline
+//! policy, and reusable across policies for a given mix).
+
+use crate::config::SystemConfig;
+use crate::energy::EnergyBreakdown;
+use crate::engine::{CoreResult, Engine};
+use crate::metrics::MixMetrics;
+use drishti_core::config::DrishtiConfig;
+use drishti_mem::access::Access;
+use drishti_mem::dram::DramStats;
+use drishti_mem::llc::{LlcStats, SetCounters};
+use drishti_mem::policy::LlcPolicy;
+use drishti_noc::NocStats;
+use drishti_policies::factory::PolicyKind;
+use drishti_trace::mix::Mix;
+use drishti_trace::WorkloadGen;
+
+/// Parameters of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The hardware configuration.
+    pub system: SystemConfig,
+    /// Measured accesses per core.
+    pub accesses_per_core: u64,
+    /// Warm-up accesses per core before measurement.
+    pub warmup_accesses: u64,
+    /// Capture the LLC-level demand stream (needed by oracle studies).
+    pub record_llc_stream: bool,
+}
+
+impl RunConfig {
+    /// A shape-preserving quick configuration for `cores` cores.
+    pub fn quick(cores: usize) -> Self {
+        RunConfig {
+            system: SystemConfig::paper_baseline(cores),
+            accesses_per_core: 60_000,
+            warmup_accesses: 15_000,
+            record_llc_stream: false,
+        }
+    }
+
+    /// A longer configuration (closer to the paper's 200 M instructions).
+    pub fn full(cores: usize) -> Self {
+        RunConfig {
+            system: SystemConfig::paper_baseline(cores),
+            accesses_per_core: 400_000,
+            warmup_accesses: 100_000,
+            record_llc_stream: false,
+        }
+    }
+}
+
+/// The complete output of one simulation run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Name reported by the policy (e.g. `"d-mockingjay"`).
+    pub policy: String,
+    /// Per-core performance.
+    pub per_core: Vec<CoreResult>,
+    /// Aggregate LLC statistics.
+    pub llc: LlcStats,
+    /// Per-set LLC counters, per slice (Fig 5, Table 1).
+    pub set_counters: Vec<Vec<SetCounters>>,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Demand-mesh statistics.
+    pub mesh: NocStats,
+    /// Predictor-fabric statistics.
+    pub fabric: NocStats,
+    /// Uncore energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Policy diagnostics (`(name, value)` pairs).
+    pub diagnostics: Vec<(String, u64)>,
+    /// Captured LLC demand stream (empty unless requested).
+    pub llc_stream: Vec<Access>,
+}
+
+impl RunResult {
+    /// Sum of per-core IPCs.
+    pub fn total_ipc(&self) -> f64 {
+        self.per_core.iter().map(CoreResult::ipc).sum()
+    }
+
+    /// Per-core IPC vector.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.per_core.iter().map(CoreResult::ipc).collect()
+    }
+
+    /// Total instructions retired during measurement.
+    pub fn total_instructions(&self) -> u64 {
+        self.per_core.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Average LLC demand misses per kilo-instruction.
+    pub fn llc_mpki(&self) -> f64 {
+        let instr = self.total_instructions();
+        if instr == 0 {
+            0.0
+        } else {
+            let misses: u64 = self.per_core.iter().map(|c| c.llc_misses).sum();
+            misses as f64 * 1000.0 / instr as f64
+        }
+    }
+
+    /// LLC→DRAM write-backs per kilo-instruction (paper Table 5).
+    pub fn wpki(&self) -> f64 {
+        let instr = self.total_instructions();
+        if instr == 0 {
+            0.0
+        } else {
+            self.llc.dram_writebacks as f64 * 1000.0 / instr as f64
+        }
+    }
+
+    /// Predictor accesses (train + predict) per kilo-instruction per core
+    /// (paper Fig 10).
+    pub fn predictor_apki(&self) -> f64 {
+        let instr = self.total_instructions();
+        if instr == 0 {
+            return 0.0;
+        }
+        let train = self
+            .diagnostics
+            .iter()
+            .find(|(k, _)| k == "predictor_train")
+            .map_or(0, |(_, v)| *v);
+        let predict = self
+            .diagnostics
+            .iter()
+            .find(|(k, _)| k == "predictor_predict")
+            .map_or(0, |(_, v)| *v);
+        (train + predict) as f64 * 1000.0 / instr as f64
+    }
+}
+
+fn run_engine(
+    mix_workloads: Vec<Option<Box<dyn WorkloadGen>>>,
+    policy: Box<dyn LlcPolicy>,
+    rc: &RunConfig,
+) -> RunResult {
+    let mut engine = Engine::new(
+        rc.system.clone(),
+        mix_workloads,
+        policy,
+        rc.accesses_per_core,
+        rc.warmup_accesses,
+        rc.record_llc_stream,
+    );
+    let per_core = engine.run();
+    let llc = *engine.llc().stats();
+    let set_counters = (0..rc.system.llc.slices)
+        .map(|s| engine.llc().set_counters(s).to_vec())
+        .collect();
+    let dram = *engine.dram().stats();
+    let mesh = *engine.mesh().stats();
+    let fabric = engine.llc().policy().fabric_stats();
+    let energy = EnergyBreakdown::from_stats(&llc, &mesh, &dram, &fabric);
+    let diagnostics = engine.llc().policy().diagnostics();
+    let policy_name = engine.llc().policy().name();
+    let llc_stream = std::mem::take(&mut engine.llc_stream);
+    RunResult {
+        policy: policy_name,
+        per_core,
+        llc,
+        set_counters,
+        dram,
+        mesh,
+        fabric,
+        energy,
+        diagnostics,
+        llc_stream,
+    }
+}
+
+/// Run `mix` under `policy` with organisation `drishti`.
+///
+/// # Panics
+///
+/// Panics if the mix's core count differs from the system's.
+pub fn run_mix(mix: &Mix, policy: PolicyKind, drishti: DrishtiConfig, rc: &RunConfig) -> RunResult {
+    assert_eq!(mix.cores(), rc.system.cores, "mix/system core mismatch");
+    let workloads = mix
+        .build()
+        .into_iter()
+        .map(|w| Some(Box::new(w) as Box<dyn WorkloadGen>))
+        .collect();
+    let pol = policy.build(&rc.system.llc, drishti);
+    run_engine(workloads, pol, rc)
+}
+
+/// Run `mix` under an explicitly constructed policy object (used by the
+/// instrumented case studies, e.g. Mockingjay with ETR logging).
+pub fn run_mix_with_policy(mix: &Mix, policy: Box<dyn LlcPolicy>, rc: &RunConfig) -> RunResult {
+    assert_eq!(mix.cores(), rc.system.cores, "mix/system core mismatch");
+    let workloads = mix
+        .build()
+        .into_iter()
+        .map(|w| Some(Box::new(w) as Box<dyn WorkloadGen>))
+        .collect();
+    run_engine(workloads, policy, rc)
+}
+
+/// `IPC_alone` per core: each core's workload run by itself on the same
+/// hardware (all other cores idle), under the LRU baseline policy.
+pub fn alone_ipcs(mix: &Mix, rc: &RunConfig) -> Vec<f64> {
+    (0..mix.cores())
+        .map(|c| {
+            let mut workloads: Vec<Option<Box<dyn WorkloadGen>>> =
+                (0..mix.cores()).map(|_| None).collect();
+            workloads[c] = Some(Box::new(mix.build_core(c)));
+            let pol = PolicyKind::Lru.build(&rc.system.llc, DrishtiConfig::baseline(mix.cores()));
+            let r = run_engine(workloads, pol, rc);
+            r.per_core[c].ipc()
+        })
+        .collect()
+}
+
+/// Mix metrics of a run against alone-IPC baselines.
+pub fn mix_metrics(result: &RunResult, alone: &[f64]) -> MixMetrics {
+    let together: Vec<f64> = result
+        .per_core
+        .iter()
+        .zip(alone)
+        .filter(|(c, _)| c.cycles > 0)
+        .map(|(c, _)| c.ipc())
+        .collect();
+    let alone_active: Vec<f64> = result
+        .per_core
+        .iter()
+        .zip(alone)
+        .filter(|(c, _)| c.cycles > 0)
+        .map(|(_, &a)| a)
+        .collect();
+    MixMetrics::new(&together, &alone_active)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drishti_trace::presets::Benchmark;
+
+    fn tiny_rc(cores: usize) -> RunConfig {
+        RunConfig {
+            system: SystemConfig::paper_baseline(cores),
+            accesses_per_core: 4_000,
+            warmup_accesses: 500,
+            record_llc_stream: false,
+        }
+    }
+
+    #[test]
+    fn run_mix_produces_complete_result() {
+        let mix = Mix::homogeneous(Benchmark::Gcc, 4, 1);
+        let r = run_mix(&mix, PolicyKind::Srrip, DrishtiConfig::baseline(4), &tiny_rc(4));
+        assert_eq!(r.policy, "srrip");
+        assert_eq!(r.per_core.len(), 4);
+        assert!(r.total_ipc() > 0.0);
+        assert!(r.llc.demand_accesses > 0);
+        assert!(r.energy.total_pj() > 0);
+        assert_eq!(r.set_counters.len(), 4);
+    }
+
+    #[test]
+    fn alone_ipcs_positive_and_plausible() {
+        let mix = Mix::homogeneous(Benchmark::Deepsjeng, 4, 1);
+        let alone = alone_ipcs(&mix, &tiny_rc(4));
+        assert_eq!(alone.len(), 4);
+        for a in alone {
+            assert!(a > 0.05 && a < 6.0, "{a}");
+        }
+    }
+
+    #[test]
+    fn metrics_pipeline_end_to_end() {
+        let mix = Mix::homogeneous(Benchmark::Mcf, 4, 1);
+        let rc = tiny_rc(4);
+        let alone = alone_ipcs(&mix, &rc);
+        let r = run_mix(&mix, PolicyKind::Lru, DrishtiConfig::baseline(4), &rc);
+        let m = mix_metrics(&r, &alone);
+        let ws = m.weighted_speedup();
+        assert!(ws > 0.0 && ws <= 4.2, "weighted speedup {ws}");
+    }
+
+    #[test]
+    fn wpki_is_finite_and_nonnegative() {
+        let mix = Mix::homogeneous(Benchmark::Lbm, 4, 1);
+        let r = run_mix(&mix, PolicyKind::Lru, DrishtiConfig::baseline(4), &tiny_rc(4));
+        assert!(r.wpki() >= 0.0);
+        assert!(r.wpki().is_finite());
+    }
+
+    #[test]
+    fn drishti_variant_reports_apki() {
+        let mix = Mix::homogeneous(Benchmark::Mcf, 4, 1);
+        let r = run_mix(
+            &mix,
+            PolicyKind::Mockingjay,
+            DrishtiConfig::drishti(4),
+            &tiny_rc(4),
+        );
+        assert_eq!(r.policy, "d-mockingjay");
+        assert!(r.predictor_apki() > 0.0);
+    }
+}

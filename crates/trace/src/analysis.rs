@@ -1,0 +1,269 @@
+//! Offline trace analysis: stack distances, miss-ratio curves, working-set
+//! and per-PC footprint statistics.
+//!
+//! These tools characterise a synthetic workload the way the paper
+//! characterises its benchmarks: how much temporal reuse exists (and at
+//! what distance), how big the working set is relative to an LLC slice
+//! share, and how a PC's loads spread over lines (the raw ingredient of
+//! the Fig 2 slice-concentration statistic).
+
+use crate::TraceRecord;
+use std::collections::HashMap;
+
+/// Fenwick tree over access timestamps, used to count distinct-line stack
+/// distances in O(log n) per access.
+#[derive(Debug)]
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, v: i32) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + i64::from(v)) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of `[0, i]`.
+    fn prefix(&self, mut i: usize) -> u32 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// LRU stack distance of every access: the number of *distinct* lines
+/// touched since the previous access to the same line (`None` for first
+/// touches). An access with stack distance `d` hits in any fully
+/// associative LRU cache of capacity `> d`.
+pub fn stack_distances(trace: &[TraceRecord]) -> Vec<Option<u64>> {
+    let n = trace.len();
+    let mut fen = Fenwick::new(n);
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    let mut out = Vec::with_capacity(n);
+    for (i, r) in trace.iter().enumerate() {
+        match last.insert(r.line, i) {
+            None => {
+                out.push(None);
+            }
+            Some(prev) => {
+                // Distinct lines in (prev, i) = accesses in the window that
+                // are each line's most recent occurrence.
+                let d = fen.prefix(i.saturating_sub(1)) - fen.prefix(prev);
+                out.push(Some(u64::from(d)));
+                fen.add(prev, -1); // prev is no longer the line's last access
+            }
+        }
+        fen.add(i, 1);
+    }
+    out
+}
+
+/// A miss-ratio curve: miss ratio of a fully associative LRU cache as a
+/// function of capacity (in lines), computed from stack distances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissRatioCurve {
+    /// Capacities evaluated (lines).
+    pub capacities: Vec<u64>,
+    /// Miss ratio at each capacity.
+    pub miss_ratio: Vec<f64>,
+}
+
+impl MissRatioCurve {
+    /// Build the curve at the given capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty or the trace is empty.
+    pub fn from_trace(trace: &[TraceRecord], capacities: &[u64]) -> Self {
+        assert!(!capacities.is_empty(), "need at least one capacity");
+        assert!(!trace.is_empty(), "empty trace");
+        let dists = stack_distances(trace);
+        let miss_ratio = capacities
+            .iter()
+            .map(|&cap| {
+                let misses = dists
+                    .iter()
+                    .filter(|d| match d {
+                        None => true,
+                        Some(d) => *d >= cap,
+                    })
+                    .count();
+                misses as f64 / trace.len() as f64
+            })
+            .collect();
+        MissRatioCurve {
+            capacities: capacities.to_vec(),
+            miss_ratio,
+        }
+    }
+}
+
+/// Per-PC footprint statistics — the ingredient of the paper's Fig 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcFootprint {
+    /// PCs with ≥ 2 accesses, paired with their distinct-line counts.
+    pub multi_access_pcs: Vec<(u64, u64)>,
+    /// PCs with exactly one access.
+    pub single_access_pcs: u64,
+}
+
+impl PcFootprint {
+    /// Analyse a trace.
+    pub fn from_trace(trace: &[TraceRecord]) -> Self {
+        let mut per_pc: HashMap<u64, (u64, HashMap<u64, ()>)> = HashMap::new();
+        for r in trace {
+            let e = per_pc.entry(r.pc).or_default();
+            e.0 += 1;
+            e.1.insert(r.line, ());
+        }
+        let mut multi = Vec::new();
+        let mut single = 0;
+        for (pc, (accesses, lines)) in per_pc {
+            if accesses >= 2 {
+                multi.push((pc, lines.len() as u64));
+            } else {
+                single += 1;
+            }
+        }
+        multi.sort_unstable();
+        PcFootprint {
+            multi_access_pcs: multi,
+            single_access_pcs: single,
+        }
+    }
+
+    /// Fraction of multi-access PCs that touch at most `k` distinct lines —
+    /// a proxy for the one-slice PCs of Fig 2 (a 1-line PC is one-slice by
+    /// construction).
+    pub fn concentrated_fraction(&self, k: u64) -> f64 {
+        if self.multi_access_pcs.is_empty() {
+            return 0.0;
+        }
+        self.multi_access_pcs
+            .iter()
+            .filter(|(_, lines)| *lines <= k)
+            .count() as f64
+            / self.multi_access_pcs.len() as f64
+    }
+}
+
+/// Distinct lines touched in the trace (the total footprint, in lines).
+pub fn footprint_lines(trace: &[TraceRecord]) -> u64 {
+    let mut seen: HashMap<u64, ()> = HashMap::new();
+    for r in trace {
+        seen.insert(r.line, ());
+    }
+    seen.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Benchmark;
+    use crate::WorkloadGen;
+
+    fn rec(pc: u64, line: u64) -> TraceRecord {
+        TraceRecord {
+            instr_gap: 1,
+            pc,
+            line,
+            is_store: false,
+        }
+    }
+
+    /// Naive O(n²) reference for stack distances.
+    fn naive_stack(trace: &[TraceRecord]) -> Vec<Option<u64>> {
+        let mut out = Vec::new();
+        for (i, r) in trace.iter().enumerate() {
+            let prev = trace[..i].iter().rposition(|p| p.line == r.line);
+            out.push(prev.map(|p| {
+                let mut distinct = std::collections::HashSet::new();
+                for t in &trace[p + 1..i] {
+                    distinct.insert(t.line);
+                }
+                distinct.len() as u64
+            }));
+        }
+        out
+    }
+
+    #[test]
+    fn stack_distance_simple() {
+        // a b a  → a's reuse has 1 distinct line (b) in between.
+        let t = vec![rec(1, 10), rec(1, 20), rec(1, 10)];
+        assert_eq!(stack_distances(&t), vec![None, None, Some(1)]);
+    }
+
+    #[test]
+    fn stack_distance_matches_naive_reference() {
+        let mut state = 0xABCDu64;
+        let t: Vec<TraceRecord> = (0..400)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                rec(1, (state >> 33) % 40)
+            })
+            .collect();
+        assert_eq!(stack_distances(&t), naive_stack(&t));
+    }
+
+    #[test]
+    fn mrc_is_monotone_nonincreasing() {
+        let mut w = Benchmark::Gcc.build(1);
+        let t = w.collect(30_000);
+        let caps: Vec<u64> = vec![64, 256, 1024, 4096, 16384, 65536];
+        let mrc = MissRatioCurve::from_trace(&t, &caps);
+        for win in mrc.miss_ratio.windows(2) {
+            assert!(win[1] <= win[0] + 1e-12, "MRC must not increase: {mrc:?}");
+        }
+        assert!(mrc.miss_ratio[0] > mrc.miss_ratio[caps.len() - 1]);
+    }
+
+    #[test]
+    fn mrc_zero_distance_always_hits_in_any_cache() {
+        // Same line repeated: capacity 1 suffices after the cold miss.
+        let t: Vec<TraceRecord> = (0..100).map(|_| rec(1, 5)).collect();
+        let mrc = MissRatioCurve::from_trace(&t, &[1]);
+        assert!((mrc.miss_ratio[0] - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pc_footprint_distinguishes_scalar_pcs() {
+        let t = vec![rec(1, 10), rec(1, 10), rec(2, 20), rec(2, 21), rec(3, 99)];
+        let fp = PcFootprint::from_trace(&t);
+        assert_eq!(fp.single_access_pcs, 1);
+        assert_eq!(fp.multi_access_pcs.len(), 2);
+        assert!((fp.concentrated_fraction(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprint_counts_distinct_lines() {
+        let t = vec![rec(1, 1), rec(1, 2), rec(1, 1)];
+        assert_eq!(footprint_lines(&t), 2);
+    }
+
+    #[test]
+    fn graph_workloads_have_more_concentrated_pcs_than_xalan() {
+        let frac = |b: Benchmark| {
+            let mut w = b.build(3);
+            let t = w.collect(60_000);
+            PcFootprint::from_trace(&t).concentrated_fraction(2)
+        };
+        assert!(
+            frac(Benchmark::PrKron) > frac(Benchmark::Xalan),
+            "pr must concentrate more than xalan"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Multi-programmed workload mixes.
+//!
+//! The paper evaluates 70 mixes per core count — 35 homogeneous (every core
+//! runs a different sim-point of the same benchmark) and 35 heterogeneous
+//! (random draws, "similar to Mockingjay") — plus 50 server mixes for
+//! Fig 19. [`paper_mixes`] and [`server_mixes`] reproduce that protocol
+//! deterministically.
+
+use crate::presets::Benchmark;
+use crate::synthetic::SyntheticWorkload;
+use crate::Rng;
+
+/// A named assignment of one workload per core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mix {
+    /// Mix name, e.g. `"homo-mcf"` or `"hetero-07"`.
+    pub name: String,
+    /// Benchmark per core.
+    pub benchmarks: Vec<Benchmark>,
+    /// Sim-point seed per core.
+    pub seeds: Vec<u64>,
+}
+
+impl Mix {
+    /// A homogeneous mix: every core runs `bench` with a distinct sim-point
+    /// (the paper reuses sim-points when cores outnumber them; distinct
+    /// seeds model distinct sim-points).
+    pub fn homogeneous(bench: Benchmark, cores: usize, base_seed: u64) -> Self {
+        Mix {
+            name: format!("homo-{}", bench.label()),
+            benchmarks: vec![bench; cores],
+            seeds: (0..cores as u64).map(|c| base_seed + c).collect(),
+        }
+    }
+
+    /// A heterogeneous mix: `cores` random draws (with replacement) from
+    /// `pool`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty.
+    pub fn heterogeneous(pool: &[Benchmark], cores: usize, seed: u64) -> Self {
+        assert!(!pool.is_empty(), "benchmark pool cannot be empty");
+        let mut rng = Rng::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+        let benchmarks = (0..cores)
+            .map(|_| pool[rng.below(pool.len() as u64) as usize])
+            .collect();
+        Mix {
+            name: format!("hetero-{seed:02}"),
+            benchmarks,
+            seeds: (0..cores as u64).map(|c| seed * 1000 + c).collect(),
+        }
+    }
+
+    /// Number of cores in the mix.
+    pub fn cores(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Whether every core runs the same benchmark.
+    pub fn is_homogeneous(&self) -> bool {
+        self.benchmarks.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Instantiate the per-core workload generators.
+    pub fn build(&self) -> Vec<SyntheticWorkload> {
+        self.benchmarks
+            .iter()
+            .zip(&self.seeds)
+            .map(|(b, &s)| b.build(s))
+            .collect()
+    }
+
+    /// Instantiate one core's workload (for `IPC_alone` runs).
+    pub fn build_core(&self, core: usize) -> SyntheticWorkload {
+        self.benchmarks[core].build(self.seeds[core])
+    }
+}
+
+/// The paper's main evaluation set: `n_homo` homogeneous mixes cycling
+/// through the SPEC+GAP catalogue and `n_hetero` heterogeneous mixes drawn
+/// from it (paper: 35 + 35).
+pub fn paper_mixes(cores: usize, n_homo: usize, n_hetero: usize) -> Vec<Mix> {
+    let pool = Benchmark::spec_and_gap();
+    let mut mixes = Vec::with_capacity(n_homo + n_hetero);
+    for i in 0..n_homo {
+        let bench = pool[i % pool.len()];
+        let mut m = Mix::homogeneous(bench, cores, 100 + i as u64 * 37);
+        m.name = format!("homo-{:02}-{}", i, bench.label());
+        mixes.push(m);
+    }
+    for i in 0..n_hetero {
+        mixes.push(Mix::heterogeneous(&pool, cores, i as u64 + 1));
+    }
+    mixes
+}
+
+/// The Fig 19 server-workload set: `n` random mixes from the server pool.
+pub fn server_mixes(cores: usize, n: usize) -> Vec<Mix> {
+    (0..n)
+        .map(|i| {
+            let mut m = Mix::heterogeneous(Benchmark::server(), cores, 500 + i as u64);
+            m.name = format!("server-{i:02}");
+            m
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadGen;
+
+    #[test]
+    fn homogeneous_mix_shape() {
+        let m = Mix::homogeneous(Benchmark::Mcf, 16, 1);
+        assert_eq!(m.cores(), 16);
+        assert!(m.is_homogeneous());
+        let mut seeds = m.seeds.clone();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 16, "each core gets its own sim-point");
+    }
+
+    #[test]
+    fn heterogeneous_mix_is_deterministic() {
+        let pool = Benchmark::spec_and_gap();
+        let a = Mix::heterogeneous(&pool, 8, 3);
+        let b = Mix::heterogeneous(&pool, 8, 3);
+        assert_eq!(a, b);
+        let c = Mix::heterogeneous(&pool, 8, 4);
+        assert_ne!(a.benchmarks, c.benchmarks);
+    }
+
+    #[test]
+    fn paper_mixes_count_and_split() {
+        let mixes = paper_mixes(4, 35, 35);
+        assert_eq!(mixes.len(), 70);
+        assert_eq!(mixes.iter().filter(|m| m.is_homogeneous()).count(), 35);
+        assert!(mixes.iter().all(|m| m.cores() == 4));
+    }
+
+    #[test]
+    fn mixes_build_working_generators() {
+        let m = Mix::heterogeneous(&Benchmark::spec_and_gap(), 4, 9);
+        let mut gens = m.build();
+        assert_eq!(gens.len(), 4);
+        for g in &mut gens {
+            assert_eq!(g.collect(10).len(), 10);
+        }
+    }
+
+    #[test]
+    fn server_mixes_use_server_pool() {
+        let mixes = server_mixes(16, 50);
+        assert_eq!(mixes.len(), 50);
+        for m in &mixes {
+            assert!(m
+                .benchmarks
+                .iter()
+                .all(|b| Benchmark::server().contains(b)));
+        }
+    }
+
+    #[test]
+    fn build_core_matches_full_build() {
+        let m = Mix::homogeneous(Benchmark::Gcc, 4, 7);
+        let mut full = m.build();
+        let mut single = m.build_core(2);
+        assert_eq!(full[2].collect(50), single.collect(50));
+    }
+}

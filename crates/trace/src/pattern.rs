@@ -1,0 +1,330 @@
+//! Primitive address patterns.
+//!
+//! Each pattern is a deterministic state machine producing cache-line
+//! addresses within a private address region. Composition into realistic
+//! workloads happens in [`crate::synthetic`].
+
+use crate::Rng;
+
+/// The address-pattern vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Sequential scan over `footprint` lines with `stride`, wrapping —
+    /// streaming behaviour (lbm-like): no temporal reuse, uniform sets,
+    /// trivially prefetchable.
+    Stream {
+        /// Lines in the region.
+        footprint: u64,
+        /// Stride in lines.
+        stride: u64,
+    },
+    /// Cyclic walk over `footprint` lines — pure temporal reuse with reuse
+    /// distance = footprint.
+    Loop {
+        /// Lines in the loop.
+        footprint: u64,
+    },
+    /// Walk of a random permutation over `footprint` lines — dependent
+    /// pointer chasing (mcf-like): no spatial locality, defeats stride
+    /// prefetchers, reuse distance ≈ footprint.
+    PointerChase {
+        /// Lines in the linked structure.
+        footprint: u64,
+    },
+    /// Zipf-distributed random accesses over `footprint` lines with
+    /// exponent `alpha` — skewed popularity (graph vertex data): hot lines
+    /// reuse quickly, cold tail thrashes, and set pressure becomes
+    /// non-uniform (paper Fig 5a).
+    Zipf {
+        /// Lines in the region.
+        footprint: u64,
+        /// Skew exponent (0 = uniform; ~1 = heavy skew).
+        alpha: f64,
+    },
+    /// Each PC owns a private small region of `lines_per_pc` lines and
+    /// walks it cyclically — concentrated PCs (pr-like in paper Fig 2):
+    /// all loads of one PC land on very few slices.
+    PrivateRegion {
+        /// Lines owned by each PC.
+        lines_per_pc: u64,
+        /// Lines between consecutive PCs' regions (≥ `lines_per_pc`).
+        /// Page-sized spacing (64) keeps neighbouring PCs' lines on
+        /// different pages so spatial prefetchers cannot chain them.
+        spacing: u64,
+    },
+    /// A cyclic walk over a "column" of cache sets: `sets` consecutive
+    /// line addresses repeated at `row_stride`-line strides, `depth` rows
+    /// deep. Structures allocated with large power-of-two strides map to a
+    /// narrow band of LLC sets, producing the high/low-MPKA set skew of
+    /// paper Fig 5a — the behaviour Drishti's dynamic sampled cache
+    /// exploits. Reuse distance is `sets × depth` accesses (a protectable
+    /// working set when `depth` is near the associativity).
+    SetColumn {
+        /// Distinct consecutive set-index values touched.
+        sets: u64,
+        /// Lines per set (rows).
+        depth: u64,
+        /// Lines between rows (the structure's allocation stride; use the
+        /// LLC set count, 2048, for maximum concentration).
+        row_stride: u64,
+        /// Accesses per program phase (0 = static). At each phase change
+        /// the column jumps to a different set band and alternates between
+        /// a cache-fitting depth (reusable phase) and a 3× depth
+        /// (thrashing phase), so the correct PC classification *changes*
+        /// and predictors must re-learn — the adaptation pressure that the
+        /// paper's phase-change handling (§4.2) targets.
+        phase_period: u64,
+    },
+    /// A loop whose footprint alternates between `small` (cache-fitting,
+    /// reusable) and `big` (thrashing) every `period` accesses — a PC whose
+    /// friendliness is phase-dependent, forcing continuous re-training.
+    PhasedLoop {
+        /// Footprint during even phases (lines).
+        small: u64,
+        /// Footprint during odd phases (lines).
+        big: u64,
+        /// Accesses per phase.
+        period: u64,
+    },
+}
+
+/// Runtime state for one pattern instance.
+#[derive(Debug, Clone)]
+pub struct PatternState {
+    pattern: Pattern,
+    base: u64,
+    cursor: u64,
+    /// Zipf sampling tables (cumulative weights over a bucketed footprint).
+    zipf_cum: Vec<f64>,
+    /// Pointer-chase permutation parameters (affine walk over a prime-ish
+    /// footprint keeps memory O(1) while visiting all lines).
+    chase_mult: u64,
+    /// Program-stable salt: two instances of the *same benchmark* share it,
+    /// so their set-column bands align across cores (same binary ⇒ same
+    /// structure alignment), while their data lines stay disjoint.
+    program_salt: u64,
+}
+
+impl PatternState {
+    /// Instantiate `pattern` at address `base` (line address) with a
+    /// program-stable `program_salt` (see [`PatternState::program_salt`]).
+    pub fn with_salt(pattern: Pattern, base: u64, program_salt: u64, rng: &mut Rng) -> Self {
+        let zipf_cum = match pattern {
+            Pattern::Zipf { alpha, .. } => {
+                // 256 buckets with Zipf weights; addresses are drawn
+                // uniformly within the chosen bucket.
+                let mut cum = Vec::with_capacity(256);
+                let mut total = 0.0;
+                for i in 0..256 {
+                    total += 1.0 / ((i + 1) as f64).powf(alpha);
+                    cum.push(total);
+                }
+                for c in &mut cum {
+                    *c /= total;
+                }
+                cum
+            }
+            _ => Vec::new(),
+        };
+        let chase_mult = match pattern {
+            Pattern::PointerChase { footprint } => {
+                // An odd multiplier coprime with the footprint produces a
+                // full-period affine permutation.
+                let mut m = (rng.next_u64() | 1) % footprint.max(2);
+                if m < 2 {
+                    m = footprint / 2 + 1;
+                }
+                while gcd(m, footprint.max(1)) != 1 {
+                    m += 1;
+                }
+                m
+            }
+            _ => 1,
+        };
+        PatternState {
+            pattern,
+            base,
+            cursor: 0,
+            zipf_cum,
+            chase_mult,
+            program_salt,
+        }
+    }
+
+    /// Instantiate `pattern` at `base` with an instance-local salt.
+    pub fn new(pattern: Pattern, base: u64, rng: &mut Rng) -> Self {
+        let salt = rng.next_u64();
+        PatternState::with_salt(pattern, base, salt, rng)
+    }
+
+    /// The pattern this state executes.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Produce the next line address; `pc_index` is the index of the PC
+    /// issuing it within the owning stream (only [`Pattern::PrivateRegion`]
+    /// uses it).
+    pub fn next_line(&mut self, pc_index: u64, rng: &mut Rng) -> u64 {
+        match self.pattern {
+            Pattern::Stream { footprint, stride } => {
+                let line = self.base + (self.cursor % footprint);
+                self.cursor += stride;
+                line
+            }
+            Pattern::Loop { footprint } => {
+                let line = self.base + (self.cursor % footprint);
+                self.cursor += 1;
+                line
+            }
+            Pattern::PointerChase { footprint } => {
+                self.cursor = (self.cursor.wrapping_mul(self.chase_mult) + 1) % footprint;
+                self.base + self.cursor
+            }
+            Pattern::Zipf { footprint, .. } => {
+                let u = rng.unit();
+                let bucket = self
+                    .zipf_cum
+                    .iter()
+                    .position(|&c| u <= c)
+                    .unwrap_or(self.zipf_cum.len() - 1) as u64;
+                let buckets = self.zipf_cum.len() as u64;
+                let bucket_lines = (footprint / buckets).max(1);
+                self.base + bucket * bucket_lines + rng.below(bucket_lines)
+            }
+            Pattern::PrivateRegion {
+                lines_per_pc,
+                spacing,
+            } => {
+                self.cursor += 1;
+                self.base + pc_index * spacing.max(lines_per_pc) + (self.cursor % lines_per_pc)
+            }
+            Pattern::SetColumn {
+                sets,
+                depth,
+                row_stride,
+                phase_period,
+            } => {
+                let i = self.cursor;
+                self.cursor += 1;
+                let (band_offset, depth_eff) = if phase_period == 0 {
+                    (self.program_salt % row_stride, depth)
+                } else {
+                    let phase = i / phase_period;
+                    let off = crate::Rng::new(phase ^ self.program_salt ^ 0x5e7c).next_u64()
+                        % row_stride;
+                    let d = if phase % 2 == 1 { depth * 3 } else { depth };
+                    (off, d)
+                };
+                let set = i % sets;
+                let row = (i / sets) % depth_eff;
+                self.base + band_offset + row * row_stride + set
+            }
+            Pattern::PhasedLoop { small, big, period } => {
+                let i = self.cursor;
+                self.cursor += 1;
+                // Phases are staggered per PC: at any instant some of the
+                // stream's PCs are in their cache-fitting phase and others
+                // in their thrashing phase. Distinct PCs therefore have
+                // *distinct* current behaviour — merging them (as a
+                // myopic predictor's index aliasing does) mixes opposite
+                // classes, exactly as with real programs' PCs.
+                let phase = i / period + pc_index;
+                let footprint = if phase.is_multiple_of(2) { small } else { big };
+                self.base + (i % footprint)
+            }
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn state(p: Pattern) -> (PatternState, Rng) {
+        let mut rng = Rng::new(99);
+        (PatternState::new(p, 1 << 20, &mut rng), rng)
+    }
+
+    #[test]
+    fn stream_is_sequential_and_wraps() {
+        let (mut s, mut rng) = state(Pattern::Stream {
+            footprint: 4,
+            stride: 1,
+        });
+        let lines: Vec<u64> = (0..6).map(|_| s.next_line(0, &mut rng)).collect();
+        let b = 1 << 20;
+        assert_eq!(lines, vec![b, b + 1, b + 2, b + 3, b, b + 1]);
+    }
+
+    #[test]
+    fn loop_revisits_everything() {
+        let (mut s, mut rng) = state(Pattern::Loop { footprint: 8 });
+        let first: Vec<u64> = (0..8).map(|_| s.next_line(0, &mut rng)).collect();
+        let second: Vec<u64> = (0..8).map(|_| s.next_line(0, &mut rng)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn pointer_chase_visits_all_lines() {
+        let (mut s, mut rng) = state(Pattern::PointerChase { footprint: 64 });
+        let seen: HashSet<u64> = (0..64).map(|_| s.next_line(0, &mut rng)).collect();
+        assert_eq!(seen.len(), 64, "affine chase must be a full permutation");
+    }
+
+    #[test]
+    fn pointer_chase_not_sequential() {
+        let (mut s, mut rng) = state(Pattern::PointerChase { footprint: 1024 });
+        let a = s.next_line(0, &mut rng);
+        let b = s.next_line(0, &mut rng);
+        let c = s.next_line(0, &mut rng);
+        assert!(
+            !(b == a + 1 && c == b + 1),
+            "chase should not look like a stream"
+        );
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let (mut s, mut rng) = state(Pattern::Zipf {
+            footprint: 25_600,
+            alpha: 1.0,
+        });
+        let mut first_bucket = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let line = s.next_line(0, &mut rng) - (1 << 20);
+            if line < 100 {
+                first_bucket += 1;
+            }
+        }
+        // Bucket 0 holds 100/25600 ≈ 0.4% of lines but ~16% of weight.
+        assert!(
+            first_bucket > n / 20,
+            "hot bucket too cold: {first_bucket}/{n}"
+        );
+    }
+
+    #[test]
+    fn private_region_stays_per_pc() {
+        let (mut s, mut rng) = state(Pattern::PrivateRegion {
+            lines_per_pc: 8,
+            spacing: 8,
+        });
+        for pc in 0..4u64 {
+            for _ in 0..20 {
+                let line = s.next_line(pc, &mut rng) - (1 << 20);
+                assert!(line >= pc * 8 && line < (pc + 1) * 8);
+            }
+        }
+    }
+}

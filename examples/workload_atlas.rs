@@ -1,0 +1,46 @@
+//! Workload atlas: characterise every benchmark preset with the offline
+//! trace-analysis tools — total footprint, LRU miss-ratio-curve points and
+//! the fraction of concentrated (few-line) PCs.
+//!
+//! This is the map of the synthetic workload suite: which presets thrash a
+//! 2 MB slice share (32 K lines), which fit, and which carry the
+//! one-slice PCs that make per-slice predictors myopic (paper Fig 2).
+//!
+//! ```text
+//! cargo run --release --example workload_atlas
+//! ```
+
+use drishti::trace::analysis::{footprint_lines, MissRatioCurve, PcFootprint};
+use drishti::trace::presets::Benchmark;
+use drishti::trace::WorkloadGen;
+
+fn main() {
+    let n = 60_000;
+    let caps: Vec<u64> = vec![4 * 1024, 32 * 1024, 128 * 1024];
+    println!(
+        "{:<12} {:>10} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "benchmark", "footprint", "mr@4K", "mr@32K", "mr@128K", "multi-PCs", "conc%"
+    );
+    for &b in Benchmark::spec()
+        .iter()
+        .chain(Benchmark::gap())
+        .chain(Benchmark::server())
+    {
+        let mut w = b.build(1);
+        let t = w.collect(n);
+        let mrc = MissRatioCurve::from_trace(&t, &caps);
+        let fp = PcFootprint::from_trace(&t);
+        println!(
+            "{:<12} {:>10} {:>7.1}% {:>7.1}% {:>7.1}% {:>10} {:>7.1}%",
+            b.label(),
+            footprint_lines(&t),
+            mrc.miss_ratio[0] * 100.0,
+            mrc.miss_ratio[1] * 100.0,
+            mrc.miss_ratio[2] * 100.0,
+            fp.multi_access_pcs.len(),
+            fp.concentrated_fraction(2) * 100.0,
+        );
+    }
+    println!("\nmr@X = miss ratio of a fully associative LRU cache of X lines");
+    println!("conc% = multi-access PCs touching <=2 distinct lines (one-slice PCs)");
+}

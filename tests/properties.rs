@@ -1,0 +1,151 @@
+//! Property-based tests (proptest) of the core invariants.
+
+use drishti::core::config::DrishtiConfig;
+use drishti::core::dsc::{DscConfig, DynamicSampledCache};
+use drishti::mem::access::Access;
+use drishti::mem::llc::{LlcGeometry, SlicedLlc};
+use drishti::noc::slicehash::{SliceHasher, XorFoldHash};
+use drishti::policies::factory::PolicyKind;
+use drishti::policies::opt::{next_use_indices, simulate_opt};
+use drishti::sim::metrics::MixMetrics;
+use proptest::prelude::*;
+
+fn small_geom() -> LlcGeometry {
+    LlcGeometry {
+        slices: 2,
+        sets_per_slice: 8,
+        ways: 4,
+        latency: 20,
+    }
+}
+
+/// Run an online policy over a trace, returning its hit count.
+fn run_policy(kind: PolicyKind, trace: &[Access]) -> u64 {
+    let geom = small_geom();
+    let mut llc = SlicedLlc::new(geom, kind.build(&geom, DrishtiConfig::baseline(2)));
+    let mut hits = 0;
+    for (i, a) in trace.iter().enumerate() {
+        if llc.lookup(a, i as u64).hit {
+            hits += 1;
+        } else {
+            llc.fill(a, i as u64);
+        }
+    }
+    hits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Belady's OPT is optimal: no online policy may exceed its hit count
+    /// on any trace.
+    #[test]
+    fn opt_is_an_upper_bound(lines in prop::collection::vec(0u64..80, 50..400)) {
+        let trace: Vec<Access> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| Access::load(i % 2, 0x40 + (l % 7), l))
+            .collect();
+        let opt = simulate_opt(&trace, &small_geom());
+        for kind in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Hawkeye, PolicyKind::Mockingjay] {
+            let hits = run_policy(kind, &trace);
+            prop_assert!(
+                hits <= opt.hits,
+                "{kind} got {hits} hits, OPT only {}", opt.hits
+            );
+        }
+    }
+
+    /// next_use_indices inverts correctly: the index it names really is the
+    /// next occurrence of the same line.
+    #[test]
+    fn next_use_is_correct(lines in prop::collection::vec(0u64..30, 20..200)) {
+        let trace: Vec<Access> = lines.iter().map(|&l| Access::load(0, 1, l)).collect();
+        let next = next_use_indices(&trace);
+        for (i, &n) in next.iter().enumerate() {
+            if n != u64::MAX {
+                let n = n as usize;
+                prop_assert!(n > i);
+                prop_assert_eq!(trace[n].line, trace[i].line);
+                // No earlier occurrence in between.
+                for t in trace.iter().take(n).skip(i + 1) {
+                    prop_assert_ne!(t.line, trace[i].line);
+                }
+            }
+        }
+    }
+
+    /// The LLC container never exceeds capacity and stays consistent under
+    /// arbitrary access interleavings for every policy.
+    #[test]
+    fn llc_capacity_invariant(
+        ops in prop::collection::vec((0u64..200, 0usize..2, any::<bool>()), 100..400)
+    ) {
+        let geom = small_geom();
+        for kind in [PolicyKind::Lru, PolicyKind::Dip, PolicyKind::ShipPp, PolicyKind::Chrome] {
+            let mut llc = SlicedLlc::new(geom, kind.build(&geom, DrishtiConfig::drishti(2)));
+            for (i, &(line, core, store)) in ops.iter().enumerate() {
+                let a = if store {
+                    Access::store(core, 0x9, line)
+                } else {
+                    Access::load(core, 0x9, line)
+                };
+                if !llc.lookup(&a, i as u64).hit {
+                    llc.fill(&a, i as u64);
+                }
+                prop_assert!(llc.resident_lines() <= 2 * 8 * 4);
+            }
+            let s = llc.stats();
+            prop_assert_eq!(s.demand_accesses, ops.len() as u64);
+            prop_assert!(s.fills <= s.demand_misses + s.writeback_accesses);
+        }
+    }
+
+    /// The slice hash is total and stable over the whole address space.
+    #[test]
+    fn slice_hash_total_and_stable(addr in any::<u64>(), slices in 1usize..64) {
+        let h = XorFoldHash::new();
+        let s1 = h.slice_of(addr, slices);
+        let s2 = h.slice_of(addr, slices);
+        prop_assert_eq!(s1, s2);
+        prop_assert!(s1 < slices);
+    }
+
+    /// Saturating counters in the DSC never leave their range and
+    /// selection always returns exactly n_sampled distinct sets.
+    #[test]
+    fn dsc_selection_invariants(
+        accesses in prop::collection::vec((0usize..64, any::<bool>()), 200..2000)
+    ) {
+        let cfg = DscConfig {
+            monitor_interval: 100,
+            active_interval: 200,
+            ..DscConfig::paper_default(8)
+        };
+        let mut dsc = DynamicSampledCache::new(cfg, 64);
+        for &(set, hit) in &accesses {
+            dsc.observe(set, hit);
+            let mut sel = dsc.sampled_sets().to_vec();
+            prop_assert_eq!(sel.len(), 8);
+            sel.sort_unstable();
+            sel.dedup();
+            prop_assert_eq!(sel.len(), 8, "duplicate sampled sets");
+            prop_assert!(sel.iter().all(|&s| s < 64));
+        }
+    }
+
+    /// Mix metrics are internally consistent for arbitrary IPC vectors.
+    #[test]
+    fn metrics_invariants(
+        together in prop::collection::vec(0.01f64..4.0, 2..16),
+        scale in 0.5f64..2.0
+    ) {
+        let alone: Vec<f64> = together.iter().map(|t| t * scale).collect();
+        let m = MixMetrics::new(&together, &alone);
+        let n = together.len() as f64;
+        prop_assert!(m.weighted_speedup() > 0.0);
+        prop_assert!((m.weighted_speedup() - n / scale).abs() < 1e-6);
+        prop_assert!(m.harmonic_speedup() <= m.weighted_speedup() / n + 1e-9);
+        prop_assert!(m.unfairness() >= 1.0 - 1e-9);
+    }
+}
