@@ -1,0 +1,205 @@
+//! A minimal, offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build must work without registry access, so the benchmark harness
+//! is vendored as this shim. It implements exactly the surface the
+//! repository's benches use — `Criterion`, benchmark groups,
+//! `BenchmarkId`, `Bencher::iter`, `criterion_group!`/`criterion_main!` —
+//! with plain `std::time::Instant` timing and stdout reporting (median of
+//! `sample_size` samples, each sample timing one closure invocation).
+//! There are no plots, no statistics beyond min/median/max, and no saved
+//! baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from a displayable parameter (`BenchmarkId::from_parameter`).
+    pub fn from_parameter<D: Display>(p: D) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Build an id from a function name and a parameter.
+    pub fn new<D: Display>(function: &str, p: D) -> Self {
+        BenchmarkId(format!("{function}/{p}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample durations (read by the caller after `iter`).
+    last_run: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, collecting `samples` samples of one invocation each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.last_run.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            let out = f();
+            self.last_run.push(t.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn report(label: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("bench {label:<40} (no samples)");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!(
+        "bench {label:<40} min {:>12.3?}  median {:>12.3?}  max {:>12.3?}  ({} samples)",
+        samples[0],
+        median,
+        samples[samples.len() - 1],
+        samples.len()
+    );
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.sample_size, last_run: Vec::new() };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &mut b.last_run);
+        self
+    }
+
+    /// Run one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, last_run: Vec::new() };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b.last_run);
+        self
+    }
+
+    /// Finish the group (reporting is immediate in this shim; this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: if self.sample_size == 0 { 10 } else { self.sample_size },
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.sample_size == 0 { 10 } else { self.sample_size };
+        let mut b = Bencher { samples, last_run: Vec::new() };
+        f(&mut b);
+        report(name, &mut b.last_run);
+        self
+    }
+
+    /// Global default sample count for subsequently created groups.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box` (benches here import
+/// `std::hint::black_box` directly, but the real crate exposes one too).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a group-runner function from a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` from a list of group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u32, |b, &k| {
+            b.iter(|| {
+                runs += 1;
+                k * 2
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        let mut hits = 0;
+        c.bench_function("f", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+}
