@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a pull request must pass, fully offline.
+#
+#   ./ci.sh          # build + test + fmt + clippy
+#   ./ci.sh --quick  # skip the release build (debug test run only)
+#
+# The workspace vendors its only external dev-dependencies (proptest and
+# criterion API shims under shims/), so --offline always works and no
+# network access is ever required.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+if [[ $quick -eq 0 ]]; then
+  step "cargo build --release --offline --workspace"
+  cargo build --release --offline --workspace
+fi
+
+step "cargo test --offline"
+cargo test -q --offline --workspace
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy --offline -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+step "OK"

@@ -24,10 +24,26 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(10);
     for (label, pk, cfg) in [
         ("lru", PolicyKind::Lru, DrishtiConfig::baseline(cores)),
-        ("hawkeye", PolicyKind::Hawkeye, DrishtiConfig::baseline(cores)),
-        ("d-hawkeye", PolicyKind::Hawkeye, DrishtiConfig::drishti(cores)),
-        ("mockingjay", PolicyKind::Mockingjay, DrishtiConfig::baseline(cores)),
-        ("d-mockingjay", PolicyKind::Mockingjay, DrishtiConfig::drishti(cores)),
+        (
+            "hawkeye",
+            PolicyKind::Hawkeye,
+            DrishtiConfig::baseline(cores),
+        ),
+        (
+            "d-hawkeye",
+            PolicyKind::Hawkeye,
+            DrishtiConfig::drishti(cores),
+        ),
+        (
+            "mockingjay",
+            PolicyKind::Mockingjay,
+            DrishtiConfig::baseline(cores),
+        ),
+        (
+            "d-mockingjay",
+            PolicyKind::Mockingjay,
+            DrishtiConfig::drishti(cores),
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &pk, |b, &pk| {
             b.iter(|| black_box(run_mix(&mix, pk, cfg.clone(), &rc).total_ipc()));

@@ -70,8 +70,7 @@ fn bench_drishti_overhead(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let g = geom();
-                let mut llc =
-                    SlicedLlc::new(g, PolicyKind::Mockingjay.build(&g, cfg.clone()));
+                let mut llc = SlicedLlc::new(g, PolicyKind::Mockingjay.build(&g, cfg.clone()));
                 for (i, a) in accesses.iter().enumerate() {
                     if !llc.lookup(a, i as u64).hit {
                         llc.fill(a, i as u64);

@@ -8,10 +8,10 @@
 
 use drishti_bench::ExpOpts;
 use drishti_core::config::DrishtiConfig;
+use drishti_noc::slicehash::{SliceHasher, XorFoldHash};
 use drishti_policies::factory::PolicyKind;
 use drishti_sim::pcstats::pc_slice_concentration;
 use drishti_sim::runner::run_mix;
-use drishti_noc::slicehash::{SliceHasher, XorFoldHash};
 use drishti_trace::mix::Mix;
 use drishti_trace::presets::Benchmark;
 

@@ -15,7 +15,10 @@ fn main() {
     let policies_labels = ["hawkeye", "d-hawkeye", "mockingjay", "d-mockingjay"];
     header(
         "cores (LLC)",
-        &policies_labels.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &policies_labels
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
     );
     for &cores in &opts.cores {
         let rc = opts.rc(cores);

@@ -18,7 +18,10 @@ fn main() {
     println!("# Figure 17: Drishti enhancement ablation on Mockingjay ({cores} cores)\n");
     let policies = vec![
         (PolicyKind::Mockingjay, DrishtiConfig::baseline(cores)),
-        (PolicyKind::Mockingjay, DrishtiConfig::global_view_only(cores)),
+        (
+            PolicyKind::Mockingjay,
+            DrishtiConfig::global_view_only(cores),
+        ),
         (PolicyKind::Mockingjay, DrishtiConfig::drishti(cores)),
         (PolicyKind::Mockingjay, DrishtiConfig::dsc_only(cores)),
     ];
@@ -30,10 +33,7 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     let mixes = opts.paper_mixes(cores);
-    for (label, filter) in [
-        ("homogeneous", true),
-        ("heterogeneous", false),
-    ] {
+    for (label, filter) in [("homogeneous", true), ("heterogeneous", false)] {
         let evals: Vec<_> = mixes
             .iter()
             .filter(|m| m.is_homogeneous() == filter)

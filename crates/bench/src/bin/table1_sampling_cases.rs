@@ -23,7 +23,12 @@ fn main() {
     // Profile per-set MPKA under LRU (the workload's intrinsic per-set
     // pressure, paper Fig 5), then evaluate Mockingjay with each selection.
     let profile = run_mix(&mix, PolicyKind::Lru, DrishtiConfig::baseline(cores), &rc);
-    let baseline = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::baseline(cores), &rc);
+    let baseline = run_mix(
+        &mix,
+        PolicyKind::Mockingjay,
+        DrishtiConfig::baseline(cores),
+        &rc,
+    );
     let baseline_ipc = baseline.total_ipc();
 
     // Rank each slice's sets by MPKA.

@@ -17,7 +17,11 @@ fn main() {
             let b = make(with);
             println!(
                 "{policy} {}:",
-                if with { "with Drishti" } else { "without Drishti" }
+                if with {
+                    "with Drishti"
+                } else {
+                    "without Drishti"
+                }
             );
             for c in &b.components {
                 println!("    {:<22} {:>7.2} KB", c.name, c.kib());

@@ -27,11 +27,15 @@ fn main() {
             .iter()
             .map(|m| evaluate_mix(m, &policies, &rc))
             .collect();
-        let mut values =
-            vec![f2(mean(&evals.iter().map(|e| e.lru.wpki()).collect::<Vec<_>>()))];
+        let mut values = vec![f2(mean(
+            &evals.iter().map(|e| e.lru.wpki()).collect::<Vec<_>>(),
+        ))];
         for p in 0..policies.len() {
             values.push(f2(mean(
-                &evals.iter().map(|e| e.cells[p].result.wpki()).collect::<Vec<_>>(),
+                &evals
+                    .iter()
+                    .map(|e| e.cells[p].result.wpki())
+                    .collect::<Vec<_>>(),
             )));
         }
         drishti_bench::row(&format!("{cores} cores"), &values);

@@ -27,19 +27,29 @@ fn main() {
             .map(|s| s.to_string())
             .collect::<Vec<_>>(),
     );
-    let per_policy = |f: &dyn Fn(&drishti_bench::Cell, &drishti_bench::MixEval) -> f64| -> Vec<f64> {
-        (0..policies.len())
-            .map(|p| mean(&evals.iter().map(|e| f(&e.cells[p], e)).collect::<Vec<_>>()))
-            .collect()
-    };
+    let per_policy =
+        |f: &dyn Fn(&drishti_bench::Cell, &drishti_bench::MixEval) -> f64| -> Vec<f64> {
+            (0..policies.len())
+                .map(|p| mean(&evals.iter().map(|e| f(&e.cells[p], e)).collect::<Vec<_>>()))
+                .collect()
+        };
     let ws = per_policy(&|c, _| c.ws_improvement_pct);
-    drishti_bench::row("WS improvement", &ws.iter().map(|v| pct(*v)).collect::<Vec<_>>());
+    drishti_bench::row(
+        "WS improvement",
+        &ws.iter().map(|v| pct(*v)).collect::<Vec<_>>(),
+    );
     let hs = per_policy(&|c, e| {
         (c.metrics.harmonic_speedup() / e.lru_metrics.harmonic_speedup() - 1.0) * 100.0
     });
-    drishti_bench::row("HS improvement", &hs.iter().map(|v| pct(*v)).collect::<Vec<_>>());
+    drishti_bench::row(
+        "HS improvement",
+        &hs.iter().map(|v| pct(*v)).collect::<Vec<_>>(),
+    );
     let unf = per_policy(&|c, _| c.metrics.unfairness());
-    drishti_bench::row("Unfairness", &unf.iter().map(|v| f2(*v)).collect::<Vec<_>>());
+    drishti_bench::row(
+        "Unfairness",
+        &unf.iter().map(|v| f2(*v)).collect::<Vec<_>>(),
+    );
     let mis = per_policy(&|c, _| c.metrics.max_individual_slowdown() * 100.0);
     drishti_bench::row(
         "MIS (%)",

@@ -138,7 +138,12 @@ pub fn evaluate_mix(
     rc: &RunConfig,
 ) -> MixEval {
     let alone = alone_ipcs(mix, rc);
-    let lru = run_mix(mix, PolicyKind::Lru, DrishtiConfig::baseline(mix.cores()), rc);
+    let lru = run_mix(
+        mix,
+        PolicyKind::Lru,
+        DrishtiConfig::baseline(mix.cores()),
+        rc,
+    );
     let lru_metrics = mix_metrics(&lru, &alone);
     let lru_ws = lru_metrics.weighted_speedup();
     let cells = policies
@@ -170,7 +175,10 @@ pub fn mean_improvements(evals: &[MixEval]) -> Vec<(String, f64)> {
     }
     (0..evals[0].cells.len())
         .map(|p| {
-            let vals: Vec<f64> = evals.iter().map(|e| e.cells[p].ws_improvement_pct).collect();
+            let vals: Vec<f64> = evals
+                .iter()
+                .map(|e| e.cells[p].ws_improvement_pct)
+                .collect();
             (evals[0].cells[p].policy.clone(), mean(&vals))
         })
         .collect()

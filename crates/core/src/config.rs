@@ -17,6 +17,7 @@
 
 use crate::dsc::DscConfig;
 use crate::fabric::{FabricKind, PredictorFabric};
+use crate::faults::{DegradeConfig, FaultConfig};
 use crate::org::{PredictorOrg, SamplerOrg};
 use crate::select::SetSelector;
 
@@ -48,6 +49,10 @@ pub struct DrishtiConfig {
     pub sampled_sets_override: Option<usize>,
     /// Base seed for all randomized selections.
     pub seed: u64,
+    /// Injected faults for the predictor fabric (no-op by default).
+    pub faults: FaultConfig,
+    /// Degradation policy used when `faults` is active.
+    pub degrade: DegradeConfig,
 }
 
 impl DrishtiConfig {
@@ -63,7 +68,15 @@ impl DrishtiConfig {
             sampling: SamplingMode::StaticRandom,
             sampled_sets_override: None,
             seed: 0xD815,
+            faults: FaultConfig::none(),
+            degrade: DegradeConfig::resilient(),
         }
+    }
+
+    /// This configuration with injected faults (see [`crate::faults`]).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Full Drishti: per-core-yet-global predictor over NOCSTAR plus the
@@ -120,9 +133,17 @@ impl DrishtiConfig {
         }
     }
 
-    /// Build the predictor fabric for this configuration.
+    /// Build the predictor fabric for this configuration. A no-op fault
+    /// configuration yields a fabric bit-identical to the fault-free one.
     pub fn build_fabric(&self) -> PredictorFabric {
-        PredictorFabric::new(self.predictor_org, self.sampler_org, self.fabric, self.cores)
+        PredictorFabric::with_faults(
+            self.predictor_org,
+            self.sampler_org,
+            self.fabric,
+            self.cores,
+            &self.faults,
+            self.degrade,
+        )
     }
 
     /// Sampled sets per slice, given the policy's conventional
@@ -149,7 +170,9 @@ impl DrishtiConfig {
         default_static: usize,
         default_dynamic: usize,
     ) -> SetSelector {
-        let n = self.sampled_sets(default_static, default_dynamic).min(n_sets);
+        let n = self
+            .sampled_sets(default_static, default_dynamic)
+            .min(n_sets);
         let seed = self.seed ^ (slice as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         match &self.sampling {
             SamplingMode::StaticRandom => SetSelector::static_random(n_sets, n, seed),
@@ -181,11 +204,7 @@ impl DrishtiConfig {
 
     /// Short label for experiment output (e.g. `"drishti"`).
     pub fn label(&self) -> String {
-        match (
-            self.predictor_org,
-            &self.sampling,
-            self.fabric,
-        ) {
+        match (self.predictor_org, &self.sampling, self.fabric) {
             (PredictorOrg::LocalPerSlice, SamplingMode::StaticRandom, _) => "baseline".into(),
             (PredictorOrg::LocalPerSlice, SamplingMode::Dynamic, _) => "dsc-only".into(),
             (PredictorOrg::GlobalPerCore, SamplingMode::Dynamic, FabricKind::Nocstar) => {
@@ -263,7 +282,10 @@ mod tests {
 
     #[test]
     fn ablation_labels() {
-        assert_eq!(DrishtiConfig::global_view_only(8).label(), "global-view-only");
+        assert_eq!(
+            DrishtiConfig::global_view_only(8).label(),
+            "global-view-only"
+        );
         assert_eq!(DrishtiConfig::dsc_only(8).label(), "dsc-only");
         assert_eq!(DrishtiConfig::centralized(8).label(), "centralized");
     }

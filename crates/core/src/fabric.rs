@@ -15,6 +15,7 @@
 //! paper's Fig 10 reports their sum per kilo-instruction for the
 //! centralized vs. per-core organisations.
 
+use crate::faults::{DegradeConfig, FaultConfig};
 use crate::org::{PredictorOrg, SamplerOrg};
 use drishti_noc::link::{FixedLatencyLink, LocalLink, MeshLink, NocstarLink, PredictorLink};
 use drishti_noc::{NocStats, NodeId};
@@ -41,6 +42,15 @@ impl FabricKind {
             FabricKind::Fixed(lat) => Box::new(FixedLatencyLink::new(lat)),
         }
     }
+
+    fn build_with_faults(self, tiles: usize, faults: &FaultConfig) -> Box<dyn PredictorLink> {
+        match self {
+            FabricKind::Local => Box::new(LocalLink),
+            FabricKind::Mesh => Box::new(MeshLink::with_faults(tiles, faults)),
+            FabricKind::Nocstar => Box::new(NocstarLink::with_faults(tiles, faults)),
+            FabricKind::Fixed(lat) => Box::new(FixedLatencyLink::with_faults(lat, faults)),
+        }
+    }
 }
 
 /// Separated counts of the two predictor access categories (Fig 10).
@@ -52,6 +62,15 @@ pub struct FabricCounters {
     pub predict_accesses: u64,
     /// Broadcast fan-out messages (global-sampler organisations only).
     pub broadcast_messages: u64,
+    /// Prediction lookups whose request or response was lost in transit.
+    pub dropped_predictions: u64,
+    /// Fills that fell back to the local static insertion decision (lost
+    /// or over-deadline lookups).
+    pub fallback_decisions: u64,
+    /// Training updates lost after exhausting their retries.
+    pub dropped_trainings: u64,
+    /// Training retransmissions performed after a drop.
+    pub retried_trainings: u64,
 }
 
 impl FabricCounters {
@@ -60,6 +79,31 @@ impl FabricCounters {
     pub fn total(&self) -> u64 {
         self.train_accesses + self.predict_accesses
     }
+}
+
+/// Result of pushing one training update through the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainOutcome {
+    /// Predictor bank the update targets.
+    pub bank: usize,
+    /// Transport latency experienced (including retries and backoff).
+    pub latency: u64,
+    /// Whether the update reached the bank. `false` means the message was
+    /// lost after all retries — the caller must *not* update the table.
+    pub delivered: bool,
+}
+
+/// Result of one prediction lookup through the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictOutcome {
+    /// Predictor bank consulted.
+    pub bank: usize,
+    /// Exposed latency the lookup adds to the fill path.
+    pub latency: u64,
+    /// Whether the lookup was abandoned (message lost or transport over
+    /// the degradation deadline). The caller must ignore the remote table
+    /// and use its local static insertion decision instead.
+    pub fallback: bool,
 }
 
 /// Placement + transport for predictor access.
@@ -72,6 +116,11 @@ pub struct PredictorFabric {
     tiles: usize,
     central: NodeId,
     counters: FabricCounters,
+    degrade: DegradeConfig,
+    /// Whether the link was built with an active fault schedule. Healthy
+    /// fabrics skip the degradation layer entirely, so fault-free runs are
+    /// bit-identical to builds that predate fault injection.
+    faulty: bool,
 }
 
 impl PredictorFabric {
@@ -90,7 +139,39 @@ impl PredictorFabric {
             tiles,
             central: tiles / 2, // a roughly central tile for the centralized bank
             counters: FabricCounters::default(),
+            degrade: DegradeConfig::resilient(),
+            faulty: false,
         }
+    }
+
+    /// Build a fault-aware fabric. With a no-op `faults` configuration
+    /// this is bit-identical to [`PredictorFabric::new`]; otherwise the
+    /// transport may drop or delay messages and the fabric degrades per
+    /// `degrade` (timeout fallback on lookups, bounded retry on training).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is zero.
+    pub fn with_faults(
+        org: PredictorOrg,
+        sampler_org: SamplerOrg,
+        kind: FabricKind,
+        tiles: usize,
+        faults: &FaultConfig,
+        degrade: DegradeConfig,
+    ) -> Self {
+        let mut f = PredictorFabric::new(org, sampler_org, kind, tiles);
+        f.degrade = degrade;
+        if !faults.is_noop() {
+            f.link = kind.build_with_faults(tiles, faults);
+            f.faulty = true;
+        }
+        f
+    }
+
+    /// The degradation policy in force.
+    pub fn degrade(&self) -> DegradeConfig {
+        self.degrade
     }
 
     /// The predictor organisation.
@@ -135,9 +216,7 @@ impl PredictorFabric {
     /// targets of a global-sampler organisation, paper Figs 6–7).
     pub fn broadcast_banks(&self, core: usize) -> Vec<usize> {
         match self.org {
-            PredictorOrg::LocalPerSlice => {
-                (0..self.tiles).map(|s| s * self.tiles + core).collect()
-            }
+            PredictorOrg::LocalPerSlice => (0..self.tiles).map(|s| s * self.tiles + core).collect(),
             PredictorOrg::GlobalCentralized => vec![0],
             PredictorOrg::GlobalPerCore => vec![core],
         }
@@ -153,41 +232,85 @@ impl PredictorFabric {
     }
 
     /// A sampler at `slice` trains the predictor for `core`'s PC at `cycle`.
-    /// Returns `(bank, latency)` — training is off the critical path, so
-    /// the latency only matters for fabric occupancy, but it is returned
-    /// for completeness.
-    pub fn train(&mut self, slice: usize, core: usize, cycle: u64) -> (usize, u64) {
+    /// Training is off the critical path, so the latency only matters for
+    /// fabric occupancy, but it is returned for completeness.
+    ///
+    /// On a fault-aware fabric a dropped update is retried up to
+    /// [`DegradeConfig::train_retries`] times with linear backoff; if every
+    /// attempt is lost the outcome reports `delivered: false` and the
+    /// caller must skip its table update (predictors tolerate sparse
+    /// training — they merely converge slower).
+    pub fn train(&mut self, slice: usize, core: usize, cycle: u64) -> TrainOutcome {
         self.counters.train_accesses += 1;
         let bank = self.bank_of(slice, core);
-        let lat = match self.org {
+        match self.org {
             PredictorOrg::LocalPerSlice => {
                 // Global-sampler organisations broadcast each training to
                 // every slice's local predictor (paper Figs 6–7). A
                 // *centralized* sampler additionally ships every sampled
                 // access (PC, address, hit/miss) inbound to the central
                 // node first (paper Fig 6 step 1) — the "High" bandwidth
-                // row of Table 2.
+                // row of Table 2. Broadcast legs are fire-and-forget: a
+                // lost leg is counted but not retried (the next sampled
+                // access refreshes that slice's view anyway).
+                let mut worst = 0;
                 if self.sampler_org.requires_broadcast() {
-                    let mut worst = 0;
                     if self.sampler_org == SamplerOrg::GlobalCentralized {
-                        worst = self.link.access(slice, self.central, cycle);
+                        let d = self.link.send(slice, self.central, cycle);
+                        if d.dropped {
+                            self.counters.dropped_trainings += 1;
+                        }
+                        worst = d.latency;
                     }
                     for dest in 0..self.tiles {
-                        let l = self.link.access(slice, dest, cycle);
-                        worst = worst.max(l);
+                        let d = self.link.send(slice, dest, cycle);
+                        if d.dropped {
+                            self.counters.dropped_trainings += 1;
+                        }
+                        worst = worst.max(d.latency);
                         self.counters.broadcast_messages += 1;
                     }
-                    worst
-                } else {
-                    0
+                }
+                TrainOutcome {
+                    bank,
+                    latency: worst,
+                    delivered: true,
                 }
             }
             _ => {
                 let dest = self.tile_of_bank(bank);
-                self.link.access(slice, dest, cycle)
+                if !self.faulty {
+                    let lat = self.link.access(slice, dest, cycle);
+                    return TrainOutcome {
+                        bank,
+                        latency: lat,
+                        delivered: true,
+                    };
+                }
+                let mut elapsed = 0u64;
+                for attempt in 0..=self.degrade.train_retries {
+                    let d = self.link.send(slice, dest, cycle + elapsed);
+                    elapsed += d.latency;
+                    if !d.dropped {
+                        return TrainOutcome {
+                            bank,
+                            latency: elapsed,
+                            delivered: true,
+                        };
+                    }
+                    if attempt < self.degrade.train_retries {
+                        self.counters.retried_trainings += 1;
+                        elapsed += u64::from(attempt + 1) * self.degrade.retry_backoff;
+                    }
+                }
+                self.counters.dropped_trainings += 1;
+                TrainOutcome {
+                    bank,
+                    latency: elapsed,
+                    delivered: false,
+                }
             }
-        };
-        (bank, lat)
+        }
     }
 
     /// Cycles of predictor-lookup latency hidden under the fill itself: the
@@ -199,14 +322,27 @@ impl PredictorFabric {
     pub const OVERLAP_WINDOW: u64 = 8;
 
     /// A fill at `slice` for `core`'s request looks up the predictor at
-    /// `cycle`. Returns `(bank, latency)` — the *exposed* interconnect
+    /// `cycle`. The outcome's `latency` is the *exposed* interconnect
     /// latency the lookup adds to the fill path: the one-way transport
     /// latency minus the [`Self::OVERLAP_WINDOW`] hidden under the miss.
-    pub fn predict(&mut self, slice: usize, core: usize, cycle: u64) -> (usize, u64) {
+    ///
+    /// On a fault-aware fabric a lookup whose request or response is lost,
+    /// or whose transport exceeds [`DegradeConfig::prediction_deadline`],
+    /// is abandoned: the outcome reports `fallback: true` and the caller
+    /// must insert with its local static (untrained-default, SRRIP-like)
+    /// decision instead of blocking the fill on a message that may never
+    /// arrive. The exposed cost of an abandoned lookup is the deadline
+    /// itself (the slice waits that long before giving up), less the
+    /// overlap window.
+    pub fn predict(&mut self, slice: usize, core: usize, cycle: u64) -> PredictOutcome {
         self.counters.predict_accesses += 1;
         let bank = self.bank_of(slice, core);
-        let lat = match self.org {
-            PredictorOrg::LocalPerSlice => 0,
+        match self.org {
+            PredictorOrg::LocalPerSlice => PredictOutcome {
+                bank,
+                latency: 0,
+                fallback: false,
+            },
             _ => {
                 let dest = self.tile_of_bank(bank);
                 // Both legs are issued at the current time: reserving the
@@ -214,12 +350,37 @@ impl PredictorFabric {
                 // messages wait for a reservation in their future, which
                 // destabilises an occupancy model (the same rule the demand
                 // mesh follows). Only the slower leg is exposed.
-                let req = self.link.access(slice, dest, cycle);
-                let resp = self.link.access_response(dest, slice, cycle);
-                req.max(resp).saturating_sub(Self::OVERLAP_WINDOW)
+                let req = self.link.send(slice, dest, cycle);
+                let resp = self.link.send_response(dest, slice, cycle);
+                let raw = req.latency.max(resp.latency);
+                if self.faulty {
+                    let lost = req.dropped || resp.dropped;
+                    if lost {
+                        self.counters.dropped_predictions += 1;
+                    }
+                    if lost || raw > self.degrade.prediction_deadline {
+                        // The slice cannot distinguish "lost" from "late"
+                        // before the deadline expires, so every abandoned
+                        // lookup costs exactly the deadline.
+                        self.counters.fallback_decisions += 1;
+                        let exposed = self
+                            .degrade
+                            .prediction_deadline
+                            .saturating_sub(Self::OVERLAP_WINDOW);
+                        return PredictOutcome {
+                            bank,
+                            latency: exposed,
+                            fallback: true,
+                        };
+                    }
+                }
+                PredictOutcome {
+                    bank,
+                    latency: raw.saturating_sub(Self::OVERLAP_WINDOW),
+                    fallback: false,
+                }
             }
-        };
-        (bank, lat)
+        }
     }
 
     /// Access-category counters (Fig 10).
@@ -253,20 +414,26 @@ mod tests {
         assert!(!f.global_view());
         // Paper Fig 1: one bank per (slice, core) pair.
         assert_eq!(f.banks(), 32 * 32);
-        let (bank, lat) = f.train(5, 9, 0);
-        assert_eq!(bank, 5 * 32 + 9, "bank is the slice's table for core 9");
-        assert_eq!(lat, 0);
-        let (_, plat) = f.predict(5, 9, 0);
-        assert_eq!(plat, 0);
+        let t = f.train(5, 9, 0);
+        assert_eq!(t.bank, 5 * 32 + 9, "bank is the slice's table for core 9");
+        assert_eq!(t.latency, 0);
+        assert!(t.delivered);
+        let p = f.predict(5, 9, 0);
+        assert_eq!(p.latency, 0);
+        assert!(!p.fallback);
     }
 
     #[test]
     fn per_core_org_routes_to_core_bank() {
         let mut f = fabric(PredictorOrg::GlobalPerCore, FabricKind::Nocstar);
         assert!(f.global_view());
-        let (bank, lat) = f.train(5, 9, 0);
-        assert_eq!(bank, 9, "per-core predictor bank is the requesting core's");
-        assert_eq!(lat, 3);
+        let t = f.train(5, 9, 0);
+        assert_eq!(
+            t.bank, 9,
+            "per-core predictor bank is the requesting core's"
+        );
+        assert_eq!(t.latency, 3);
+        assert!(t.delivered);
     }
 
     #[test]
@@ -274,18 +441,19 @@ mod tests {
         let mut f = fabric(PredictorOrg::GlobalPerCore, FabricKind::Nocstar);
         // An uncontended NOCSTAR traversal (3 cycles) fits entirely within
         // the overlap window: no exposed latency.
-        let (bank, lat) = f.predict(5, 9, 0);
-        assert_eq!(bank, 9);
-        assert_eq!(lat, 0, "3-cycle NOCSTAR lookup is fully hidden");
+        let p = f.predict(5, 9, 0);
+        assert_eq!(p.bank, 9);
+        assert_eq!(p.latency, 0, "3-cycle NOCSTAR lookup is fully hidden");
+        assert!(!p.fallback);
     }
 
     #[test]
     fn centralized_org_uses_one_bank() {
         let mut f = fabric(PredictorOrg::GlobalCentralized, FabricKind::Mesh);
         assert_eq!(f.banks(), 1);
-        let (bank, lat) = f.train(0, 31, 0);
-        assert_eq!(bank, 0);
-        assert!(lat > 0, "mesh transport must cost cycles");
+        let t = f.train(0, 31, 0);
+        assert_eq!(t.bank, 0);
+        assert!(t.latency > 0, "mesh transport must cost cycles");
     }
 
     #[test]
@@ -296,8 +464,8 @@ mod tests {
         let mut star_total = 0;
         for s in 0..32 {
             for c in 0..32 {
-                mesh_total += mesh.predict(s, c, (s * 32 + c) as u64 * 1000).1;
-                star_total += star.predict(s, c, (s * 32 + c) as u64 * 1000).1;
+                mesh_total += mesh.predict(s, c, (s * 32 + c) as u64 * 1000).latency;
+                star_total += star.predict(s, c, (s * 32 + c) as u64 * 1000).latency;
             }
         }
         assert!(
@@ -309,14 +477,14 @@ mod tests {
     #[test]
     fn fixed_fabric_exposes_latency_beyond_overlap() {
         let mut f = fabric(PredictorOrg::GlobalPerCore, FabricKind::Fixed(20));
-        let (_, lat) = f.predict(0, 31, 0);
+        let lat = f.predict(0, 31, 0).latency;
         assert_eq!(
             lat,
             20 - PredictorFabric::OVERLAP_WINDOW,
             "a Fig 11b sweep value of N exposes N − overlap cycles"
         );
         let mut f = fabric(PredictorOrg::GlobalPerCore, FabricKind::Fixed(4));
-        let (_, lat) = f.predict(0, 31, 0);
+        let lat = f.predict(0, 31, 0).latency;
         assert_eq!(lat, 0, "below-window latencies are free (Fig 11b ≤5)");
     }
 
@@ -352,5 +520,115 @@ mod tests {
         f.reset_stats();
         assert_eq!(f.counters().total(), 0);
         assert_eq!(f.link_stats().messages, 0);
+    }
+
+    fn faulty_fabric(drop_pct: f64, deadline: u64) -> PredictorFabric {
+        PredictorFabric::with_faults(
+            PredictorOrg::GlobalPerCore,
+            SamplerOrg::LocalPerSlice,
+            FabricKind::Nocstar,
+            32,
+            &FaultConfig::with_drops(42, drop_pct),
+            DegradeConfig {
+                prediction_deadline: deadline,
+                train_retries: 2,
+                retry_backoff: 8,
+            },
+        )
+    }
+
+    #[test]
+    fn noop_faults_leave_fabric_bit_identical() {
+        let mut plain = fabric(PredictorOrg::GlobalPerCore, FabricKind::Nocstar);
+        let mut faulty = PredictorFabric::with_faults(
+            PredictorOrg::GlobalPerCore,
+            SamplerOrg::LocalPerSlice,
+            FabricKind::Nocstar,
+            32,
+            &FaultConfig::none(),
+            DegradeConfig::resilient(),
+        );
+        for i in 0..200u64 {
+            let (s, c) = ((i % 32) as usize, ((i * 5) % 32) as usize);
+            assert_eq!(plain.train(s, c, i), faulty.train(s, c, i));
+            assert_eq!(plain.predict(s, c, i), faulty.predict(s, c, i));
+        }
+        assert_eq!(plain.counters(), faulty.counters());
+        assert_eq!(plain.link_stats(), faulty.link_stats());
+    }
+
+    #[test]
+    fn dropped_lookup_falls_back_with_deadline_cost() {
+        let mut f = faulty_fabric(100.0, 64);
+        let p = f.predict(0, 9, 0);
+        assert!(p.fallback, "100% drops must force fallback");
+        assert_eq!(p.latency, 64 - PredictorFabric::OVERLAP_WINDOW);
+        let c = *f.counters();
+        assert_eq!(c.dropped_predictions, 1);
+        assert_eq!(c.fallback_decisions, 1);
+    }
+
+    #[test]
+    fn over_deadline_transport_falls_back_without_a_drop() {
+        // A 100-cycle fixed link with a 64-cycle deadline: every lookup is
+        // delivered but abandoned as too slow. Jitter-only fault config
+        // keeps the link fault-aware without dropping anything.
+        let cfg = FaultConfig {
+            seed: 1,
+            jitter: 1,
+            ..FaultConfig::none()
+        };
+        let mut f = PredictorFabric::with_faults(
+            PredictorOrg::GlobalPerCore,
+            SamplerOrg::LocalPerSlice,
+            FabricKind::Fixed(100),
+            32,
+            &cfg,
+            DegradeConfig {
+                prediction_deadline: 64,
+                train_retries: 0,
+                retry_backoff: 0,
+            },
+        );
+        let p = f.predict(0, 9, 0);
+        assert!(p.fallback);
+        assert_eq!(p.latency, 64 - PredictorFabric::OVERLAP_WINDOW);
+        assert_eq!(f.counters().dropped_predictions, 0, "nothing was lost");
+        assert_eq!(f.counters().fallback_decisions, 1);
+    }
+
+    #[test]
+    fn dropped_training_retries_then_gives_up() {
+        let mut f = faulty_fabric(100.0, 64);
+        let t = f.train(0, 9, 0);
+        assert!(!t.delivered, "100% drops exhaust every retry");
+        assert!(t.latency > 0, "retries and backoff must cost cycles");
+        let c = *f.counters();
+        assert_eq!(c.retried_trainings, 2);
+        assert_eq!(c.dropped_trainings, 1);
+
+        // At a moderate rate most trainings eventually land.
+        let mut f = faulty_fabric(30.0, 64);
+        let delivered = (0..500u64)
+            .filter(|&i| f.train(0, 9, i * 10).delivered)
+            .count();
+        assert!(
+            delivered > 450,
+            "30% drops with 2 retries should mostly deliver: {delivered}"
+        );
+        assert!(f.counters().retried_trainings > 0);
+    }
+
+    #[test]
+    fn fault_counters_are_deterministic() {
+        let run = || {
+            let mut f = faulty_fabric(25.0, 64);
+            for i in 0..400u64 {
+                f.train((i % 32) as usize, ((i * 3) % 32) as usize, i);
+                f.predict((i % 32) as usize, ((i * 7) % 32) as usize, i);
+            }
+            *f.counters()
+        };
+        assert_eq!(run(), run());
     }
 }

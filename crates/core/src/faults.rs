@@ -1,0 +1,86 @@
+//! Fault injection and graceful degradation, core-side facade.
+//!
+//! The fault *primitives* — seeded schedules, drop/jitter decisions, link
+//! and DRAM outage windows — live at the bottom of the crate stack in
+//! [`drishti_noc::faults`] so every uncore component can consume them.
+//! This module re-exports them under `drishti_core::faults` (the name the
+//! rest of the system imports) and adds the piece that only makes sense at
+//! this layer: [`DegradeConfig`], the policy for how the predictor fabric
+//! *degrades gracefully* when its transport misbehaves.
+//!
+//! Degradation semantics (see [`crate::fabric::PredictorFabric`]):
+//!
+//! * a prediction lookup that is dropped, or whose transport latency
+//!   exceeds [`DegradeConfig::prediction_deadline`], abandons the remote
+//!   predictor and falls back to the policy's local static insertion
+//!   decision (its untrained default — SRRIP-like middle-of-the-road
+//!   insertion) so the fill never blocks on a lost message;
+//! * a dropped training update is retried up to
+//!   [`DegradeConfig::train_retries`] times with a linear backoff of
+//!   [`DegradeConfig::retry_backoff`] cycles per attempt; training lost
+//!   after the last retry is simply skipped — predictors tolerate sparse
+//!   training, they merely converge slower.
+//!
+//! These rules only ever engage on a fault-aware fabric built from a
+//! non-no-op [`FaultConfig`]; healthy builds take the exact pre-existing
+//! code path, so fault-free runs are bit-identical to the seed behaviour.
+
+pub use drishti_noc::faults::{
+    FaultConfig, FaultDecision, FaultDomain, FaultSchedule, OutageWindow,
+};
+
+/// How the predictor fabric degrades under injected faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeConfig {
+    /// One-way transport latency (cycles) above which a prediction lookup
+    /// stops waiting and falls back to the local static decision. Also the
+    /// latency charged for a lookup whose request or response was dropped
+    /// (the slice waits out the deadline before giving up).
+    pub prediction_deadline: u64,
+    /// Retransmissions attempted for a dropped training update.
+    pub train_retries: u32,
+    /// Backoff between training retries, cycles (linear: attempt `k`
+    /// waits `k × retry_backoff`).
+    pub retry_backoff: u64,
+}
+
+impl DegradeConfig {
+    /// Sensible degradation for fault-injected runs: the deadline sits
+    /// well above any healthy NOCSTAR access (3 cycles) and above typical
+    /// contended mesh accesses (~20 cycles on 32 cores, paper Fig 11), so
+    /// it only fires on genuinely pathological transports.
+    pub fn resilient() -> Self {
+        DegradeConfig {
+            prediction_deadline: 64,
+            train_retries: 2,
+            retry_backoff: 8,
+        }
+    }
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig::resilient()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resilient_deadline_clears_healthy_transports() {
+        let d = DegradeConfig::resilient();
+        assert!(
+            d.prediction_deadline > 30,
+            "must not fire on a healthy mesh"
+        );
+        assert!(d.train_retries > 0);
+    }
+
+    #[test]
+    fn reexports_reach_the_noc_primitives() {
+        assert!(FaultConfig::none().is_noop());
+        assert!(FaultSchedule::for_domain(&FaultConfig::none(), FaultDomain::Fabric).is_none());
+    }
+}

@@ -48,5 +48,6 @@ pub mod budget;
 pub mod config;
 pub mod dsc;
 pub mod fabric;
+pub mod faults;
 pub mod org;
 pub mod select;

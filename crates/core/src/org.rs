@@ -122,8 +122,7 @@ impl DesignPoint {
 
     /// Whether the combination needs broadcast messages.
     pub fn broadcast(&self) -> bool {
-        self.sampler.requires_broadcast()
-            && matches!(self.predictor, PredictorOrg::LocalPerSlice)
+        self.sampler.requires_broadcast() && matches!(self.predictor, PredictorOrg::LocalPerSlice)
     }
 
     /// Whether the combination funnels traffic through a single node
@@ -215,6 +214,9 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(PredictorOrg::GlobalPerCore.to_string(), "per-core-global");
-        assert_eq!(SamplerOrg::GlobalDistributed.to_string(), "distributed-global");
+        assert_eq!(
+            SamplerOrg::GlobalDistributed.to_string(),
+            "distributed-global"
+        );
     }
 }

@@ -63,7 +63,10 @@ impl CacheConfig {
     /// Panics if the resulting set count is not a power of two or is zero.
     pub fn l2_with_kib(kib: usize) -> Self {
         let sets = kib * 1024 / 64 / 8;
-        assert!(sets.is_power_of_two() && sets > 0, "invalid L2 size {kib} KiB");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "invalid L2 size {kib} KiB"
+        );
         CacheConfig {
             sets,
             ..CacheConfig::l2()
@@ -246,8 +249,7 @@ impl PrivateCache {
             return w;
         }
         match self.cfg.replacement {
-            ReplacementKind::Lru => self
-                .sets[set]
+            ReplacementKind::Lru => self.sets[set]
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, l)| l.meta)
@@ -397,7 +399,7 @@ mod tests {
             mshrs: 8,
         };
         let mut c = PrivateCache::new(cfg);
-        let addr = 0b1011_01; // set 1, tag 0b1011
+        let addr = 0b10_1101; // set 1, tag 0b1011
         c.fill(addr, true);
         let ev = c.fill(addr + 4 * 7, false).expect("same set, dirty victim");
         assert_eq!(ev.line, addr);

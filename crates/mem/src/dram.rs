@@ -15,6 +15,7 @@
 //! write-backs (paper Table 5) cost performance and energy.
 
 use crate::LineAddr;
+use drishti_noc::faults::{FaultConfig, FaultDomain, FaultSchedule};
 
 /// DRAM timing/geometry parameters (in core cycles at 4 GHz).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +128,11 @@ pub struct DramStats {
     pub total_read_latency: u64,
     /// Dynamic energy, picojoules.
     pub energy_pj: u64,
+    /// Requests re-steered off a failed channel to a surviving one.
+    pub resteered: u64,
+    /// Extra cycles charged by injected faults (jitter, outage stalls,
+    /// degraded-bandwidth penalties).
+    pub fault_delay_cycles: u64,
 }
 
 impl DramStats {
@@ -149,6 +155,8 @@ pub struct Dram {
     /// Buffered (posted) writes per channel, drained at the watermark.
     write_queues: Vec<Vec<LineAddr>>,
     stats: DramStats,
+    /// Injected-fault stream (`None` on the healthy fast path).
+    faults: Option<FaultSchedule>,
 }
 
 impl Dram {
@@ -158,14 +166,32 @@ impl Dram {
     ///
     /// Panics if the configuration has zero channels or banks.
     pub fn new(cfg: DramConfig) -> Self {
-        assert!(cfg.channels > 0 && cfg.banks_per_channel > 0, "degenerate DRAM");
+        assert!(
+            cfg.channels > 0 && cfg.banks_per_channel > 0,
+            "degenerate DRAM"
+        );
         Dram {
             banks: vec![vec![Bank::default(); cfg.banks_per_channel]; cfg.channels],
             bus: vec![Occupancy::default(); cfg.channels],
             write_queues: vec![Vec::new(); cfg.channels],
             cfg,
             stats: DramStats::default(),
+            faults: None,
         }
+    }
+
+    /// Create a fault-aware DRAM subsystem. With a no-op `faults`
+    /// configuration this is bit-identical to [`Dram::new`].
+    ///
+    /// DRAM faults are *channel outages* plus latency jitter — stored data
+    /// is never lost (there is no analogue of a message drop), but while a
+    /// channel is inside an outage window its traffic is re-steered to the
+    /// first surviving channel at degraded bandwidth; if every channel is
+    /// down, requests stall until the original channel recovers.
+    pub fn with_faults(cfg: DramConfig, faults: &FaultConfig) -> Self {
+        let mut d = Dram::new(cfg);
+        d.faults = FaultSchedule::for_domain(faults, FaultDomain::Dram);
+        d
     }
 
     /// The configuration in use.
@@ -187,7 +213,39 @@ impl Dram {
     }
 
     fn service(&mut self, line: LineAddr, cycle: u64, is_write: bool) -> u64 {
-        let (ch, bk, row) = self.map(line);
+        let (mapped_ch, bk, row) = self.map(line);
+        let channels = self.cfg.channels;
+
+        // Fault layer: jitter every request; re-steer traffic off a failed
+        // channel (degraded bandwidth on the rescue path), or stall until
+        // recovery when no channel survives.
+        let mut ch = mapped_ch;
+        let mut fault_extra = 0u64;
+        let mut resteered = false;
+        if let Some(sched) = self.faults.as_mut() {
+            fault_extra += sched.decide(mapped_ch, bk, cycle).jitter;
+            if sched.dram_channel_down(mapped_ch, cycle) {
+                let survivor = (1..channels)
+                    .map(|k| (mapped_ch + k) % channels)
+                    .find(|&cand| !sched.dram_channel_down(cand, cycle));
+                match survivor {
+                    Some(cand) => {
+                        ch = cand;
+                        resteered = true;
+                    }
+                    None => {
+                        fault_extra += sched
+                            .dram_channel_up_at(mapped_ch, cycle)
+                            .saturating_sub(cycle);
+                    }
+                }
+            }
+        }
+        if resteered {
+            self.stats.resteered += 1;
+        }
+        self.stats.fault_delay_cycles += fault_extra;
+
         let bank = &mut self.banks[ch][bk];
 
         // Latency vs. occupancy: a request *experiences* the full array
@@ -217,12 +275,24 @@ impl Dram {
         };
         bank.open_row = Some(row);
         let bank_wait = bank.busy.occupy(cycle, occupancy);
-        let bus_wait = self.bus[ch].occupy(cycle, self.cfg.burst);
+        // A re-steered burst crosses the rescue channel at degraded
+        // bandwidth: it holds the surviving bus twice as long, modelling
+        // the cross-channel detour, and that slower burst is also what the
+        // requester experiences.
+        let burst = if resteered {
+            self.cfg.burst * 2
+        } else {
+            self.cfg.burst
+        };
+        let bus_wait = self.bus[ch].occupy(cycle, burst);
+        if resteered {
+            self.stats.fault_delay_cycles += burst - self.cfg.burst;
+        }
 
         if !is_write {
             self.stats.energy_pj += self.cfg.read_energy_pj;
         }
-        bank_wait + array_latency + bus_wait + self.cfg.burst
+        bank_wait + array_latency + bus_wait + burst + fault_extra
     }
 
     /// Issue a read for `line` at `cycle`; returns the load-to-use latency
@@ -313,7 +383,10 @@ mod tests {
             d3.write(i * 4 * 64, 0);
         }
         let delayed = d3.read(0, 0);
-        assert!(delayed > clean, "drain burst should delay reads: {delayed} vs {clean}");
+        assert!(
+            delayed > clean,
+            "drain burst should delay reads: {delayed} vs {clean}"
+        );
     }
 
     #[test]
@@ -326,7 +399,10 @@ mod tests {
             }
             total
         };
-        assert!(run(8) < run(2), "8-channel DRAM should be faster under load");
+        assert!(
+            run(8) < run(2),
+            "8-channel DRAM should be faster under load"
+        );
     }
 
     #[test]
@@ -342,12 +418,109 @@ mod tests {
     }
 
     #[test]
+    fn noop_faults_are_bit_identical_to_healthy_dram() {
+        let mut plain = Dram::new(DramConfig::default());
+        let mut faulty = Dram::with_faults(DramConfig::default(), &FaultConfig::none());
+        for i in 0..500u64 {
+            assert_eq!(plain.read(i * 37, i * 3), faulty.read(i * 37, i * 3));
+            plain.write(i * 11, i * 3);
+            faulty.write(i * 11, i * 3);
+        }
+        assert_eq!(plain.stats(), faulty.stats());
+    }
+
+    #[test]
+    fn channel_outage_resteers_to_survivors() {
+        use drishti_noc::faults::OutageWindow;
+        let cfg = DramConfig::with_channels(4);
+        // Channel 0 is down for cycles 0..10_000.
+        let faults = FaultConfig {
+            seed: 1,
+            dram_outages: vec![OutageWindow {
+                channel: 0,
+                start: 0,
+                len: 10_000,
+            }],
+            ..FaultConfig::none()
+        };
+        let mut d = Dram::with_faults(cfg, &faults);
+        // Rows that are multiples of 4 map to channel 0.
+        let during = d.read(0, 100);
+        assert_eq!(d.stats().resteered, 1, "channel-0 read must re-steer");
+        assert!(
+            d.stats().fault_delay_cycles > 0,
+            "degraded bandwidth must be charged"
+        );
+        // After the outage the same traffic goes back to its home channel.
+        let after = d.read(64 * 4 * 50, 20_000); // another channel-0 row, fresh bank state
+        assert_eq!(d.stats().resteered, 1, "no re-steer after recovery");
+        // Both complete — outage degrades, never loses, requests.
+        assert!(during > 0 && after > 0);
+    }
+
+    #[test]
+    fn all_channels_down_stalls_until_recovery() {
+        use drishti_noc::faults::OutageWindow;
+        let cfg = DramConfig::with_channels(2);
+        let faults = FaultConfig {
+            seed: 1,
+            dram_outages: vec![
+                OutageWindow {
+                    channel: 0,
+                    start: 0,
+                    len: 1_000,
+                },
+                OutageWindow {
+                    channel: 1,
+                    start: 0,
+                    len: 1_000,
+                },
+            ],
+            ..FaultConfig::none()
+        };
+        let mut d = Dram::with_faults(cfg, &faults);
+        let mut healthy = Dram::new(cfg);
+        let stalled = d.read(0, 100);
+        let clean = healthy.read(0, 100);
+        assert!(
+            stalled >= clean + 900,
+            "request at cycle 100 must wait out the outage ending at 1000: {stalled} vs {clean}"
+        );
+        assert_eq!(d.stats().resteered, 0, "nowhere to re-steer to");
+    }
+
+    #[test]
+    fn dram_jitter_is_deterministic_and_bounded() {
+        let faults = FaultConfig {
+            seed: 77,
+            jitter: 8,
+            ..FaultConfig::none()
+        };
+        let run = || {
+            let mut d = Dram::with_faults(DramConfig::default(), &faults);
+            (0..300u64)
+                .map(|i| d.read(i * 97, i * 5))
+                .collect::<Vec<u64>>()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same seed must reproduce identical latencies");
+        let mut healthy = Dram::new(DramConfig::default());
+        let base: Vec<u64> = (0..300u64).map(|i| healthy.read(i * 97, i * 5)).collect();
+        for (f, h) in a.iter().zip(&base) {
+            assert!(*f >= *h && *f <= *h + 8, "jitter out of bounds: {f} vs {h}");
+        }
+    }
+
+    #[test]
     fn sequential_lines_share_rows() {
         let mut d = Dram::new(DramConfig::default());
         d.read(0, 0);
         for i in 1..16u64 {
             d.read(i, 100_000 * i);
         }
-        assert!(d.stats().row_hits >= 14, "sequential lines should be row hits");
+        assert!(
+            d.stats().row_hits >= 14,
+            "sequential lines should be row hits"
+        );
     }
 }

@@ -53,7 +53,10 @@ impl LlcGeometry {
     /// Panics if the resulting set count is not a power of two.
     pub fn per_core_mib(cores: usize, mib: usize) -> Self {
         let sets = mib * 1024 * 1024 / 64 / 16;
-        assert!(sets.is_power_of_two() && sets > 0, "invalid slice size {mib} MiB");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "invalid slice size {mib} MiB"
+        );
         LlcGeometry {
             slices: cores,
             sets_per_slice: sets,
@@ -298,7 +301,9 @@ impl SlicedLlc {
         }
 
         // Prefer an invalid way; otherwise ask the policy.
-        let invalid = self.lines[slice][range.clone()].iter().position(|l| !l.valid);
+        let invalid = self.lines[slice][range.clone()]
+            .iter()
+            .position(|l| !l.valid);
         let (way, evicted) = match invalid {
             Some(w) => (w, None),
             None => {
@@ -337,9 +342,9 @@ impl SlicedLlc {
         self.stats.fills += 1;
 
         let set_lines = &self.lines[slice][self.set_range(set)];
-        let extra =
-            self.policy
-                .on_fill(loc, way, set_lines, acc, evicted.as_ref(), cycle);
+        let extra = self
+            .policy
+            .on_fill(loc, way, set_lines, acc, evicted.as_ref(), cycle);
         FillResult {
             writeback,
             extra_latency: extra,
@@ -403,27 +408,14 @@ mod tests {
         fn name(&self) -> String {
             "evict-zero".into()
         }
-        fn on_hit(
-            &mut self,
-            _: LlcLoc,
-            _: usize,
-            _: &[LlcLineState],
-            _: &Access,
-            _: u64,
-        ) -> u64 {
+        fn on_hit(&mut self, _: LlcLoc, _: usize, _: &[LlcLineState], _: &Access, _: u64) -> u64 {
             self.hits += 1;
             0
         }
         fn on_miss(&mut self, _: LlcLoc, _: &Access, _: u64) {
             self.misses += 1;
         }
-        fn choose_victim(
-            &mut self,
-            _: LlcLoc,
-            _: &[LlcLineState],
-            _: &Access,
-            _: u64,
-        ) -> Decision {
+        fn choose_victim(&mut self, _: LlcLoc, _: &[LlcLineState], _: &Access, _: u64) -> Decision {
             Decision::Evict(0)
         }
         fn on_fill(
@@ -490,8 +482,11 @@ mod tests {
             ways: 1,
             latency: 20,
         };
-        let mut llc =
-            SlicedLlc::with_hasher(g, Box::new(EvictZero::default()), Box::new(ModuloHash::new()));
+        let mut llc = SlicedLlc::with_hasher(
+            g,
+            Box::new(EvictZero::default()),
+            Box::new(ModuloHash::new()),
+        );
         let st = Access::store(0, 0x1, 100);
         llc.lookup(&st, 0);
         llc.fill(&st, 0);
@@ -510,8 +505,11 @@ mod tests {
             ways: 2,
             latency: 20,
         };
-        let mut llc =
-            SlicedLlc::with_hasher(g, Box::new(EvictZero::default()), Box::new(ModuloHash::new()));
+        let mut llc = SlicedLlc::with_hasher(
+            g,
+            Box::new(EvictZero::default()),
+            Box::new(ModuloHash::new()),
+        );
         let ld = Access::load(0, 0x1, 100);
         llc.lookup(&ld, 0);
         llc.fill(&ld, 0);

@@ -27,8 +27,7 @@ pub struct LlcLoc {
 
 /// Replacement-relevant state of one resident LLC line, as exposed to
 /// policies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LlcLineState {
     /// The resident line address (0 if invalid).
     pub line: LineAddr,
@@ -41,7 +40,6 @@ pub struct LlcLineState {
     /// The PC signature ([`Access::signature`]) that installed the line.
     pub signature: u64,
 }
-
 
 /// A victim decision for a fill into a full set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,24 +122,11 @@ mod tests {
         fn name(&self) -> String {
             "evict-zero".into()
         }
-        fn on_hit(
-            &mut self,
-            _: LlcLoc,
-            _: usize,
-            _: &[LlcLineState],
-            _: &Access,
-            _: u64,
-        ) -> u64 {
+        fn on_hit(&mut self, _: LlcLoc, _: usize, _: &[LlcLineState], _: &Access, _: u64) -> u64 {
             0
         }
         fn on_miss(&mut self, _: LlcLoc, _: &Access, _: u64) {}
-        fn choose_victim(
-            &mut self,
-            _: LlcLoc,
-            _: &[LlcLineState],
-            _: &Access,
-            _: u64,
-        ) -> Decision {
+        fn choose_victim(&mut self, _: LlcLoc, _: &[LlcLineState], _: &Access, _: u64) -> Decision {
             Decision::Evict(0)
         }
         fn on_fill(

@@ -244,7 +244,13 @@ mod tests {
         let mut p = NextLine::new();
         let mut out = Vec::new();
         p.on_access(0x40, 100, false, &mut out);
-        assert_eq!(out, vec![PrefetchRequest { line: 101, trigger_pc: 0x40 }]);
+        assert_eq!(
+            out,
+            vec![PrefetchRequest {
+                line: 101,
+                trigger_pc: 0x40
+            }]
+        );
     }
 
     #[test]

@@ -171,7 +171,9 @@ mod tests {
         // Pseudo-random large jumps: no small delta repeats.
         let mut a: u64 = 12345;
         for _ in 0..64 {
-            a = a.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            a = a
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             p.on_access(0x22, a >> 16, false, &mut out);
         }
         assert!(

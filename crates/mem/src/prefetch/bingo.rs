@@ -153,7 +153,11 @@ mod tests {
         // Trigger a brand-new region at the pattern's first offset.
         p.on_access(0x77, 100_000 * REGION_LINES, false, &mut out);
         let lines: Vec<u64> = out.iter().map(|r| r.line % REGION_LINES).collect();
-        assert_eq!(lines, vec![3, 7, 12], "footprint replay mismatch: {lines:?}");
+        assert_eq!(
+            lines,
+            vec![3, 7, 12],
+            "footprint replay mismatch: {lines:?}"
+        );
     }
 
     #[test]

@@ -92,7 +92,11 @@ impl SppPpf {
     fn train_pattern(&mut self, sig: u64, delta: i64) {
         let e = &mut self.patterns[(sig & SIG_MASK) as usize];
         e.total = (e.total + 1).min(u16::MAX - 1);
-        if let Some(slot) = e.slots.iter_mut().find(|s| s.delta == delta && s.confidence > 0) {
+        if let Some(slot) = e
+            .slots
+            .iter_mut()
+            .find(|s| s.delta == delta && s.confidence > 0)
+        {
             slot.confidence = (slot.confidence + 1).min(CONF_MAX);
         } else if let Some(slot) = e
             .slots
@@ -178,8 +182,8 @@ impl Prefetcher for SppPpf {
             if best.confidence == 0 {
                 break;
             }
-            let path_conf = conf * f64::from(best.confidence)
-                / f64::from(entry.total.max(best.confidence));
+            let path_conf =
+                conf * f64::from(best.confidence) / f64::from(entry.total.max(best.confidence));
             if path_conf < FILL_THRESHOLD {
                 break;
             }
@@ -208,8 +212,8 @@ impl Prefetcher for SppPpf {
 
     fn on_feedback(&mut self, line: LineAddr, useful: bool) {
         if let Some(&(_, feats)) = self.issued.iter().find(|(l, _)| *l == line) {
-            for i in 0..PERCEPTRON_FEATURES {
-                let w = &mut self.weights[i][feats[i]];
+            for (weights, &feat) in self.weights.iter_mut().zip(feats.iter()) {
+                let w = &mut weights[feat];
                 *w = if useful {
                     (*w + 1).min(PERCEPTRON_MAX)
                 } else {

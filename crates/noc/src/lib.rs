@@ -36,6 +36,7 @@
 //! assert!(latency >= mesh.hops(0, 15) as u64);
 //! ```
 
+pub mod faults;
 pub mod link;
 pub mod mesh;
 pub mod nocstar;
@@ -44,6 +45,30 @@ pub mod slicehash;
 /// Identifier of a mesh tile (each tile hosts a core, its private caches,
 /// one LLC slice and — with Drishti — that core's reuse predictor).
 pub type NodeId = usize;
+
+/// Outcome of sending one message over a fault-aware fabric.
+///
+/// The healthy path always delivers; under an active [`faults::FaultSchedule`]
+/// a message may instead be lost, in which case `latency` is the number of
+/// cycles the sender spends before it can observe the loss (the fabric's
+/// base delivery latency plus any stall already paid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Cycles until delivery (or until the loss is observable).
+    pub latency: u64,
+    /// Whether the message was lost to an injected fault.
+    pub dropped: bool,
+}
+
+impl Delivery {
+    /// A successful delivery after `latency` cycles.
+    pub fn delivered(latency: u64) -> Self {
+        Delivery {
+            latency,
+            dropped: false,
+        }
+    }
+}
 
 /// Aggregate traffic/energy statistics kept by every interconnect model.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -60,6 +85,13 @@ pub struct NocStats {
     pub contention_cycles: u64,
     /// Dynamic energy consumed, picojoules.
     pub energy_pj: u64,
+    /// Messages lost to injected faults (see [`faults`]).
+    pub dropped: u64,
+    /// Retransmissions performed after an injected drop.
+    pub retries: u64,
+    /// Extra cycles charged by injected faults (jitter, outage stalls,
+    /// retransmission penalties).
+    pub fault_delay_cycles: u64,
 }
 
 impl NocStats {
@@ -80,5 +112,8 @@ impl NocStats {
         self.total_latency += other.total_latency;
         self.contention_cycles += other.contention_cycles;
         self.energy_pj += other.energy_pj;
+        self.dropped += other.dropped;
+        self.retries += other.retries;
+        self.fault_delay_cycles += other.fault_delay_cycles;
     }
 }

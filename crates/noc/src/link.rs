@@ -16,9 +16,10 @@
 //! [`PredictorLink`] unifies these so the policy code is organisation-
 //! agnostic; `drishti-core` picks the implementation.
 
+use crate::faults::{FaultConfig, FaultDomain, FaultSchedule};
 use crate::mesh::{Mesh, MeshConfig, ADDRESS_PACKET_FLITS};
 use crate::nocstar::{Nocstar, NocstarConfig, NocstarPath};
-use crate::{NocStats, NodeId};
+use crate::{Delivery, NocStats, NodeId};
 
 /// A transport that carries slice↔predictor messages.
 ///
@@ -33,6 +34,21 @@ pub trait PredictorLink: std::fmt::Debug {
     /// there; others share the request path.
     fn access_response(&mut self, from: NodeId, to: NodeId, cycle: u64) -> u64 {
         self.access(from, to, cycle)
+    }
+
+    /// Fault-aware variant of [`PredictorLink::access`]: the message may be
+    /// lost instead of delivered. Healthy fabrics (the default) always
+    /// deliver; fault-aware implementations override this. Unlike demand
+    /// traffic, a lost predictor message is *not* retransmitted by the
+    /// fabric — the caller (`PredictorFabric`) owns the retry/fallback
+    /// policy.
+    fn send(&mut self, from: NodeId, to: NodeId, cycle: u64) -> Delivery {
+        Delivery::delivered(self.access(from, to, cycle))
+    }
+
+    /// Fault-aware variant of [`PredictorLink::access_response`].
+    fn send_response(&mut self, from: NodeId, to: NodeId, cycle: u64) -> Delivery {
+        Delivery::delivered(self.access_response(from, to, cycle))
     }
 
     /// Traffic/energy accumulated by this link.
@@ -77,6 +93,13 @@ impl PredictorLink for LocalLink {
 #[derive(Debug, Clone)]
 pub struct MeshLink {
     mesh: Mesh,
+    /// Injected-fault stream for predictor messages. Kept here rather than
+    /// inside the mesh because predictor traffic has *loss* semantics (the
+    /// fabric surfaces the drop and lets `PredictorFabric` decide), while
+    /// the demand mesh retransmits internally.
+    faults: Option<FaultSchedule>,
+    /// Drop/jitter accounting layered over the mesh's own stats.
+    fault_stats: NocStats,
 }
 
 impl MeshLink {
@@ -84,12 +107,26 @@ impl MeshLink {
     pub fn new(nodes: usize) -> Self {
         MeshLink {
             mesh: Mesh::new(MeshConfig::for_nodes(nodes)),
+            faults: None,
+            fault_stats: NocStats::default(),
         }
     }
 
     /// Build from an explicit mesh configuration.
     pub fn with_config(cfg: MeshConfig) -> Self {
-        MeshLink { mesh: Mesh::new(cfg) }
+        MeshLink {
+            mesh: Mesh::new(cfg),
+            faults: None,
+            fault_stats: NocStats::default(),
+        }
+    }
+
+    /// Build a fault-aware mesh link; no-op configs are bit-identical to
+    /// [`MeshLink::new`].
+    pub fn with_faults(nodes: usize, faults: &FaultConfig) -> Self {
+        let mut l = MeshLink::new(nodes);
+        l.faults = FaultSchedule::for_domain(faults, FaultDomain::Fabric);
+        l
     }
 }
 
@@ -98,12 +135,40 @@ impl PredictorLink for MeshLink {
         self.mesh.traverse(from, to, cycle, ADDRESS_PACKET_FLITS)
     }
 
+    fn send(&mut self, from: NodeId, to: NodeId, cycle: u64) -> Delivery {
+        let (outage, decision) = match self.faults.as_mut() {
+            Some(sched) if from != to => (
+                sched.link_outage_wait(from, cycle).unwrap_or(0),
+                sched.decide(from, to, cycle),
+            ),
+            _ => return Delivery::delivered(self.access(from, to, cycle)),
+        };
+        if decision.dropped {
+            // Loss observable after the zero-load flight time.
+            let flight = self
+                .mesh
+                .zero_load_latency(self.mesh.hops(from, to), ADDRESS_PACKET_FLITS);
+            self.fault_stats.dropped += 1;
+            self.fault_stats.fault_delay_cycles += outage;
+            return Delivery {
+                latency: outage + flight,
+                dropped: true,
+            };
+        }
+        let extra = outage + decision.jitter;
+        self.fault_stats.fault_delay_cycles += extra;
+        Delivery::delivered(self.access(from, to, cycle + extra) + extra)
+    }
+
     fn stats(&self) -> NocStats {
-        *self.mesh.stats()
+        let mut s = *self.mesh.stats();
+        s.merge(&self.fault_stats);
+        s
     }
 
     fn reset_stats(&mut self) {
         self.mesh.reset_stats();
+        self.fault_stats = NocStats::default();
     }
 
     fn name(&self) -> &'static str {
@@ -131,6 +196,14 @@ impl NocstarLink {
             fabric: Nocstar::new(nodes, cfg),
         }
     }
+
+    /// Build a fault-aware NOCSTAR link; no-op configs are bit-identical
+    /// to [`NocstarLink::new`].
+    pub fn with_faults(nodes: usize, faults: &FaultConfig) -> Self {
+        NocstarLink {
+            fabric: Nocstar::with_faults(nodes, NocstarConfig::default(), faults),
+        }
+    }
 }
 
 impl PredictorLink for NocstarLink {
@@ -140,6 +213,14 @@ impl PredictorLink for NocstarLink {
 
     fn access_response(&mut self, from: NodeId, to: NodeId, cycle: u64) -> u64 {
         self.fabric.access(from, to, NocstarPath::Response, cycle)
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, cycle: u64) -> Delivery {
+        self.fabric.send(from, to, NocstarPath::Request, cycle)
+    }
+
+    fn send_response(&mut self, from: NodeId, to: NodeId, cycle: u64) -> Delivery {
+        self.fabric.send(from, to, NocstarPath::Response, cycle)
     }
 
     fn stats(&self) -> NocStats {
@@ -164,6 +245,8 @@ pub struct FixedLatencyLink {
     latency: u64,
     energy_per_message_pj: u64,
     stats: NocStats,
+    /// Injected-fault stream (`None` on the healthy fast path).
+    faults: Option<FaultSchedule>,
 }
 
 impl FixedLatencyLink {
@@ -173,7 +256,16 @@ impl FixedLatencyLink {
             latency,
             energy_per_message_pj: 50,
             stats: NocStats::default(),
+            faults: None,
         }
+    }
+
+    /// A fault-aware fixed-latency link; no-op configs are bit-identical
+    /// to [`FixedLatencyLink::new`].
+    pub fn with_faults(latency: u64, faults: &FaultConfig) -> Self {
+        let mut l = FixedLatencyLink::new(latency);
+        l.faults = FaultSchedule::for_domain(faults, FaultDomain::Fabric);
+        l
     }
 }
 
@@ -185,6 +277,27 @@ impl PredictorLink for FixedLatencyLink {
         let lat = if from == to { 0 } else { self.latency };
         self.stats.total_latency += lat;
         lat
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, cycle: u64) -> Delivery {
+        let decision = match self.faults.as_mut() {
+            Some(sched) if from != to => sched.decide(from, to, cycle),
+            _ => return Delivery::delivered(self.access(from, to, cycle)),
+        };
+        if decision.dropped {
+            self.stats.messages += 1;
+            self.stats.flits += 1;
+            self.stats.energy_pj += self.energy_per_message_pj;
+            self.stats.dropped += 1;
+            return Delivery {
+                latency: self.latency,
+                dropped: true,
+            };
+        }
+        let lat = self.access(from, to, cycle) + decision.jitter;
+        self.stats.total_latency += decision.jitter;
+        self.stats.fault_delay_cycles += decision.jitter;
+        Delivery::delivered(lat)
     }
 
     fn stats(&self) -> NocStats {
@@ -259,5 +372,60 @@ mod tests {
         l.access(0, 5, 0);
         l.reset_stats();
         assert_eq!(l.stats().messages, 0);
+    }
+
+    #[test]
+    fn default_send_always_delivers() {
+        let mut links: Vec<Box<dyn PredictorLink>> = vec![
+            Box::new(LocalLink),
+            Box::new(MeshLink::new(16)),
+            Box::new(NocstarLink::new(16)),
+            Box::new(FixedLatencyLink::new(10)),
+        ];
+        for l in &mut links {
+            let d = l.send(0, 9, 100);
+            assert!(!d.dropped, "{} dropped without faults", l.name());
+            let r = l.send_response(9, 0, 200);
+            assert!(!r.dropped);
+        }
+    }
+
+    #[test]
+    fn faulty_links_drop_and_report() {
+        let cfg = FaultConfig {
+            seed: 17,
+            drop_pct: 60.0,
+            ..FaultConfig::none()
+        };
+        let mut links: Vec<Box<dyn PredictorLink>> = vec![
+            Box::new(MeshLink::with_faults(16, &cfg)),
+            Box::new(NocstarLink::with_faults(16, &cfg)),
+            Box::new(FixedLatencyLink::with_faults(10, &cfg)),
+        ];
+        for l in &mut links {
+            let drops = (0..200u64).filter(|&t| l.send(0, 9, t).dropped).count();
+            assert!(drops > 0, "{} never dropped at 60%", l.name());
+            assert!(drops < 200, "{} dropped everything at 60%", l.name());
+            assert_eq!(
+                l.stats().dropped,
+                drops as u64,
+                "{} stats mismatch",
+                l.name()
+            );
+        }
+    }
+
+    #[test]
+    fn noop_fault_config_leaves_links_bit_identical() {
+        let none = FaultConfig::none();
+        let mut plain = MeshLink::new(16);
+        let mut faulty = MeshLink::with_faults(16, &none);
+        for t in 0..100u64 {
+            assert_eq!(
+                plain.send((t % 16) as usize, ((t * 3) % 16) as usize, t),
+                faulty.send((t % 16) as usize, ((t * 3) % 16) as usize, t)
+            );
+        }
+        assert_eq!(plain.stats(), faulty.stats());
     }
 }

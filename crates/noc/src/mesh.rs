@@ -13,6 +13,7 @@
 //! 32 cores, Fig 11) and growing contention with core count — at a cost that
 //! lets us simulate billions of events.
 
+use crate::faults::{FaultConfig, FaultDomain, FaultSchedule};
 use crate::{NocStats, NodeId};
 
 /// Flits in a data (cache-line-carrying) packet, per paper Table 4.
@@ -115,7 +116,18 @@ pub struct Mesh {
     /// Outgoing-link backlog per node and direction.
     links: Vec<[LinkState; 4]>,
     stats: NocStats,
+    /// Injected-fault stream (`None` on the healthy fast path).
+    faults: Option<FaultSchedule>,
 }
+
+/// Retransmission attempts before a faulty mesh force-delivers a packet.
+/// Demand traffic carries cache lines and cannot be lost, so after this
+/// many timeouts the packet goes through regardless — this bounds latency
+/// and guarantees forward progress even at a 100% injected drop rate.
+const MAX_RETRANSMITS: u64 = 8;
+
+/// Fixed turnaround between a retransmission timeout and the resend.
+const RETRANSMIT_GAP: u64 = 4;
 
 impl Mesh {
     /// Create an idle mesh.
@@ -124,7 +136,16 @@ impl Mesh {
             links: vec![[LinkState::default(); 4]; cfg.nodes()],
             cfg,
             stats: NocStats::default(),
+            faults: None,
         }
+    }
+
+    /// Create a fault-aware mesh. With a no-op `faults` configuration this
+    /// is bit-identical to [`Mesh::new`].
+    pub fn with_faults(cfg: MeshConfig, faults: &FaultConfig) -> Self {
+        let mut m = Mesh::new(cfg);
+        m.faults = FaultSchedule::for_domain(faults, FaultDomain::Mesh);
+        m
     }
 
     /// The configuration this mesh was built with.
@@ -163,7 +184,44 @@ impl Mesh {
     /// occupancy, traffic counters and energy.
     ///
     /// A message to self costs only the local router traversal.
+    ///
+    /// Under an active fault schedule the packet may additionally stall
+    /// behind a transient outage of the source router, gain uniform
+    /// latency jitter, or be dropped in flight. Demand packets carry cache
+    /// lines and cannot be lost, so a drop triggers a retransmission: the
+    /// sender waits one zero-load round plus a fixed turnaround, then
+    /// resends (bounded by [`MAX_RETRANSMITS`], after which the packet is
+    /// force-delivered so the system always makes forward progress).
     pub fn traverse(&mut self, from: NodeId, to: NodeId, cycle: u64, flits: u32) -> u64 {
+        if from == to || self.faults.is_none() {
+            return self.route_once(from, to, cycle, flits);
+        }
+        let timeout = self.zero_load_latency(self.hops(from, to), flits) + RETRANSMIT_GAP;
+        let (extra, drops) = {
+            let sched = self.faults.as_mut().expect("checked above");
+            let mut extra = sched.link_outage_wait(from, cycle).unwrap_or(0);
+            let mut drops = 0u64;
+            loop {
+                let d = sched.decide(from, to, cycle + extra);
+                if !d.dropped || drops >= MAX_RETRANSMITS {
+                    extra += d.jitter;
+                    break;
+                }
+                drops += 1;
+                extra += timeout;
+            }
+            (extra, drops)
+        };
+        let lat = self.route_once(from, to, cycle + extra, flits) + extra;
+        self.stats.dropped += drops;
+        self.stats.retries += drops;
+        self.stats.fault_delay_cycles += extra;
+        self.stats.total_latency += extra;
+        lat
+    }
+
+    /// One healthy routing attempt (the pre-fault-injection `traverse`).
+    fn route_once(&mut self, from: NodeId, to: NodeId, cycle: u64, flits: u32) -> u64 {
         let hops = self.hops(from, to);
         self.stats.messages += 1;
         self.stats.flits += u64::from(flits);
@@ -275,7 +333,10 @@ mod tests {
         let mut mesh = Mesh::new(MeshConfig::for_nodes(16));
         let l1 = mesh.traverse(0, 3, 0, 8);
         let l2 = mesh.traverse(0, 3, 0, 8); // same path, same instant
-        assert!(l2 > l1, "second message must queue behind first: {l1} vs {l2}");
+        assert!(
+            l2 > l1,
+            "second message must queue behind first: {l1} vs {l2}"
+        );
         assert!(mesh.stats().contention_cycles > 0);
     }
 
@@ -312,6 +373,70 @@ mod tests {
     fn mean_latency_zero_when_idle() {
         let mesh = Mesh::new(MeshConfig::default());
         assert_eq!(mesh.stats().mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn faulty_mesh_with_noop_config_matches_healthy() {
+        let mut plain = Mesh::new(MeshConfig::for_nodes(16));
+        let mut faulty = Mesh::with_faults(MeshConfig::for_nodes(16), &FaultConfig::none());
+        for i in 0..200u64 {
+            let (f, t) = ((i % 16) as usize, ((i * 5 + 3) % 16) as usize);
+            assert_eq!(plain.traverse(f, t, i, 8), faulty.traverse(f, t, i, 8));
+        }
+        assert_eq!(plain.stats(), faulty.stats());
+    }
+
+    #[test]
+    fn drops_trigger_bounded_retransmission() {
+        let cfg = FaultConfig {
+            seed: 11,
+            drop_pct: 100.0,
+            ..FaultConfig::none()
+        };
+        let mut mesh = Mesh::with_faults(MeshConfig::for_nodes(16), &cfg);
+        let healthy = Mesh::new(MeshConfig::for_nodes(16)).traverse(0, 15, 0, 8);
+        // Even at a 100% drop rate the packet is force-delivered after
+        // MAX_RETRANSMITS timeouts — bounded latency, no livelock.
+        let lat = mesh.traverse(0, 15, 0, 8);
+        assert!(lat > healthy);
+        assert!(lat < healthy * (MAX_RETRANSMITS + 2) * 2);
+        assert_eq!(mesh.stats().retries, MAX_RETRANSMITS);
+        assert_eq!(mesh.stats().dropped, MAX_RETRANSMITS);
+        assert!(mesh.stats().fault_delay_cycles > 0);
+    }
+
+    #[test]
+    fn fault_latency_grows_with_drop_rate_on_average() {
+        let total = |pct: f64| -> u64 {
+            let cfg = FaultConfig {
+                seed: 5,
+                drop_pct: pct,
+                ..FaultConfig::none()
+            };
+            let mut mesh = Mesh::with_faults(MeshConfig::for_nodes(16), &cfg);
+            (0..500u64)
+                .map(|i| mesh.traverse((i % 16) as usize, ((i * 7) % 16) as usize, i * 3, 8))
+                .sum()
+        };
+        let t0 = total(0.1);
+        let t50 = total(50.0);
+        assert!(
+            t50 > t0,
+            "50% drops ({t50}) should cost more than 0.1% ({t0})"
+        );
+    }
+
+    #[test]
+    fn self_messages_bypass_fault_injection() {
+        let cfg = FaultConfig {
+            seed: 2,
+            drop_pct: 100.0,
+            jitter: 9,
+            ..FaultConfig::none()
+        };
+        let mut mesh = Mesh::with_faults(MeshConfig::for_nodes(16), &cfg);
+        assert_eq!(mesh.traverse(6, 6, 50, 1), mesh.config().router_latency);
+        assert_eq!(mesh.stats().dropped, 0);
     }
 
     #[test]

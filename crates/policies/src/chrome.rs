@@ -47,6 +47,10 @@ enum Action {
 
 const ACTIONS: [Action; N_ACTIONS] = [Action::Near, Action::Long, Action::Distant, Action::Bypass];
 
+/// Action index used when a predictor lookup is abandoned (fault
+/// fallback): `Action::Long`, the SRRIP-like static insertion.
+const FALLBACK_ACTION: usize = 1;
+
 impl Action {
     fn rrpv(self) -> u8 {
         match self {
@@ -138,7 +142,11 @@ impl Chrome {
     /// State: hash of (PC signature, pressure bucket).
     fn state(&self, acc: &Access, slice: usize) -> u16 {
         let pressure_bucket = u64::from(self.pressure[slice] / 64); // 0..3
-        let idx = predictor_index(acc.signature() ^ (pressure_bucket << 57), acc.core, STATE_BITS);
+        let idx = predictor_index(
+            acc.signature() ^ (pressure_bucket << 57),
+            acc.core,
+            STATE_BITS,
+        );
         idx as u16
     }
 
@@ -156,8 +164,11 @@ impl Chrome {
         } else {
             self.rewards_neg += 1;
         }
-        let (bank, _) = self.fabric.train(slice, core, cycle);
-        let q = &mut self.q[bank][state as usize * N_ACTIONS + action as usize];
+        let t = self.fabric.train(slice, core, cycle);
+        if !t.delivered {
+            return; // update lost in transit; the next reward retrains
+        }
+        let q = &mut self.q[t.bank][state as usize * N_ACTIONS + action as usize];
         *q += (r * Q_SCALE - *q) >> ALPHA_SHIFT;
     }
 }
@@ -209,17 +220,18 @@ impl LlcPolicy for Chrome {
         if acc.kind != AccessKind::Writeback {
             self.decisions += 1;
             let state = self.state(acc, loc.slice);
-            let (bank, _) = self.fabric.predict(loc.slice, acc.core, cycle);
+            let p = self.fabric.predict(loc.slice, acc.core, cycle);
             let explore = self.next_rand().is_multiple_of(EPSILON_RECIPROCAL);
             let action = if explore {
                 self.explorations += 1;
                 (self.next_rand() % N_ACTIONS as u64) as usize
+            } else if p.fallback {
+                FALLBACK_ACTION
             } else {
-                self.best_action(bank, state).0
+                self.best_action(p.bank, state).0
             };
             if ACTIONS[action] == Action::Bypass {
-                self.bypassed[self.bypassed_next] =
-                    (acc.line, state, action as u8, acc.core as u8);
+                self.bypassed[self.bypassed_next] = (acc.line, state, action as u8, acc.core as u8);
                 self.bypassed_next = (self.bypassed_next + 1) % self.bypassed.len();
                 // Mildly positive reward for bypassing keeps dead streams out;
                 // the -1 penalty on re-demand corrects mistakes.
@@ -259,9 +271,18 @@ impl LlcPolicy for Chrome {
             (Action::Distant, 0)
         } else {
             let state = self.state(acc, loc.slice);
-            let (bank, lat) = self.fabric.predict(loc.slice, acc.core, cycle);
-            let a = self.best_action(bank, state).0;
-            let chosen = if ACTIONS[a] == Action::Bypass { Action::Long } else { ACTIONS[a] };
+            let p = self.fabric.predict(loc.slice, acc.core, cycle);
+            let lat = p.latency;
+            let a = if p.fallback {
+                FALLBACK_ACTION
+            } else {
+                self.best_action(p.bank, state).0
+            };
+            let chosen = if ACTIONS[a] == Action::Bypass {
+                Action::Long
+            } else {
+                ACTIONS[a]
+            };
             *self.prov.get_mut(loc.slice, loc.set, way) = Provenance {
                 state,
                 action: a as u8,
@@ -279,11 +300,16 @@ impl LlcPolicy for Chrome {
     }
 
     fn diagnostics(&self) -> Vec<(String, u64)> {
+        let fc = self.fabric.counters();
         vec![
             ("decisions".into(), self.decisions),
             ("explorations".into(), self.explorations),
             ("rewards_pos".into(), self.rewards_pos),
             ("rewards_neg".into(), self.rewards_neg),
+            ("fabric_fallbacks".into(), fc.fallback_decisions),
+            ("fabric_dropped_predictions".into(), fc.dropped_predictions),
+            ("fabric_dropped_trainings".into(), fc.dropped_trainings),
+            ("fabric_retried_trainings".into(), fc.retried_trainings),
         ]
     }
 }
@@ -324,15 +350,24 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(Chrome::new(&geom(), &DrishtiConfig::baseline(1)).name(), "chrome");
-        assert_eq!(Chrome::new(&geom(), &DrishtiConfig::drishti(1)).name(), "d-chrome");
+        assert_eq!(
+            Chrome::new(&geom(), &DrishtiConfig::baseline(1)).name(),
+            "chrome"
+        );
+        assert_eq!(
+            Chrome::new(&geom(), &DrishtiConfig::drishti(1)).name(),
+            "d-chrome"
+        );
     }
 
     #[test]
     fn learns_to_protect_reuse_from_scan() {
         let g = geom();
-        let mut llc =
-            SlicedLlc::with_hasher(g, Box::new(Chrome::new(&g, &cfg())), Box::new(ModuloHash::new()));
+        let mut llc = SlicedLlc::with_hasher(
+            g,
+            Box::new(Chrome::new(&g, &cfg())),
+            Box::new(ModuloHash::new()),
+        );
         let mut trace = Vec::new();
         let mut stream = 200_000u64;
         for _ in 0..400 {
@@ -351,16 +386,28 @@ mod tests {
             Box::new(ModuloHash::new()),
         );
         let lru_hits = run(&mut lru, &trace);
-        assert!(rl_hits > lru_hits, "chrome {rl_hits} should beat lru {lru_hits}");
+        assert!(
+            rl_hits > lru_hits,
+            "chrome {rl_hits} should beat lru {lru_hits}"
+        );
     }
 
     #[test]
     fn rewards_flow_both_ways() {
         let g = geom();
-        let mut llc =
-            SlicedLlc::with_hasher(g, Box::new(Chrome::new(&g, &cfg())), Box::new(ModuloHash::new()));
+        let mut llc = SlicedLlc::with_hasher(
+            g,
+            Box::new(Chrome::new(&g, &cfg())),
+            Box::new(ModuloHash::new()),
+        );
         let trace: Vec<(u64, u64)> = (0..20_000u64)
-            .map(|i| if i % 3 == 0 { (0x1, i % 20) } else { (0x2, 10_000 + i) })
+            .map(|i| {
+                if i % 3 == 0 {
+                    (0x1, i % 20)
+                } else {
+                    (0x2, 10_000 + i)
+                }
+            })
             .collect();
         run(&mut llc, &trace);
         let d = llc.policy().diagnostics();
@@ -374,10 +421,16 @@ mod tests {
     fn deterministic_given_seed() {
         let g = geom();
         let trace: Vec<(u64, u64)> = (0..5000u64).map(|i| (i % 7, i % 300)).collect();
-        let mut a =
-            SlicedLlc::with_hasher(g, Box::new(Chrome::new(&g, &cfg())), Box::new(ModuloHash::new()));
-        let mut b =
-            SlicedLlc::with_hasher(g, Box::new(Chrome::new(&g, &cfg())), Box::new(ModuloHash::new()));
+        let mut a = SlicedLlc::with_hasher(
+            g,
+            Box::new(Chrome::new(&g, &cfg())),
+            Box::new(ModuloHash::new()),
+        );
+        let mut b = SlicedLlc::with_hasher(
+            g,
+            Box::new(Chrome::new(&g, &cfg())),
+            Box::new(ModuloHash::new()),
+        );
         assert_eq!(run(&mut a, &trace), run(&mut b, &trace));
     }
 }

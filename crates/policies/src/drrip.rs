@@ -187,8 +187,14 @@ mod tests {
             ways: 4,
             latency: 20,
         };
-        assert_eq!(Drrip::new(&geom, &DrishtiConfig::baseline(1)).name(), "drrip");
-        assert_eq!(Drrip::new(&geom, &DrishtiConfig::dsc_only(1)).name(), "d-drrip");
+        assert_eq!(
+            Drrip::new(&geom, &DrishtiConfig::baseline(1)).name(),
+            "drrip"
+        );
+        assert_eq!(
+            Drrip::new(&geom, &DrishtiConfig::dsc_only(1)).name(),
+            "d-drrip"
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl Glider {
             .collect();
         let samplers = selectors
             .iter()
-            .map(|sel| (0..sel.n_sampled()).map(|_| SampledSet::new(geom.ways)).collect())
+            .map(|sel| {
+                (0..sel.n_sampled())
+                    .map(|_| SampledSet::new(geom.ways))
+                    .collect()
+            })
             .collect();
         let label = match cfg.label().as_str() {
             "baseline" => "glider".to_string(),
@@ -149,7 +153,11 @@ impl Glider {
         cycle: u64,
     ) {
         self.trainings += 1;
-        let (bank, _) = self.fabric.train(slice, core, cycle);
+        let t = self.fabric.train(slice, core, cycle);
+        if !t.delivered {
+            return; // update lost in transit; later samples retrain
+        }
+        let bank = t.bank;
         let s = self.score(bank, signature, core, feats);
         // Hinge: only update while the margin is not confidently correct.
         if friendly && s > TRAIN_MARGIN {
@@ -173,8 +181,7 @@ impl Glider {
         if self.selectors[loc.slice].observe(loc.set, llc_hit) == DscEvent::Reselected {
             // Only slots whose set changed lose their history; retained
             // sets keep training across the reselection.
-            let changed: Vec<usize> =
-                self.selectors[loc.slice].changed_slots().to_vec();
+            let changed: Vec<usize> = self.selectors[loc.slice].changed_slots().to_vec();
             for slot in changed {
                 self.samplers[loc.slice][slot].reset();
             }
@@ -298,9 +305,12 @@ impl LlcPolicy for Glider {
             *self.rrpv.get_mut(loc.slice, loc.set, way) = MAX_RRPV;
             return 0;
         }
-        let (bank, lat) = self.fabric.predict(loc.slice, acc.core, cycle);
+        let p = self.fabric.predict(loc.slice, acc.core, cycle);
+        let lat = p.latency;
         let feats = self.features(acc.core);
-        let friendly = self.score(bank, acc.signature(), acc.core, &feats) >= 0;
+        // An abandoned lookup uses the untrained-default score (zero
+        // weights ⇒ friendly), the local static decision.
+        let friendly = p.fallback || self.score(p.bank, acc.signature(), acc.core, &feats) >= 0;
         let set = self.rrpv.set_mut(loc.slice, loc.set);
         if friendly {
             for (w, r) in set.iter_mut().enumerate() {
@@ -320,7 +330,14 @@ impl LlcPolicy for Glider {
     }
 
     fn diagnostics(&self) -> Vec<(String, u64)> {
-        vec![("isvm_trainings".into(), self.trainings)]
+        let fc = self.fabric.counters();
+        vec![
+            ("isvm_trainings".into(), self.trainings),
+            ("fabric_fallbacks".into(), fc.fallback_decisions),
+            ("fabric_dropped_predictions".into(), fc.dropped_predictions),
+            ("fabric_dropped_trainings".into(), fc.dropped_trainings),
+            ("fabric_retried_trainings".into(), fc.retried_trainings),
+        ]
     }
 }
 
@@ -360,15 +377,24 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(Glider::new(&geom(), &DrishtiConfig::baseline(1)).name(), "glider");
-        assert_eq!(Glider::new(&geom(), &DrishtiConfig::drishti(1)).name(), "d-glider");
+        assert_eq!(
+            Glider::new(&geom(), &DrishtiConfig::baseline(1)).name(),
+            "glider"
+        );
+        assert_eq!(
+            Glider::new(&geom(), &DrishtiConfig::drishti(1)).name(),
+            "d-glider"
+        );
     }
 
     #[test]
     fn isvm_learns_reuse_vs_scan() {
         let g = geom();
-        let mut llc =
-            SlicedLlc::with_hasher(g, Box::new(Glider::new(&g, &cfg())), Box::new(ModuloHash::new()));
+        let mut llc = SlicedLlc::with_hasher(
+            g,
+            Box::new(Glider::new(&g, &cfg())),
+            Box::new(ModuloHash::new()),
+        );
         let mut trace = Vec::new();
         let mut stream = 80_000u64;
         for _ in 0..300 {

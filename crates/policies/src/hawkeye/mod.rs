@@ -116,7 +116,11 @@ impl Hawkeye {
             .collect();
         let samplers = selectors
             .iter()
-            .map(|sel| (0..sel.n_sampled()).map(|_| SampledSet::new(geom.ways)).collect())
+            .map(|sel| {
+                (0..sel.n_sampled())
+                    .map(|_| SampledSet::new(geom.ways))
+                    .collect()
+            })
             .collect();
         let label = match cfg.label().as_str() {
             "baseline" => "hawkeye".to_string(),
@@ -136,7 +140,11 @@ impl Hawkeye {
     }
 
     fn train(&mut self, slice: usize, signature: u64, core: usize, friendly: bool, cycle: u64) {
-        let (bank, _) = self.fabric.train(slice, core, cycle);
+        let t = self.fabric.train(slice, core, cycle);
+        if !t.delivered {
+            return; // update lost in transit; later samples retrain
+        }
+        let bank = t.bank;
         let idx = predictor_index(signature, core, INDEX_BITS);
         let update = |c: &mut u8| {
             *c = if friendly {
@@ -161,9 +169,15 @@ impl Hawkeye {
     /// Whether the predictor currently classifies `(signature, core)` as
     /// cache-friendly, plus the charged lookup latency.
     fn predict(&mut self, slice: usize, signature: u64, core: usize, cycle: u64) -> (bool, u64) {
-        let (bank, lat) = self.fabric.predict(slice, core, cycle);
-        let c = self.predictors[bank][predictor_index(signature, core, INDEX_BITS)];
-        (c >= FRIENDLY_THRESHOLD, lat)
+        let p = self.fabric.predict(slice, core, cycle);
+        // An abandoned lookup uses the untrained-default classification
+        // (counter at its initial value) — the local static decision.
+        let c = if p.fallback {
+            COUNTER_INIT
+        } else {
+            self.predictors[p.bank][predictor_index(signature, core, INDEX_BITS)]
+        };
+        (c >= FRIENDLY_THRESHOLD, p.latency)
     }
 
     /// Sampler bookkeeping for one access to a (possibly) sampled set.
@@ -171,8 +185,7 @@ impl Hawkeye {
         if self.selectors[loc.slice].observe(loc.set, llc_hit) == DscEvent::Reselected {
             // Only slots whose set changed lose their history; retained
             // sets keep training across the reselection.
-            let changed: Vec<usize> =
-                self.selectors[loc.slice].changed_slots().to_vec();
+            let changed: Vec<usize> = self.selectors[loc.slice].changed_slots().to_vec();
             for slot in changed {
                 self.samplers[loc.slice][slot].reset();
             }
@@ -190,11 +203,7 @@ impl Hawkeye {
         sampler.optgen.advance();
         let now = sampler.optgen.now();
 
-        if let Some(i) = sampler
-            .entries
-            .iter()
-            .position(|e| e.valid && e.tag == tag)
-        {
+        if let Some(i) = sampler.entries.iter().position(|e| e.valid && e.tag == tag) {
             let prev = sampler.entries[i].last;
             let prev_sig = sampler.entries[i].signature;
             let prev_core = sampler.entries[i].core as usize;
@@ -337,8 +346,30 @@ impl LlcPolicy for Hawkeye {
             ("detrains".into(), self.diag.detrains),
             ("fills_friendly".into(), self.diag.fills_friendly),
             ("fills_averse".into(), self.diag.fills_averse),
-            ("predictor_train".into(), self.fabric.counters().train_accesses),
-            ("predictor_predict".into(), self.fabric.counters().predict_accesses),
+            (
+                "predictor_train".into(),
+                self.fabric.counters().train_accesses,
+            ),
+            (
+                "predictor_predict".into(),
+                self.fabric.counters().predict_accesses,
+            ),
+            (
+                "fabric_fallbacks".into(),
+                self.fabric.counters().fallback_decisions,
+            ),
+            (
+                "fabric_dropped_predictions".into(),
+                self.fabric.counters().dropped_predictions,
+            ),
+            (
+                "fabric_dropped_trainings".into(),
+                self.fabric.counters().dropped_trainings,
+            ),
+            (
+                "fabric_retried_trainings".into(),
+                self.fabric.counters().retried_trainings,
+            ),
         ]
     }
 }
@@ -390,8 +421,14 @@ mod tests {
     #[test]
     fn names_follow_configuration() {
         let g = small_geom();
-        assert_eq!(Hawkeye::new(&g, &DrishtiConfig::baseline(1)).name(), "hawkeye");
-        assert_eq!(Hawkeye::new(&g, &DrishtiConfig::drishti(1)).name(), "d-hawkeye");
+        assert_eq!(
+            Hawkeye::new(&g, &DrishtiConfig::baseline(1)).name(),
+            "hawkeye"
+        );
+        assert_eq!(
+            Hawkeye::new(&g, &DrishtiConfig::drishti(1)).name(),
+            "d-hawkeye"
+        );
         assert!(Hawkeye::new(&g, &DrishtiConfig::global_view_only(1))
             .name()
             .contains("global-view-only"));

@@ -54,8 +54,8 @@ impl OptGen {
         if prev >= self.time || self.time - prev >= window {
             return false;
         }
-        let full = (prev..self.time)
-            .any(|t| self.occupancy[(t % window) as usize] >= self.capacity);
+        let full =
+            (prev..self.time).any(|t| self.occupancy[(t % window) as usize] >= self.capacity);
         if full {
             return false;
         }

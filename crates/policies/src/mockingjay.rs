@@ -137,7 +137,11 @@ impl Mockingjay {
             .collect();
         let samplers = selectors
             .iter()
-            .map(|sel| (0..sel.n_sampled()).map(|_| SampledSet::new(geom.ways)).collect())
+            .map(|sel| {
+                (0..sel.n_sampled())
+                    .map(|_| SampledSet::new(geom.ways))
+                    .collect()
+            })
             .collect();
         let label = match cfg.label().as_str() {
             "baseline" => "mockingjay".to_string(),
@@ -164,10 +168,7 @@ impl Mockingjay {
     /// shared handle that keeps filling while the policy runs — read it
     /// after the simulation even though the policy itself was moved into
     /// the engine.
-    pub fn enable_etr_log(
-        &mut self,
-        pc: u64,
-    ) -> std::rc::Rc<std::cell::RefCell<Vec<EtrSample>>> {
+    pub fn enable_etr_log(&mut self, pc: u64) -> std::rc::Rc<std::cell::RefCell<Vec<EtrSample>>> {
         let handle = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         self.etr_log = Some((pc, handle.clone()));
         handle
@@ -179,7 +180,11 @@ impl Mockingjay {
     }
 
     fn train(&mut self, slice: usize, signature: u64, core: usize, units: u8, cycle: u64) {
-        let (bank, _) = self.fabric.train(slice, core, cycle);
+        let t = self.fabric.train(slice, core, cycle);
+        if !t.delivered {
+            return; // update lost in transit; later samples retrain
+        }
+        let bank = t.bank;
         let idx = predictor_index(signature, core, INDEX_BITS);
         let update = |e: &mut u8| {
             *e = if *e == UNTRAINED {
@@ -203,8 +208,15 @@ impl Mockingjay {
     }
 
     fn predict(&mut self, slice: usize, acc: &Access, cycle: u64) -> (u8, u64) {
-        let (bank, lat) = self.fabric.predict(slice, acc.core, cycle);
-        let e = self.predictors[bank][predictor_index(acc.signature(), acc.core, INDEX_BITS)];
+        let p = self.fabric.predict(slice, acc.core, cycle);
+        let lat = p.latency;
+        // An abandoned lookup behaves like an untrained entry: the static
+        // default ETR below takes over (the local fallback decision).
+        let e = if p.fallback {
+            UNTRAINED
+        } else {
+            self.predictors[p.bank][predictor_index(acc.signature(), acc.core, INDEX_BITS)]
+        };
         let units = if e == UNTRAINED {
             if acc.kind == AccessKind::Prefetch {
                 DEFAULT_PREFETCH_ETR as u8
@@ -242,8 +254,7 @@ impl Mockingjay {
         if self.selectors[loc.slice].observe(loc.set, llc_hit) == DscEvent::Reselected {
             // Only slots whose set changed lose their history; retained
             // sets keep training across the reselection.
-            let changed: Vec<usize> =
-                self.selectors[loc.slice].changed_slots().to_vec();
+            let changed: Vec<usize> = self.selectors[loc.slice].changed_slots().to_vec();
             for slot in changed {
                 self.samplers[loc.slice][slot].reset();
             }
@@ -431,8 +442,30 @@ impl LlcPolicy for Mockingjay {
             ("pred_q1".into(), bucket(16, 48)),
             ("pred_q2".into(), bucket(48, 112)),
             ("pred_q3".into(), bucket(112, 128)),
-            ("predictor_train".into(), self.fabric.counters().train_accesses),
-            ("predictor_predict".into(), self.fabric.counters().predict_accesses),
+            (
+                "predictor_train".into(),
+                self.fabric.counters().train_accesses,
+            ),
+            (
+                "predictor_predict".into(),
+                self.fabric.counters().predict_accesses,
+            ),
+            (
+                "fabric_fallbacks".into(),
+                self.fabric.counters().fallback_decisions,
+            ),
+            (
+                "fabric_dropped_predictions".into(),
+                self.fabric.counters().dropped_predictions,
+            ),
+            (
+                "fabric_dropped_trainings".into(),
+                self.fabric.counters().dropped_trainings,
+            ),
+            (
+                "fabric_retried_trainings".into(),
+                self.fabric.counters().retried_trainings,
+            ),
         ]
     }
 }
@@ -548,8 +581,7 @@ mod tests {
         let geom = small_geom();
         let mut mj = Mockingjay::new(&geom, &cfg_all_sampled());
         let handle = mj.enable_etr_log(0x42);
-        let mut llc =
-            SlicedLlc::with_hasher(geom, Box::new(mj), Box::new(ModuloHash::new()));
+        let mut llc = SlicedLlc::with_hasher(geom, Box::new(mj), Box::new(ModuloHash::new()));
         for i in 0..2000u64 {
             let pc = if i % 2 == 0 { 0x42 } else { 0x43 };
             let a = Access::load(0, pc, i % 256);
@@ -591,8 +623,11 @@ mod tests {
         // Reconstruct: the histogram lives on the concrete type; drive one
         // directly for visibility.
         let mut mj = Mockingjay::new(&geom, &cfg_all_sampled());
-        let mut container =
-            SlicedLlc::with_hasher(geom, Box::new(Mockingjay::new(&geom, &cfg_all_sampled())), Box::new(ModuloHash::new()));
+        let mut container = SlicedLlc::with_hasher(
+            geom,
+            Box::new(Mockingjay::new(&geom, &cfg_all_sampled())),
+            Box::new(ModuloHash::new()),
+        );
         for i in 0..5000u64 {
             let a = Access::load(0, 0x7, i % 200);
             if !container.lookup(&a, i).hit {

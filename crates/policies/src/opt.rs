@@ -167,7 +167,10 @@ mod tests {
     #[test]
     fn next_use_computation() {
         let t = loads(&[1, 2, 1, 3, 2]);
-        assert_eq!(next_use_indices(&t), vec![2, 4, u64::MAX, u64::MAX, u64::MAX]);
+        assert_eq!(
+            next_use_indices(&t),
+            vec![2, 4, u64::MAX, u64::MAX, u64::MAX]
+        );
     }
 
     #[test]

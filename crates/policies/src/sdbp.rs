@@ -121,7 +121,11 @@ impl Sdbp {
         } else {
             self.live_trainings += 1;
         }
-        let (bank, _) = self.fabric.train(slice, core, cycle);
+        let t = self.fabric.train(slice, core, cycle);
+        if !t.delivered {
+            return; // update lost in transit; later evictions retrain
+        }
+        let bank = t.bank;
         for (t, idx) in Self::indices(signature, core).into_iter().enumerate() {
             let c = &mut self.tables[bank][t][idx];
             *c = if dead {
@@ -132,14 +136,25 @@ impl Sdbp {
         }
     }
 
-    fn predict_dead(&mut self, slice: usize, signature: u64, core: usize, cycle: u64) -> (bool, u64) {
-        let (bank, lat) = self.fabric.predict(slice, core, cycle);
+    fn predict_dead(
+        &mut self,
+        slice: usize,
+        signature: u64,
+        core: usize,
+        cycle: u64,
+    ) -> (bool, u64) {
+        let p = self.fabric.predict(slice, core, cycle);
+        if p.fallback {
+            // Abandoned lookup: the untrained default (zeroed counters)
+            // never votes dead — insert normally, the safe static choice.
+            return (false, p.latency);
+        }
         let vote: u32 = Self::indices(signature, core)
             .into_iter()
             .enumerate()
-            .map(|(t, idx)| u32::from(self.tables[bank][t][idx]))
+            .map(|(t, idx)| u32::from(self.tables[p.bank][t][idx]))
             .sum();
-        (vote >= DEAD_THRESHOLD, lat)
+        (vote >= DEAD_THRESHOLD, p.latency)
     }
 
     fn sample_access(&mut self, loc: LlcLoc, acc: &Access, llc_hit: bool, cycle: u64) {
@@ -268,8 +283,30 @@ impl LlcPolicy for Sdbp {
             ("dead_trainings".into(), self.dead_trainings),
             ("live_trainings".into(), self.live_trainings),
             ("dead_fills".into(), self.dead_fills),
-            ("predictor_train".into(), self.fabric.counters().train_accesses),
-            ("predictor_predict".into(), self.fabric.counters().predict_accesses),
+            (
+                "predictor_train".into(),
+                self.fabric.counters().train_accesses,
+            ),
+            (
+                "predictor_predict".into(),
+                self.fabric.counters().predict_accesses,
+            ),
+            (
+                "fabric_fallbacks".into(),
+                self.fabric.counters().fallback_decisions,
+            ),
+            (
+                "fabric_dropped_predictions".into(),
+                self.fabric.counters().dropped_predictions,
+            ),
+            (
+                "fabric_dropped_trainings".into(),
+                self.fabric.counters().dropped_trainings,
+            ),
+            (
+                "fabric_retried_trainings".into(),
+                self.fabric.counters().retried_trainings,
+            ),
         ]
     }
 }
@@ -310,15 +347,24 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(Sdbp::new(&geom(), &DrishtiConfig::baseline(1)).name(), "sdbp");
-        assert_eq!(Sdbp::new(&geom(), &DrishtiConfig::drishti(1)).name(), "d-sdbp");
+        assert_eq!(
+            Sdbp::new(&geom(), &DrishtiConfig::baseline(1)).name(),
+            "sdbp"
+        );
+        assert_eq!(
+            Sdbp::new(&geom(), &DrishtiConfig::drishti(1)).name(),
+            "d-sdbp"
+        );
     }
 
     #[test]
     fn dead_blocks_from_scans_are_evicted_first() {
         let g = geom();
-        let mut llc =
-            SlicedLlc::with_hasher(g, Box::new(Sdbp::new(&g, &cfg())), Box::new(ModuloHash::new()));
+        let mut llc = SlicedLlc::with_hasher(
+            g,
+            Box::new(Sdbp::new(&g, &cfg())),
+            Box::new(ModuloHash::new()),
+        );
         let mut trace = Vec::new();
         let mut stream = 70_000u64;
         for _ in 0..400 {

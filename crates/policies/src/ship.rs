@@ -77,8 +77,11 @@ impl ShipPp {
     }
 
     fn train(&mut self, slice: usize, signature: u64, core: usize, reused: bool, cycle: u64) {
-        let (bank, _) = self.fabric.train(slice, core, cycle);
-        let c = &mut self.shct[bank][predictor_index(signature, core, SHCT_BITS)];
+        let t = self.fabric.train(slice, core, cycle);
+        if !t.delivered {
+            return; // update lost in transit; later evictions retrain
+        }
+        let c = &mut self.shct[t.bank][predictor_index(signature, core, SHCT_BITS)];
         if reused {
             self.trains_up += 1;
             *c = (*c + 1).min(SHCT_MAX);
@@ -163,8 +166,15 @@ impl LlcPolicy for ShipPp {
         let (insert, lat) = if acc.kind == AccessKind::Writeback {
             (MAX_RRPV, 0)
         } else {
-            let (bank, lat) = self.fabric.predict(loc.slice, acc.core, cycle);
-            let c = self.shct[bank][predictor_index(acc.signature(), acc.core, SHCT_BITS)];
+            let p = self.fabric.predict(loc.slice, acc.core, cycle);
+            let lat = p.latency;
+            // An abandoned lookup uses the untrained-default counter
+            // (intermediate confidence ⇒ SRRIP-like RRPV 2 below).
+            let c = if p.fallback {
+                SHCT_INIT
+            } else {
+                self.shct[p.bank][predictor_index(acc.signature(), acc.core, SHCT_BITS)]
+            };
             let rrpv = if c == 0 {
                 MAX_RRPV // never reused: distant
             } else if c >= SHCT_MAX {
@@ -183,9 +193,14 @@ impl LlcPolicy for ShipPp {
     }
 
     fn diagnostics(&self) -> Vec<(String, u64)> {
+        let fc = self.fabric.counters();
         vec![
             ("trains_up".into(), self.trains_up),
             ("trains_down".into(), self.trains_down),
+            ("fabric_fallbacks".into(), fc.fallback_decisions),
+            ("fabric_dropped_predictions".into(), fc.dropped_predictions),
+            ("fabric_dropped_trainings".into(), fc.dropped_trainings),
+            ("fabric_retried_trainings".into(), fc.retried_trainings),
         ]
     }
 }
@@ -226,15 +241,24 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(ShipPp::new(&geom(), &DrishtiConfig::baseline(1)).name(), "ship++");
-        assert_eq!(ShipPp::new(&geom(), &DrishtiConfig::drishti(1)).name(), "d-ship++");
+        assert_eq!(
+            ShipPp::new(&geom(), &DrishtiConfig::baseline(1)).name(),
+            "ship++"
+        );
+        assert_eq!(
+            ShipPp::new(&geom(), &DrishtiConfig::drishti(1)).name(),
+            "d-ship++"
+        );
     }
 
     #[test]
     fn scanning_pc_becomes_distant_and_reuse_survives() {
         let g = geom();
-        let mut llc =
-            SlicedLlc::with_hasher(g, Box::new(ShipPp::new(&g, &cfg())), Box::new(ModuloHash::new()));
+        let mut llc = SlicedLlc::with_hasher(
+            g,
+            Box::new(ShipPp::new(&g, &cfg())),
+            Box::new(ModuloHash::new()),
+        );
         // SHiP learns from *observed* reuse, so the friendly working set is
         // walked twice per iteration (it hits within the iteration) while a
         // scan tries to flush it between iterations.

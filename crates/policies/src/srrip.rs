@@ -95,7 +95,11 @@ mod tests {
             ways,
             latency: 20,
         };
-        SlicedLlc::with_hasher(geom, Box::new(Srrip::new(&geom)), Box::new(ModuloHash::new()))
+        SlicedLlc::with_hasher(
+            geom,
+            Box::new(Srrip::new(&geom)),
+            Box::new(ModuloHash::new()),
+        )
     }
 
     #[test]

@@ -4,121 +4,253 @@
 //! drishti-sim --cores 16 --policy mockingjay --org drishti --mix homo:mcf
 //! drishti-sim --cores 8 --policy hawkeye --org baseline --mix hetero:3 \
 //!             --accesses 200000 --l2-kib 1024 --llc-mib 4 --channels 2
+//! drishti-sim --cores 8 --policy mockingjay --org drishti \
+//!             --drop-pct 5 --fault-seed 42 --jitter 4 --dram-outage 0:50000:5000
 //! ```
 //!
 //! Prints per-core IPC, LLC/DRAM statistics, predictor-fabric traffic and
-//! the uncore energy breakdown for the requested configuration.
+//! the uncore energy breakdown for the requested configuration. With fault
+//! injection enabled it also reports the resilience counters (drops,
+//! retries, fallbacks, re-steers).
+//!
+//! Argument handling never panics: every malformed or inconsistent input
+//! exits with status 2 and an actionable message.
 
 use drishti_core::config::DrishtiConfig;
+use drishti_noc::faults::{FaultConfig, OutageWindow};
 use drishti_policies::factory::PolicyKind;
 use drishti_sim::config::SystemConfig;
 use drishti_sim::runner::{run_mix, RunConfig};
 use drishti_trace::mix::Mix;
 use drishti_trace::presets::Benchmark;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: drishti-sim [--cores N] [--policy P] [--org O] [--mix M]\n\
-         \x20      [--accesses N] [--warmup N] [--l2-kib K] [--llc-mib M] [--channels C]\n\
-         \x20 P: lru srrip dip ship++ hawkeye mockingjay glider chrome\n\
-         \x20 O: baseline drishti global-view dsc-only centralized mesh\n\
-         \x20 M: homo:<bench> | hetero:<seed>   (bench: mcf xalan lbm gcc ... )"
-    );
-    std::process::exit(2);
+const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P] [--org O] [--mix M]
+       [--accesses N] [--warmup N] [--l2-kib K] [--llc-mib M] [--channels C]
+       [--fault-seed S] [--drop-pct F] [--jitter J]
+       [--link-outage PERIOD:LEN] [--dram-outage CH:START:LEN]...
+  P: lru srrip dip drrip sdbp ship++ hawkeye mockingjay glider chrome
+  O: baseline drishti global-view dsc-only centralized mesh
+  M: homo:<bench> | hetero:<seed>   (bench: mcf xalan lbm gcc ... )
+  faults: --drop-pct is a percentage (0..=100) of uncore messages lost,
+  --jitter a max per-message latency jitter in cycles, --link-outage a
+  recurring link blackout, --dram-outage a one-shot channel blackout
+  window (repeatable). --fault-seed makes the fault stream reproducible.";
+
+/// Everything the CLI accepts, fully validated.
+struct CliArgs {
+    cores: usize,
+    policy: PolicyKind,
+    org: String,
+    mix_spec: String,
+    accesses: u64,
+    warmup: u64,
+    l2_kib: usize,
+    llc_mib: usize,
+    channels: Option<usize>,
+    faults: FaultConfig,
 }
 
-fn parse_policy(s: &str) -> PolicyKind {
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            cores: 8,
+            policy: PolicyKind::Mockingjay,
+            org: "baseline".to_string(),
+            mix_spec: "homo:mcf".to_string(),
+            accesses: 100_000,
+            warmup: 25_000,
+            l2_kib: 512,
+            llc_mib: 2,
+            channels: None,
+            faults: FaultConfig::none(),
+        }
+    }
+}
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
     PolicyKind::all()
         .into_iter()
         .find(|p| p.label() == s)
-        .unwrap_or_else(|| {
-            eprintln!("unknown policy {s}");
-            usage()
+        .ok_or_else(|| {
+            let known: Vec<_> = PolicyKind::all().iter().map(|p| p.label()).collect();
+            format!("unknown policy `{s}` (known: {})", known.join(" "))
         })
 }
 
-fn parse_bench(s: &str) -> Benchmark {
+fn parse_bench(s: &str) -> Result<Benchmark, String> {
     Benchmark::spec_and_gap()
         .into_iter()
         .chain(Benchmark::server().iter().copied())
         .find(|b| b.label() == s)
-        .unwrap_or_else(|| {
-            eprintln!("unknown benchmark {s}");
-            usage()
-        })
+        .ok_or_else(|| format!("unknown benchmark `{s}`"))
 }
 
-fn main() {
-    let mut cores = 8usize;
-    let mut policy = PolicyKind::Mockingjay;
-    let mut org = "baseline".to_string();
-    let mut mix_spec = "homo:mcf".to_string();
-    let mut accesses = 100_000u64;
-    let mut warmup = 25_000u64;
-    let mut l2_kib = 512usize;
-    let mut llc_mib = 2usize;
-    let mut channels: Option<usize> = None;
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag} needs a number, got `{s}`"))
+}
 
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// `CH:START:LEN` → a one-shot DRAM channel outage window.
+fn parse_dram_outage(s: &str) -> Result<OutageWindow, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let [ch, start, len] = parts.as_slice() else {
+        return Err(format!("--dram-outage wants CH:START:LEN, got `{s}`"));
+    };
+    Ok(OutageWindow {
+        channel: parse_num("--dram-outage channel", ch)?,
+        start: parse_num("--dram-outage start", start)?,
+        len: parse_num("--dram-outage len", len)?,
+    })
+}
+
+/// `PERIOD:LEN` → a recurring link blackout.
+fn parse_link_outage(s: &str) -> Result<(u64, u64), String> {
+    let (period, len) = s
+        .split_once(':')
+        .ok_or_else(|| format!("--link-outage wants PERIOD:LEN, got `{s}`"))?;
+    Ok((
+        parse_num("--link-outage period", period)?,
+        parse_num("--link-outage len", len)?,
+    ))
+}
+
+fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut cli = CliArgs::default();
     let mut i = 0;
     while i < args.len() {
-        let need = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
-        match args[i].as_str() {
-            "--cores" => cores = need(i).parse().unwrap_or_else(|_| usage()),
-            "--policy" => policy = parse_policy(&need(i)),
-            "--org" => org = need(i),
-            "--mix" => mix_spec = need(i),
-            "--accesses" => accesses = need(i).parse().unwrap_or_else(|_| usage()),
-            "--warmup" => warmup = need(i).parse().unwrap_or_else(|_| usage()),
-            "--l2-kib" => l2_kib = need(i).parse().unwrap_or_else(|_| usage()),
-            "--llc-mib" => llc_mib = need(i).parse().unwrap_or_else(|_| usage()),
-            "--channels" => channels = Some(need(i).parse().unwrap_or_else(|_| usage())),
-            "--help" | "-h" => usage(),
-            _ => usage(),
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new()); // usage-only exit
+        }
+        let val = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--cores" => cli.cores = parse_num(flag, val)?,
+            "--policy" => cli.policy = parse_policy(val)?,
+            "--org" => cli.org = val.clone(),
+            "--mix" => cli.mix_spec = val.clone(),
+            "--accesses" => cli.accesses = parse_num(flag, val)?,
+            "--warmup" => cli.warmup = parse_num(flag, val)?,
+            "--l2-kib" => cli.l2_kib = parse_num(flag, val)?,
+            "--llc-mib" => cli.llc_mib = parse_num(flag, val)?,
+            "--channels" => cli.channels = Some(parse_num(flag, val)?),
+            "--fault-seed" => cli.faults.seed = parse_num(flag, val)?,
+            "--drop-pct" => cli.faults.drop_pct = parse_num(flag, val)?,
+            "--jitter" => cli.faults.jitter = parse_num(flag, val)?,
+            "--link-outage" => {
+                let (period, len) = parse_link_outage(val)?;
+                cli.faults.link_outage_period = period;
+                cli.faults.link_outage_len = len;
+            }
+            "--dram-outage" => cli.faults.dram_outages.push(parse_dram_outage(val)?),
+            _ => return Err(format!("unknown flag `{flag}`")),
         }
         i += 2;
     }
 
-    let mix = match mix_spec.split_once(':') {
-        Some(("homo", bench)) => Mix::homogeneous(parse_bench(bench), cores, 1),
-        Some(("hetero", seed)) => Mix::heterogeneous(
-            &Benchmark::spec_and_gap(),
-            cores,
-            seed.parse().unwrap_or_else(|_| usage()),
-        ),
-        _ => usage(),
-    };
-    let drishti = match org.as_str() {
-        "baseline" => DrishtiConfig::baseline(cores),
-        "drishti" => DrishtiConfig::drishti(cores),
-        "global-view" => DrishtiConfig::global_view_only(cores),
-        "dsc-only" => DrishtiConfig::dsc_only(cores),
-        "centralized" => DrishtiConfig::centralized(cores),
-        "mesh" => DrishtiConfig::drishti_without_nocstar(cores),
-        _ => usage(),
-    };
+    // Cross-flag consistency: catch impossible runs before they start.
+    if cli.cores == 0 {
+        return Err("--cores must be at least 1".to_string());
+    }
+    if cli.accesses == 0 {
+        return Err("--accesses must be at least 1".to_string());
+    }
+    if cli.warmup >= cli.accesses {
+        return Err(format!(
+            "--warmup ({}) must be smaller than --accesses ({}); nothing would be measured",
+            cli.warmup, cli.accesses
+        ));
+    }
+    if cli.l2_kib == 0 || cli.llc_mib == 0 {
+        return Err("--l2-kib and --llc-mib must be at least 1".to_string());
+    }
+    if cli.channels == Some(0) {
+        return Err("--channels must be at least 1".to_string());
+    }
+    cli.faults.validate()?;
+    if let Some(ch) = cli.channels {
+        if let Some(w) = cli.faults.dram_outages.iter().find(|w| w.channel >= ch) {
+            return Err(format!(
+                "--dram-outage names channel {} but only {ch} channel(s) exist",
+                w.channel
+            ));
+        }
+    }
+    Ok(cli)
+}
 
-    let mut system = SystemConfig::paper_baseline(cores);
-    system.l2 = drishti_mem::cache::CacheConfig::l2_with_kib(l2_kib);
-    system.llc = drishti_mem::llc::LlcGeometry::per_core_mib(cores, llc_mib);
-    if let Some(ch) = channels {
+fn build_mix(cli: &CliArgs) -> Result<Mix, String> {
+    match cli.mix_spec.split_once(':') {
+        Some(("homo", bench)) => Ok(Mix::homogeneous(parse_bench(bench)?, cli.cores, 1)),
+        Some(("hetero", seed)) => Ok(Mix::heterogeneous(
+            &Benchmark::spec_and_gap(),
+            cli.cores,
+            parse_num("--mix hetero seed", seed)?,
+        )),
+        _ => Err(format!(
+            "--mix wants homo:<bench> or hetero:<seed>, got `{}`",
+            cli.mix_spec
+        )),
+    }
+}
+
+fn build_org(cli: &CliArgs) -> Result<DrishtiConfig, String> {
+    const KNOWN: &str = "baseline drishti global-view dsc-only centralized mesh";
+    let cfg = match cli.org.as_str() {
+        "baseline" => DrishtiConfig::baseline(cli.cores),
+        "drishti" => DrishtiConfig::drishti(cli.cores),
+        "global-view" => DrishtiConfig::global_view_only(cli.cores),
+        "dsc-only" => DrishtiConfig::dsc_only(cli.cores),
+        "centralized" => DrishtiConfig::centralized(cli.cores),
+        "mesh" => DrishtiConfig::drishti_without_nocstar(cli.cores),
+        other => return Err(format!("unknown org `{other}` (known: {KNOWN})")),
+    };
+    // The predictor fabric degrades under the same fault stream as the
+    // rest of the uncore.
+    Ok(cfg.with_faults(cli.faults.clone()))
+}
+
+fn run(cli: &CliArgs) -> Result<(), String> {
+    let mix = build_mix(cli)?;
+    let drishti = build_org(cli)?;
+
+    let mut system = SystemConfig::paper_baseline(cli.cores);
+    system.l2 = drishti_mem::cache::CacheConfig::l2_with_kib(cli.l2_kib);
+    system.llc = drishti_mem::llc::LlcGeometry::per_core_mib(cli.cores, cli.llc_mib);
+    if let Some(ch) = cli.channels {
         system.dram = drishti_mem::dram::DramConfig::with_channels(ch);
     }
+    system.faults = cli.faults.clone();
     let rc = RunConfig {
         system,
-        accesses_per_core: accesses,
-        warmup_accesses: warmup,
+        accesses_per_core: cli.accesses,
+        warmup_accesses: cli.warmup,
         record_llc_stream: false,
     };
 
     println!(
-        "mix={} policy={} org={} cores={cores} llc={llc_mib}MB/core l2={l2_kib}KB",
+        "mix={} policy={} org={} cores={} llc={}MB/core l2={}KB",
         mix.name,
-        policy.label(),
-        org
+        cli.policy.label(),
+        cli.org,
+        cli.cores,
+        cli.llc_mib,
+        cli.l2_kib
     );
+    if !cli.faults.is_noop() {
+        println!(
+            "faults: seed={} drop={}% jitter={} link-outage={}/{} dram-outages={}",
+            cli.faults.seed,
+            cli.faults.drop_pct,
+            cli.faults.jitter,
+            cli.faults.link_outage_len,
+            cli.faults.link_outage_period,
+            cli.faults.dram_outages.len()
+        );
+    }
     let t = std::time::Instant::now();
-    let r = run_mix(&mix, policy, drishti, &rc);
+    let r = run_mix(&mix, cli.policy, drishti, &rc);
     println!("\nsimulated in {:.1?}\n", t.elapsed());
 
     println!("policy reported: {}", r.policy);
@@ -132,11 +264,23 @@ fn main() {
         );
     }
     println!("\nLLC    : {:?}", r.llc);
-    println!("DRAM   : reads {} writes {} mean-read-lat {:.0}",
-        r.dram.reads, r.dram.writes, r.dram.mean_read_latency());
-    println!("mesh   : msgs {} mean-lat {:.1}", r.mesh.messages, r.mesh.mean_latency());
-    println!("fabric : msgs {} mean-lat {:.1} energy {} pJ",
-        r.fabric.messages, r.fabric.mean_latency(), r.fabric.energy_pj);
+    println!(
+        "DRAM   : reads {} writes {} mean-read-lat {:.0}",
+        r.dram.reads,
+        r.dram.writes,
+        r.dram.mean_read_latency()
+    );
+    println!(
+        "mesh   : msgs {} mean-lat {:.1}",
+        r.mesh.messages,
+        r.mesh.mean_latency()
+    );
+    println!(
+        "fabric : msgs {} mean-lat {:.1} energy {} pJ",
+        r.fabric.messages,
+        r.fabric.mean_latency(),
+        r.fabric.energy_pj
+    );
     println!(
         "energy : LLC {} + NoC {} + DRAM {} + fabric {} = {} µJ",
         r.energy.llc_pj / 1_000_000,
@@ -145,5 +289,33 @@ fn main() {
         r.energy.fabric_pj / 1_000_000,
         r.energy.total_pj() / 1_000_000
     );
+    let faults = r.fault_summary();
+    if !cli.faults.is_noop() || !faults.is_clean() {
+        println!("\nresilience:");
+        for (name, value) in faults.entries() {
+            println!("  {name:<22} {value}");
+        }
+    }
     println!("diag   : {:?}", r.diagnostics);
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if msg.is_empty() {
+                // --help: requested output, so stdout (errors go to stderr)
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(msg) = run(&cli) {
+        eprintln!("error: {msg}\n\n{USAGE}");
+        std::process::exit(2);
+    }
 }

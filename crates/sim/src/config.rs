@@ -4,6 +4,7 @@ use drishti_mem::cache::CacheConfig;
 use drishti_mem::dram::DramConfig;
 use drishti_mem::llc::LlcGeometry;
 use drishti_mem::prefetch::PrefetcherKind;
+use drishti_noc::faults::FaultConfig;
 
 /// Core pipeline parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +45,10 @@ pub struct SystemConfig {
     pub l1_prefetcher: PrefetcherKind,
     /// L2 prefetcher (baseline: IP-stride; Fig 23 sweeps it).
     pub l2_prefetcher: PrefetcherKind,
+    /// Uncore fault injection (resilience studies). The default,
+    /// [`FaultConfig::none`], leaves every component on its healthy path
+    /// and is bit-identical to a build without fault support.
+    pub faults: FaultConfig,
 }
 
 impl SystemConfig {
@@ -58,6 +63,15 @@ impl SystemConfig {
             dram: DramConfig::for_cores(cores),
             l1_prefetcher: PrefetcherKind::NextLine,
             l2_prefetcher: PrefetcherKind::IpStride,
+            faults: FaultConfig::none(),
+        }
+    }
+
+    /// Baseline with uncore fault injection enabled (resilience studies).
+    pub fn with_faults(cores: usize, faults: FaultConfig) -> Self {
+        SystemConfig {
+            faults,
+            ..SystemConfig::paper_baseline(cores)
         }
     }
 
@@ -86,11 +100,7 @@ impl SystemConfig {
     }
 
     /// Baseline with the given L1/L2 prefetcher pair (Fig 23).
-    pub fn with_prefetchers(
-        cores: usize,
-        l1: PrefetcherKind,
-        l2: PrefetcherKind,
-    ) -> Self {
+    pub fn with_prefetchers(cores: usize, l1: PrefetcherKind, l2: PrefetcherKind) -> Self {
         SystemConfig {
             l1_prefetcher: l1,
             l2_prefetcher: l2,

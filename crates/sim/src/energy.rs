@@ -36,10 +36,8 @@ impl EnergyBreakdown {
         dram: &DramStats,
         fabric: &NocStats,
     ) -> Self {
-        let llc_events = llc.demand_accesses
-            + llc.prefetch_accesses
-            + llc.writeback_accesses
-            + llc.fills;
+        let llc_events =
+            llc.demand_accesses + llc.prefetch_accesses + llc.writeback_accesses + llc.fills;
         EnergyBreakdown {
             llc_pj: llc_events * LLC_ACCESS_PJ,
             noc_pj: mesh.energy_pj,

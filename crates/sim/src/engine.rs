@@ -157,8 +157,8 @@ impl Engine {
             .collect();
         Engine {
             llc: SlicedLlc::new(cfg.llc, policy),
-            dram: Dram::new(cfg.dram),
-            mesh: Mesh::new(MeshConfig::for_nodes(cfg.cores)),
+            dram: Dram::with_faults(cfg.dram, &cfg.faults),
+            mesh: Mesh::with_faults(MeshConfig::for_nodes(cfg.cores), &cfg.faults),
             cores,
             llc_stream: Vec::new(),
             record_llc_stream,
@@ -172,14 +172,11 @@ impl Engine {
     /// records (after `warmup_accesses` of warm-up). Returns per-core
     /// results.
     pub fn run(&mut self) -> Vec<CoreResult> {
-        loop {
-            // Advance the unfinished core with the minimum local clock.
-            let Some(c) = (0..self.cores.len())
-                .filter(|&c| !self.cores[c].finished)
-                .min_by_key(|&c| self.cores[c].cycle)
-            else {
-                break;
-            };
+        // Advance the unfinished core with the minimum local clock.
+        while let Some(c) = (0..self.cores.len())
+            .filter(|&c| !self.cores[c].finished)
+            .min_by_key(|&c| self.cores[c].cycle)
+        {
             self.step(c);
         }
         self.cores
@@ -460,12 +457,7 @@ mod tests {
     use drishti_trace::mix::Mix;
     use drishti_trace::presets::Benchmark;
 
-    fn engine_for(
-        mix: &Mix,
-        policy: PolicyKind,
-        accesses: u64,
-        warmup: u64,
-    ) -> Engine {
+    fn engine_for(mix: &Mix, policy: PolicyKind, accesses: u64, warmup: u64) -> Engine {
         let cfg = SystemConfig::paper_baseline(mix.cores());
         let workloads = mix
             .build()
@@ -502,8 +494,7 @@ mod tests {
     fn idle_cores_are_skipped_in_alone_mode() {
         let mix = Mix::homogeneous(Benchmark::Mcf, 4, 1);
         let cfg = SystemConfig::paper_baseline(4);
-        let mut workloads: Vec<Option<Box<dyn WorkloadGen>>> =
-            (0..4).map(|_| None).collect();
+        let mut workloads: Vec<Option<Box<dyn WorkloadGen>>> = (0..4).map(|_| None).collect();
         workloads[2] = Some(Box::new(mix.build_core(2)));
         let pol = PolicyKind::Lru.build(&cfg.llc, DrishtiConfig::baseline(4));
         let mut e = Engine::new(cfg, workloads, pol, 2_000, 200, false);
@@ -522,8 +513,7 @@ mod tests {
         let t_ipc = together.run()[0].ipc();
 
         let cfg = SystemConfig::paper_baseline(4);
-        let mut workloads: Vec<Option<Box<dyn WorkloadGen>>> =
-            (0..4).map(|_| None).collect();
+        let mut workloads: Vec<Option<Box<dyn WorkloadGen>>> = (0..4).map(|_| None).collect();
         workloads[0] = Some(Box::new(mix.build_core(0)));
         let pol = PolicyKind::Lru.build(&cfg.llc, DrishtiConfig::baseline(4));
         let mut alone = Engine::new(cfg, workloads, pol, 4_000, 400, false);

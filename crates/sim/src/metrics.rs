@@ -44,7 +44,11 @@ impl MixMetrics {
     /// Harmonic mean of speedups.
     pub fn harmonic_speedup(&self) -> f64 {
         let n = self.individual.len() as f64;
-        n / self.individual.iter().map(|&s| 1.0 / s.max(1e-9)).sum::<f64>()
+        n / self
+            .individual
+            .iter()
+            .map(|&s| 1.0 / s.max(1e-9))
+            .sum::<f64>()
     }
 
     /// Maximum individual slowdown, expressed as `1 − min IS` (how much the
@@ -62,6 +66,55 @@ impl MixMetrics {
         let max = self.individual.iter().cloned().fold(f64::MIN, f64::max);
         let min = self.individual.iter().cloned().fold(f64::MAX, f64::min);
         max / min.max(1e-9)
+    }
+}
+
+/// Aggregate fault-injection and graceful-degradation counters of one
+/// run, folded together from the demand mesh, the predictor fabric, the
+/// LLC policy's degradation diagnostics, and DRAM. All-zero (see
+/// [`FaultSummary::is_clean`]) for a healthy run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Demand-mesh packets lost and retransmitted.
+    pub mesh_dropped: u64,
+    /// Demand-mesh retransmission attempts.
+    pub mesh_retries: u64,
+    /// Predictor-fabric messages lost in transit.
+    pub fabric_dropped: u64,
+    /// Prediction lookups whose request or response was lost.
+    pub dropped_predictions: u64,
+    /// Fills that fell back to the local static insertion decision.
+    pub fallback_decisions: u64,
+    /// Training updates lost after exhausting their retries.
+    pub dropped_trainings: u64,
+    /// Training retransmissions performed after a drop.
+    pub retried_trainings: u64,
+    /// DRAM requests re-steered around a channel outage.
+    pub dram_resteered: u64,
+    /// Extra cycles charged to faults across mesh, fabric and DRAM.
+    pub fault_delay_cycles: u64,
+}
+
+impl FaultSummary {
+    /// `true` when no fault fired anywhere — the signature of a healthy
+    /// (or zero-rate) run.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultSummary::default()
+    }
+
+    /// The counters as `(name, value)` pairs, for table output.
+    pub fn entries(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("mesh_dropped", self.mesh_dropped),
+            ("mesh_retries", self.mesh_retries),
+            ("fabric_dropped", self.fabric_dropped),
+            ("dropped_predictions", self.dropped_predictions),
+            ("fallback_decisions", self.fallback_decisions),
+            ("dropped_trainings", self.dropped_trainings),
+            ("retried_trainings", self.retried_trainings),
+            ("dram_resteered", self.dram_resteered),
+            ("fault_delay_cycles", self.fault_delay_cycles),
+        ]
     }
 }
 

@@ -82,12 +82,7 @@ mod tests {
     #[test]
     fn concentrated_pc_counts() {
         // PC 1 on core 0: two loads, both slice 0. PC 2: loads on two slices.
-        let stream = vec![
-            load(0, 1, 0),
-            load(0, 1, 16),
-            load(0, 2, 0),
-            load(0, 2, 1),
-        ];
+        let stream = vec![load(0, 1, 0), load(0, 1, 16), load(0, 2, 0), load(0, 2, 1)];
         let s = pc_slice_concentration(&stream, 1, |l| (l % 16) as usize);
         assert!((s.per_core_fraction[0] - 0.5).abs() < 1e-12);
     }
@@ -102,12 +97,7 @@ mod tests {
 
     #[test]
     fn cores_tracked_separately() {
-        let stream = vec![
-            load(0, 1, 0),
-            load(0, 1, 1),
-            load(1, 1, 0),
-            load(1, 1, 16),
-        ];
+        let stream = vec![load(0, 1, 0), load(0, 1, 1), load(1, 1, 0), load(1, 1, 16)];
         let s = pc_slice_concentration(&stream, 2, |l| (l % 16) as usize);
         assert!((s.per_core_fraction[0] - 0.0).abs() < 1e-12); // slices 0 and 1
         assert!((s.per_core_fraction[1] - 1.0).abs() < 1e-12); // both slice 0
@@ -116,11 +106,7 @@ mod tests {
 
     #[test]
     fn writebacks_are_ignored() {
-        let stream = vec![
-            load(0, 1, 0),
-            load(0, 1, 1),
-            Access::writeback(0, 99),
-        ];
+        let stream = vec![load(0, 1, 0), load(0, 1, 1), Access::writeback(0, 99)];
         let s = pc_slice_concentration(&stream, 1, |l| (l % 2) as usize);
         assert_eq!(s.per_core_fraction.len(), 1);
     }

@@ -9,7 +9,7 @@
 use crate::config::SystemConfig;
 use crate::energy::EnergyBreakdown;
 use crate::engine::{CoreResult, Engine};
-use crate::metrics::MixMetrics;
+use crate::metrics::{FaultSummary, MixMetrics};
 use drishti_core::config::DrishtiConfig;
 use drishti_mem::access::Access;
 use drishti_mem::dram::DramStats;
@@ -117,6 +117,33 @@ impl RunResult {
         }
     }
 
+    /// One named diagnostics counter (0 when the policy doesn't report it).
+    fn diag(&self, key: &str) -> u64 {
+        self.diagnostics
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Fold the run's fault-injection counters — demand mesh, predictor
+    /// fabric, policy degradation diagnostics, DRAM — into one summary.
+    /// [`FaultSummary::is_clean`] on a healthy run.
+    pub fn fault_summary(&self) -> FaultSummary {
+        FaultSummary {
+            mesh_dropped: self.mesh.dropped,
+            mesh_retries: self.mesh.retries,
+            fabric_dropped: self.fabric.dropped,
+            dropped_predictions: self.diag("fabric_dropped_predictions"),
+            fallback_decisions: self.diag("fabric_fallbacks"),
+            dropped_trainings: self.diag("fabric_dropped_trainings"),
+            retried_trainings: self.diag("fabric_retried_trainings"),
+            dram_resteered: self.dram.resteered,
+            fault_delay_cycles: self.mesh.fault_delay_cycles
+                + self.fabric.fault_delay_cycles
+                + self.dram.fault_delay_cycles,
+        }
+    }
+
     /// Predictor accesses (train + predict) per kilo-instruction per core
     /// (paper Fig 10).
     pub fn predictor_apki(&self) -> f64 {
@@ -124,16 +151,8 @@ impl RunResult {
         if instr == 0 {
             return 0.0;
         }
-        let train = self
-            .diagnostics
-            .iter()
-            .find(|(k, _)| k == "predictor_train")
-            .map_or(0, |(_, v)| *v);
-        let predict = self
-            .diagnostics
-            .iter()
-            .find(|(k, _)| k == "predictor_predict")
-            .map_or(0, |(_, v)| *v);
+        let train = self.diag("predictor_train");
+        let predict = self.diag("predictor_predict");
         (train + predict) as f64 * 1000.0 / instr as f64
     }
 }
@@ -256,7 +275,12 @@ mod tests {
     #[test]
     fn run_mix_produces_complete_result() {
         let mix = Mix::homogeneous(Benchmark::Gcc, 4, 1);
-        let r = run_mix(&mix, PolicyKind::Srrip, DrishtiConfig::baseline(4), &tiny_rc(4));
+        let r = run_mix(
+            &mix,
+            PolicyKind::Srrip,
+            DrishtiConfig::baseline(4),
+            &tiny_rc(4),
+        );
         assert_eq!(r.policy, "srrip");
         assert_eq!(r.per_core.len(), 4);
         assert!(r.total_ipc() > 0.0);
@@ -289,7 +313,12 @@ mod tests {
     #[test]
     fn wpki_is_finite_and_nonnegative() {
         let mix = Mix::homogeneous(Benchmark::Lbm, 4, 1);
-        let r = run_mix(&mix, PolicyKind::Lru, DrishtiConfig::baseline(4), &tiny_rc(4));
+        let r = run_mix(
+            &mix,
+            PolicyKind::Lru,
+            DrishtiConfig::baseline(4),
+            &tiny_rc(4),
+        );
         assert!(r.wpki() >= 0.0);
         assert!(r.wpki().is_finite());
     }

@@ -154,10 +154,7 @@ mod tests {
         let mixes = server_mixes(16, 50);
         assert_eq!(mixes.len(), 50);
         for m in &mixes {
-            assert!(m
-                .benchmarks
-                .iter()
-                .all(|b| Benchmark::server().contains(b)));
+            assert!(m.benchmarks.iter().all(|b| Benchmark::server().contains(b)));
         }
     }
 

@@ -207,14 +207,15 @@ impl PatternState {
             } => {
                 let i = self.cursor;
                 self.cursor += 1;
-                let (band_offset, depth_eff) = if phase_period == 0 {
-                    (self.program_salt % row_stride, depth)
-                } else {
-                    let phase = i / phase_period;
-                    let off = crate::Rng::new(phase ^ self.program_salt ^ 0x5e7c).next_u64()
-                        % row_stride;
-                    let d = if phase % 2 == 1 { depth * 3 } else { depth };
-                    (off, d)
+                let (band_offset, depth_eff) = match i.checked_div(phase_period) {
+                    // phase_period == 0: a single static band.
+                    None => (self.program_salt % row_stride, depth),
+                    Some(phase) => {
+                        let off = crate::Rng::new(phase ^ self.program_salt ^ 0x5e7c).next_u64()
+                            % row_stride;
+                        let d = if phase % 2 == 1 { depth * 3 } else { depth };
+                        (off, d)
+                    }
                 };
                 let set = i % sets;
                 let row = (i / sets) % depth_eff;

@@ -65,15 +65,17 @@ impl Benchmark {
     pub fn spec() -> &'static [Benchmark] {
         use Benchmark::*;
         &[
-            Mcf, Xalan, Lbm, Gcc, Omnetpp, Cactu, Roms, Fotonik, Bwaves, Wrf, Cam4, Sphinx,
-            Pop2, Deepsjeng,
+            Mcf, Xalan, Lbm, Gcc, Omnetpp, Cactu, Roms, Fotonik, Bwaves, Wrf, Cam4, Sphinx, Pop2,
+            Deepsjeng,
         ]
     }
 
     /// The GAP-like presets.
     pub fn gap() -> &'static [Benchmark] {
         use Benchmark::*;
-        &[PrKron, PrUrand, BfsKron, BfsUrand, CcKron, BcTwitter, SsspUrand, TcKron]
+        &[
+            PrKron, PrUrand, BfsKron, BfsUrand, CcKron, BcTwitter, SsspUrand, TcKron,
+        ]
     }
 
     /// The server-class presets (Fig 19).
@@ -134,187 +136,838 @@ impl Benchmark {
             // pressures a narrow band of LLC sets — the high-MPKA skew the
             // dynamic sampled cache feeds on.
             Mcf => vec![
-                StreamSpec::new(PointerChase { footprint: 512 * 1024 }, 8, 0.32),
-                StreamSpec::new(Zipf { footprint: 256 * 1024, alpha: 1.1 }, 12, 0.30),
                 StreamSpec::new(
-                    SetColumn { sets: 256, depth: 12, row_stride: 2048, phase_period: 24 * 1024 },
+                    PointerChase {
+                        footprint: 512 * 1024,
+                    },
+                    8,
+                    0.32,
+                ),
+                StreamSpec::new(
+                    Zipf {
+                        footprint: 256 * 1024,
+                        alpha: 1.1,
+                    },
+                    12,
+                    0.30,
+                ),
+                StreamSpec::new(
+                    SetColumn {
+                        sets: 256,
+                        depth: 12,
+                        row_stride: 2048,
+                        phase_period: 24 * 1024,
+                    },
                     6,
                     0.38,
                 ),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 100, 0.0063),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    100,
+                    0.0063,
+                ),
             ],
             // Very many PCs over shared medium structures: the most
             // scattered PCs of Fig 2, strongest myopia victim.
             Xalan => vec![
-                StreamSpec::new(Zipf { footprint: 128 * 1024, alpha: 0.8 }, 320, 0.40),
                 StreamSpec::new(
-                    PhasedLoop { small: 16 * 1024, big: 160 * 1024, period: 40 * 1024 },
+                    Zipf {
+                        footprint: 128 * 1024,
+                        alpha: 0.8,
+                    },
+                    320,
+                    0.40,
+                ),
+                StreamSpec::new(
+                    PhasedLoop {
+                        small: 16 * 1024,
+                        big: 160 * 1024,
+                        period: 40 * 1024,
+                    },
                     240,
                     0.40,
                 ),
-                StreamSpec::new(Stream { footprint: 1 << 20, stride: 1 }, 40, 0.20),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 140, 0.0088),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 1 << 20,
+                        stride: 1,
+                    },
+                    40,
+                    0.20,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    140,
+                    0.0088,
+                ),
             ],
             // Pure streaming with heavy stores: uniform MPKA (Fig 5c),
             // Mockingjay's worst case.
             Lbm => vec![
                 StreamSpec {
                     store_fraction: 0.45,
-                    ..StreamSpec::new(Stream { footprint: 4 << 20, stride: 1 }, 8, 0.85)
+                    ..StreamSpec::new(
+                        Stream {
+                            footprint: 4 << 20,
+                            stride: 1,
+                        },
+                        8,
+                        0.85,
+                    )
                 },
-                StreamSpec::new(Loop { footprint: 4 * 1024 }, 4, 0.15),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 60, 0.0037),
+                StreamSpec::new(
+                    Loop {
+                        footprint: 4 * 1024,
+                    },
+                    4,
+                    0.15,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    60,
+                    0.0037,
+                ),
             ],
             Gcc => vec![
                 StreamSpec::new(
-                    PhasedLoop { small: 18 * 1024, big: 128 * 1024, period: 24 * 1024 },
+                    PhasedLoop {
+                        small: 18 * 1024,
+                        big: 128 * 1024,
+                        period: 24 * 1024,
+                    },
                     200,
                     0.35,
                 ),
-                StreamSpec::new(Zipf { footprint: 96 * 1024, alpha: 0.9 }, 140, 0.35),
-                StreamSpec::new(Stream { footprint: 512 * 1024, stride: 1 }, 20, 0.30),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 180, 0.0112),
+                StreamSpec::new(
+                    Zipf {
+                        footprint: 96 * 1024,
+                        alpha: 0.9,
+                    },
+                    140,
+                    0.35,
+                ),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 512 * 1024,
+                        stride: 1,
+                    },
+                    20,
+                    0.30,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    180,
+                    0.0112,
+                ),
             ],
             Omnetpp => vec![
-                StreamSpec::new(PointerChase { footprint: 256 * 1024 }, 40, 0.5),
                 StreamSpec::new(
-                    PhasedLoop { small: 14 * 1024, big: 96 * 1024, period: 16 * 1024 },
+                    PointerChase {
+                        footprint: 256 * 1024,
+                    },
                     40,
                     0.5,
                 ),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 140, 0.0088),
+                StreamSpec::new(
+                    PhasedLoop {
+                        small: 14 * 1024,
+                        big: 96 * 1024,
+                        period: 16 * 1024,
+                    },
+                    40,
+                    0.5,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    140,
+                    0.0088,
+                ),
             ],
             Cactu => vec![
-                StreamSpec::new(Stream { footprint: 2 << 20, stride: 1 }, 12, 0.4),
-                StreamSpec::new(Stream { footprint: 2 << 20, stride: 4 }, 12, 0.3),
-                StreamSpec::new(Loop { footprint: 28 * 1024 }, 16, 0.3),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 80, 0.005),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 2 << 20,
+                        stride: 1,
+                    },
+                    12,
+                    0.4,
+                ),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 2 << 20,
+                        stride: 4,
+                    },
+                    12,
+                    0.3,
+                ),
+                StreamSpec::new(
+                    Loop {
+                        footprint: 28 * 1024,
+                    },
+                    16,
+                    0.3,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    80,
+                    0.005,
+                ),
             ],
             Roms => vec![
                 StreamSpec {
                     store_fraction: 0.3,
-                    ..StreamSpec::new(Stream { footprint: 3 << 20, stride: 1 }, 10, 0.6)
+                    ..StreamSpec::new(
+                        Stream {
+                            footprint: 3 << 20,
+                            stride: 1,
+                        },
+                        10,
+                        0.6,
+                    )
                 },
-                StreamSpec::new(Loop { footprint: 40 * 1024 }, 10, 0.4),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 70, 0.0044),
+                StreamSpec::new(
+                    Loop {
+                        footprint: 40 * 1024,
+                    },
+                    10,
+                    0.4,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    70,
+                    0.0044,
+                ),
             ],
             Fotonik => vec![
-                StreamSpec::new(Stream { footprint: 2 << 20, stride: 1 }, 8, 0.7),
-                StreamSpec::new(Zipf { footprint: 64 * 1024, alpha: 0.7 }, 12, 0.3),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 70, 0.0044),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 2 << 20,
+                        stride: 1,
+                    },
+                    8,
+                    0.7,
+                ),
+                StreamSpec::new(
+                    Zipf {
+                        footprint: 64 * 1024,
+                        alpha: 0.7,
+                    },
+                    12,
+                    0.3,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    70,
+                    0.0044,
+                ),
             ],
             Bwaves => vec![
-                StreamSpec::new(Stream { footprint: 4 << 20, stride: 2 }, 10, 0.65),
-                StreamSpec::new(Loop { footprint: 48 * 1024 }, 8, 0.35),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 70, 0.0044),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 4 << 20,
+                        stride: 2,
+                    },
+                    10,
+                    0.65,
+                ),
+                StreamSpec::new(
+                    Loop {
+                        footprint: 48 * 1024,
+                    },
+                    8,
+                    0.35,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    70,
+                    0.0044,
+                ),
             ],
             Wrf => vec![
                 StreamSpec::new(
-                    PhasedLoop { small: 24 * 1024, big: 144 * 1024, period: 32 * 1024 },
+                    PhasedLoop {
+                        small: 24 * 1024,
+                        big: 144 * 1024,
+                        period: 32 * 1024,
+                    },
                     50,
                     0.4,
                 ),
-                StreamSpec::new(Stream { footprint: 1 << 20, stride: 1 }, 20, 0.35),
-                StreamSpec::new(Zipf { footprint: 128 * 1024, alpha: 0.8 }, 30, 0.25),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 150, 0.0094),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 1 << 20,
+                        stride: 1,
+                    },
+                    20,
+                    0.35,
+                ),
+                StreamSpec::new(
+                    Zipf {
+                        footprint: 128 * 1024,
+                        alpha: 0.8,
+                    },
+                    30,
+                    0.25,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    150,
+                    0.0094,
+                ),
             ],
             Cam4 => vec![
-                StreamSpec::new(Loop { footprint: 44 * 1024 }, 60, 0.45),
-                StreamSpec::new(Stream { footprint: 1 << 21, stride: 1 }, 25, 0.55),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 140, 0.0088),
+                StreamSpec::new(
+                    Loop {
+                        footprint: 44 * 1024,
+                    },
+                    60,
+                    0.45,
+                ),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 1 << 21,
+                        stride: 1,
+                    },
+                    25,
+                    0.55,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    140,
+                    0.0088,
+                ),
             ],
             Sphinx => vec![
-                StreamSpec::new(Zipf { footprint: 48 * 1024, alpha: 1.0 }, 40, 0.6),
-                StreamSpec::new(Loop { footprint: 10 * 1024 }, 30, 0.4),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 120, 0.0075),
+                StreamSpec::new(
+                    Zipf {
+                        footprint: 48 * 1024,
+                        alpha: 1.0,
+                    },
+                    40,
+                    0.6,
+                ),
+                StreamSpec::new(
+                    Loop {
+                        footprint: 10 * 1024,
+                    },
+                    30,
+                    0.4,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    120,
+                    0.0075,
+                ),
             ],
             Pop2 => vec![
-                StreamSpec::new(Stream { footprint: 1 << 21, stride: 1 }, 16, 0.5),
-                StreamSpec::new(PointerChase { footprint: 96 * 1024 }, 16, 0.25),
-                StreamSpec::new(Loop { footprint: 24 * 1024 }, 16, 0.25),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 110, 0.0069),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 1 << 21,
+                        stride: 1,
+                    },
+                    16,
+                    0.5,
+                ),
+                StreamSpec::new(
+                    PointerChase {
+                        footprint: 96 * 1024,
+                    },
+                    16,
+                    0.25,
+                ),
+                StreamSpec::new(
+                    Loop {
+                        footprint: 24 * 1024,
+                    },
+                    16,
+                    0.25,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    110,
+                    0.0069,
+                ),
             ],
             // Mostly cache-resident: low LLC MPKI, small policy headroom.
-            Deepsjeng => with_gap(30, vec![
-                StreamSpec::new(Loop { footprint: 6 * 1024 }, 50, 0.7),
-                StreamSpec::new(Zipf { footprint: 40 * 1024, alpha: 0.9 }, 30, 0.3),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 120, 0.0075),
-            ]),
+            Deepsjeng => with_gap(
+                30,
+                vec![
+                    StreamSpec::new(
+                        Loop {
+                            footprint: 6 * 1024,
+                        },
+                        50,
+                        0.7,
+                    ),
+                    StreamSpec::new(
+                        Zipf {
+                            footprint: 40 * 1024,
+                            alpha: 0.9,
+                        },
+                        30,
+                        0.3,
+                    ),
+                    StreamSpec::new(
+                        PrivateRegion {
+                            lines_per_pc: 1,
+                            spacing: 64,
+                        },
+                        120,
+                        0.0075,
+                    ),
+                ],
+            ),
             // GAP: edge-array streams + vertex-data skew + per-PC private
             // state (concentrated PCs — high in Fig 2).
             PrKron => vec![
-                StreamSpec::new(Stream { footprint: 2 << 20, stride: 1 }, 6, 0.45),
-                StreamSpec::new(Zipf { footprint: 256 * 1024, alpha: 1.0 }, 8, 0.30),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 12, spacing: 12 }, 140, 0.25),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 500, 0.0312),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 2 << 20,
+                        stride: 1,
+                    },
+                    6,
+                    0.45,
+                ),
+                StreamSpec::new(
+                    Zipf {
+                        footprint: 256 * 1024,
+                        alpha: 1.0,
+                    },
+                    8,
+                    0.30,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 12,
+                        spacing: 12,
+                    },
+                    140,
+                    0.25,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    500,
+                    0.0312,
+                ),
             ],
             PrUrand => vec![
-                StreamSpec::new(Stream { footprint: 2 << 20, stride: 1 }, 6, 0.45),
-                StreamSpec::new(Zipf { footprint: 512 * 1024, alpha: 0.2 }, 8, 0.30),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 12, spacing: 12 }, 140, 0.25),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 500, 0.0312),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 2 << 20,
+                        stride: 1,
+                    },
+                    6,
+                    0.45,
+                ),
+                StreamSpec::new(
+                    Zipf {
+                        footprint: 512 * 1024,
+                        alpha: 0.2,
+                    },
+                    8,
+                    0.30,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 12,
+                        spacing: 12,
+                    },
+                    140,
+                    0.25,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    500,
+                    0.0312,
+                ),
             ],
             BfsKron => vec![
-                StreamSpec::new(Stream { footprint: 1 << 21, stride: 1 }, 8, 0.4),
-                StreamSpec::new(Zipf { footprint: 192 * 1024, alpha: 0.9 }, 10, 0.35),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 16, spacing: 16 }, 100, 0.25),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 420, 0.0262),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 1 << 21,
+                        stride: 1,
+                    },
+                    8,
+                    0.4,
+                ),
+                StreamSpec::new(
+                    Zipf {
+                        footprint: 192 * 1024,
+                        alpha: 0.9,
+                    },
+                    10,
+                    0.35,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 16,
+                        spacing: 16,
+                    },
+                    100,
+                    0.25,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    420,
+                    0.0262,
+                ),
             ],
             BfsUrand => vec![
-                StreamSpec::new(Stream { footprint: 1 << 21, stride: 1 }, 8, 0.4),
-                StreamSpec::new(Zipf { footprint: 384 * 1024, alpha: 0.3 }, 10, 0.35),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 16, spacing: 16 }, 100, 0.25),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 420, 0.0262),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 1 << 21,
+                        stride: 1,
+                    },
+                    8,
+                    0.4,
+                ),
+                StreamSpec::new(
+                    Zipf {
+                        footprint: 384 * 1024,
+                        alpha: 0.3,
+                    },
+                    10,
+                    0.35,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 16,
+                        spacing: 16,
+                    },
+                    100,
+                    0.25,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    420,
+                    0.0262,
+                ),
             ],
             CcKron => vec![
-                StreamSpec::new(Stream { footprint: 1 << 21, stride: 1 }, 6, 0.5),
-                StreamSpec::new(Zipf { footprint: 256 * 1024, alpha: 0.8 }, 12, 0.3),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 10, spacing: 10 }, 120, 0.2),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 450, 0.0281),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 1 << 21,
+                        stride: 1,
+                    },
+                    6,
+                    0.5,
+                ),
+                StreamSpec::new(
+                    Zipf {
+                        footprint: 256 * 1024,
+                        alpha: 0.8,
+                    },
+                    12,
+                    0.3,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 10,
+                        spacing: 10,
+                    },
+                    120,
+                    0.2,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    450,
+                    0.0281,
+                ),
             ],
             BcTwitter => vec![
-                StreamSpec::new(Zipf { footprint: 384 * 1024, alpha: 1.1 }, 14, 0.45),
-                StreamSpec::new(Stream { footprint: 1 << 21, stride: 1 }, 6, 0.30),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 12, spacing: 12 }, 110, 0.25),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 430, 0.0269),
+                StreamSpec::new(
+                    Zipf {
+                        footprint: 384 * 1024,
+                        alpha: 1.1,
+                    },
+                    14,
+                    0.45,
+                ),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 1 << 21,
+                        stride: 1,
+                    },
+                    6,
+                    0.30,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 12,
+                        spacing: 12,
+                    },
+                    110,
+                    0.25,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    430,
+                    0.0269,
+                ),
             ],
             SsspUrand => vec![
-                StreamSpec::new(Zipf { footprint: 448 * 1024, alpha: 0.25 }, 12, 0.4),
-                StreamSpec::new(Stream { footprint: 1 << 21, stride: 1 }, 8, 0.35),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 14, spacing: 14 }, 100, 0.25),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 420, 0.0262),
+                StreamSpec::new(
+                    Zipf {
+                        footprint: 448 * 1024,
+                        alpha: 0.25,
+                    },
+                    12,
+                    0.4,
+                ),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 1 << 21,
+                        stride: 1,
+                    },
+                    8,
+                    0.35,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 14,
+                        spacing: 14,
+                    },
+                    100,
+                    0.25,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    420,
+                    0.0262,
+                ),
             ],
             TcKron => vec![
-                StreamSpec::new(Stream { footprint: 2 << 20, stride: 1 }, 8, 0.55),
-                StreamSpec::new(Zipf { footprint: 160 * 1024, alpha: 0.9 }, 10, 0.25),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 8, spacing: 8 }, 130, 0.20),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 470, 0.0294),
+                StreamSpec::new(
+                    Stream {
+                        footprint: 2 << 20,
+                        stride: 1,
+                    },
+                    8,
+                    0.55,
+                ),
+                StreamSpec::new(
+                    Zipf {
+                        footprint: 160 * 1024,
+                        alpha: 0.9,
+                    },
+                    10,
+                    0.25,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 8,
+                        spacing: 8,
+                    },
+                    130,
+                    0.20,
+                ),
+                StreamSpec::new(
+                    PrivateRegion {
+                        lines_per_pc: 1,
+                        spacing: 64,
+                    },
+                    470,
+                    0.0294,
+                ),
             ],
             // Server-class: large code/data but mostly upper-level-cache
             // resident ⇒ low LLC MPKI, small replacement headroom (Fig 19).
-            Cvp1 => with_gap(40, vec![
-                StreamSpec::new(Loop { footprint: 3 * 1024 }, 250, 0.55),
-                StreamSpec::new(Zipf { footprint: 64 * 1024, alpha: 0.6 }, 150, 0.30),
-                StreamSpec::new(Stream { footprint: 256 * 1024, stride: 1 }, 40, 0.15),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 300, 0.0187),
-            ]),
-            GoogleWs => with_gap(40, vec![
-                StreamSpec::new(Loop { footprint: 4 * 1024 }, 300, 0.5),
-                StreamSpec::new(Zipf { footprint: 96 * 1024, alpha: 0.5 }, 200, 0.35),
-                StreamSpec::new(Stream { footprint: 512 * 1024, stride: 1 }, 50, 0.15),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 320, 0.02),
-            ]),
-            CloudSuite => with_gap(36, vec![
-                StreamSpec::new(Zipf { footprint: 128 * 1024, alpha: 0.7 }, 220, 0.45),
-                StreamSpec::new(Loop { footprint: 8 * 1024 }, 180, 0.35),
-                StreamSpec::new(Stream { footprint: 384 * 1024, stride: 1 }, 40, 0.20),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 300, 0.0187),
-            ]),
-            Xsbench => with_gap(28, vec![
-                StreamSpec::new(Zipf { footprint: 512 * 1024, alpha: 0.45 }, 30, 0.7),
-                StreamSpec::new(Loop { footprint: 12 * 1024 }, 20, 0.3),
-                StreamSpec::new(PrivateRegion { lines_per_pc: 1, spacing: 64 }, 80, 0.005),
-            ]),
+            Cvp1 => with_gap(
+                40,
+                vec![
+                    StreamSpec::new(
+                        Loop {
+                            footprint: 3 * 1024,
+                        },
+                        250,
+                        0.55,
+                    ),
+                    StreamSpec::new(
+                        Zipf {
+                            footprint: 64 * 1024,
+                            alpha: 0.6,
+                        },
+                        150,
+                        0.30,
+                    ),
+                    StreamSpec::new(
+                        Stream {
+                            footprint: 256 * 1024,
+                            stride: 1,
+                        },
+                        40,
+                        0.15,
+                    ),
+                    StreamSpec::new(
+                        PrivateRegion {
+                            lines_per_pc: 1,
+                            spacing: 64,
+                        },
+                        300,
+                        0.0187,
+                    ),
+                ],
+            ),
+            GoogleWs => with_gap(
+                40,
+                vec![
+                    StreamSpec::new(
+                        Loop {
+                            footprint: 4 * 1024,
+                        },
+                        300,
+                        0.5,
+                    ),
+                    StreamSpec::new(
+                        Zipf {
+                            footprint: 96 * 1024,
+                            alpha: 0.5,
+                        },
+                        200,
+                        0.35,
+                    ),
+                    StreamSpec::new(
+                        Stream {
+                            footprint: 512 * 1024,
+                            stride: 1,
+                        },
+                        50,
+                        0.15,
+                    ),
+                    StreamSpec::new(
+                        PrivateRegion {
+                            lines_per_pc: 1,
+                            spacing: 64,
+                        },
+                        320,
+                        0.02,
+                    ),
+                ],
+            ),
+            CloudSuite => with_gap(
+                36,
+                vec![
+                    StreamSpec::new(
+                        Zipf {
+                            footprint: 128 * 1024,
+                            alpha: 0.7,
+                        },
+                        220,
+                        0.45,
+                    ),
+                    StreamSpec::new(
+                        Loop {
+                            footprint: 8 * 1024,
+                        },
+                        180,
+                        0.35,
+                    ),
+                    StreamSpec::new(
+                        Stream {
+                            footprint: 384 * 1024,
+                            stride: 1,
+                        },
+                        40,
+                        0.20,
+                    ),
+                    StreamSpec::new(
+                        PrivateRegion {
+                            lines_per_pc: 1,
+                            spacing: 64,
+                        },
+                        300,
+                        0.0187,
+                    ),
+                ],
+            ),
+            Xsbench => with_gap(
+                28,
+                vec![
+                    StreamSpec::new(
+                        Zipf {
+                            footprint: 512 * 1024,
+                            alpha: 0.45,
+                        },
+                        30,
+                        0.7,
+                    ),
+                    StreamSpec::new(
+                        Loop {
+                            footprint: 12 * 1024,
+                        },
+                        20,
+                        0.3,
+                    ),
+                    StreamSpec::new(
+                        PrivateRegion {
+                            lines_per_pc: 1,
+                            spacing: 64,
+                        },
+                        80,
+                        0.005,
+                    ),
+                ],
+            ),
         };
         SyntheticWorkload::new(self.label(), streams, seed ^ preset_salt(self))
     }
@@ -324,7 +977,10 @@ impl Benchmark {
 fn with_gap(gap: u32, specs: Vec<StreamSpec>) -> Vec<StreamSpec> {
     specs
         .into_iter()
-        .map(|s| StreamSpec { instr_gap: gap, ..s })
+        .map(|s| StreamSpec {
+            instr_gap: gap,
+            ..s
+        })
         .collect()
 }
 

@@ -92,12 +92,9 @@ impl SyntheticWorkload {
                 // index — stable across seeds/cores of the same benchmark —
                 // so structural alignment (set-column bands, phase band
                 // sequences) is shared the way a common binary shares it.
-                let salt = name_ref
-                    .bytes()
-                    .fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
-                        (h ^ u64::from(c)).wrapping_mul(0x1000_0000_01b3)
-                    })
-                    ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let salt = name_ref.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
+                    (h ^ u64::from(c)).wrapping_mul(0x1000_0000_01b3)
+                }) ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
                 StreamState {
                     pattern: PatternState::with_salt(spec.pattern, base, salt, &mut rng),
                     pc_base: 0x40_0000 + seed.rotate_left(17) % 0xffff + (i as u64) * 0x1000,
@@ -107,11 +104,7 @@ impl SyntheticWorkload {
                 }
             })
             .collect();
-        SyntheticWorkload {
-            name,
-            streams,
-            rng,
-        }
+        SyntheticWorkload { name, streams, rng }
     }
 }
 
@@ -155,7 +148,14 @@ mod tests {
             "test",
             vec![
                 StreamSpec::new(Pattern::Loop { footprint: 64 }, 4, 3.0),
-                StreamSpec::new(Pattern::Stream { footprint: 1 << 20, stride: 1 }, 2, 1.0),
+                StreamSpec::new(
+                    Pattern::Stream {
+                        footprint: 1 << 20,
+                        stride: 1,
+                    },
+                    2,
+                    1.0,
+                ),
             ],
             11,
         )
@@ -173,10 +173,7 @@ mod tests {
         let mut w = two_stream();
         let recs = w.collect(20_000);
         // Loop stream lines live in region 1, stream lines in region 2.
-        let loop_count = recs
-            .iter()
-            .filter(|r| (r.line >> 24) & 0xffff == 1)
-            .count();
+        let loop_count = recs.iter().filter(|r| (r.line >> 24) & 0xffff == 1).count();
         // Simply check both regions appear and the loop region dominates.
         let mut by_region: HashMap<u64, usize> = HashMap::new();
         for r in &recs {

@@ -39,10 +39,7 @@ fn main() {
             epoch += 1;
             let mut sel = dsc.sampled_sets().to_vec();
             sel.sort_unstable();
-            let in_band = sel
-                .iter()
-                .filter(|&&s| s >= band && s < band + 32)
-                .count();
+            let in_band = sel.iter().filter(|&&s| s >= band && s < band + 32).count();
             println!(
                 "access {i:>7}: reselection #{epoch:<2} hot band = [{band:>3}..{:>3})  \
                  sampled sets in band: {in_band}/8  {sel:?}",

@@ -35,9 +35,15 @@ fn main() {
         println!("== {cores} cores ==");
         let lru = run_mix(&mix, PolicyKind::Lru, DrishtiConfig::baseline(cores), &rc);
         for (label, cfg) in [
-            ("myopic (per-slice predictor)", DrishtiConfig::baseline(cores)),
+            (
+                "myopic (per-slice predictor)",
+                DrishtiConfig::baseline(cores),
+            ),
             ("ideal global (0-cycle fabric)", ideal),
-            ("drishti (per-core + NOCSTAR)", DrishtiConfig::drishti(cores)),
+            (
+                "drishti (per-core + NOCSTAR)",
+                DrishtiConfig::drishti(cores),
+            ),
         ] {
             let r = run_mix(&mix, PolicyKind::Mockingjay, cfg, &rc);
             let trainings = r

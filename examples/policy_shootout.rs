@@ -15,7 +15,10 @@ use drishti::trace::presets::Benchmark;
 fn main() {
     let cores = 8;
     let mix = Mix::heterogeneous(&Benchmark::spec_and_gap(), cores, 3);
-    println!("mix: {:?}\n", mix.benchmarks.iter().map(|b| b.label()).collect::<Vec<_>>());
+    println!(
+        "mix: {:?}\n",
+        mix.benchmarks.iter().map(|b| b.label()).collect::<Vec<_>>()
+    );
     let rc = RunConfig {
         system: SystemConfig::paper_baseline(cores),
         accesses_per_core: 100_000,
@@ -35,13 +38,16 @@ fn main() {
         lru.llc_mpki(),
         lru.wpki()
     );
-    for pk in PolicyKind::all().into_iter().filter(|p| *p != PolicyKind::Lru) {
-        for cfg in [DrishtiConfig::baseline(cores), DrishtiConfig::drishti(cores)] {
+    for pk in PolicyKind::all()
+        .into_iter()
+        .filter(|p| *p != PolicyKind::Lru)
+    {
+        for cfg in [
+            DrishtiConfig::baseline(cores),
+            DrishtiConfig::drishti(cores),
+        ] {
             // Memoryless policies ignore the organisation; skip duplicates.
-            if !pk.is_prediction_based()
-                && pk != PolicyKind::Dip
-                && cfg.label() != "baseline"
-            {
+            if !pk.is_prediction_based() && pk != PolicyKind::Dip && cfg.label() != "baseline" {
                 continue;
             }
             let r = run_mix(&mix, pk, cfg, &rc);

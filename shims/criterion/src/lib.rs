@@ -91,7 +91,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { samples: self.sample_size, last_run: Vec::new() };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_run: Vec::new(),
+        };
         f(&mut b, input);
         report(&format!("{}/{}", self.name, id), &mut b.last_run);
         self
@@ -102,7 +105,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: self.sample_size, last_run: Vec::new() };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_run: Vec::new(),
+        };
         f(&mut b);
         report(&format!("{}/{}", self.name, id), &mut b.last_run);
         self
@@ -124,7 +130,11 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
-            sample_size: if self.sample_size == 0 { 10 } else { self.sample_size },
+            sample_size: if self.sample_size == 0 {
+                10
+            } else {
+                self.sample_size
+            },
             _parent: self,
         }
     }
@@ -134,8 +144,15 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let samples = if self.sample_size == 0 { 10 } else { self.sample_size };
-        let mut b = Bencher { samples, last_run: Vec::new() };
+        let samples = if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        };
+        let mut b = Bencher {
+            samples,
+            last_run: Vec::new(),
+        };
         f(&mut b);
         report(name, &mut b.last_run);
         self

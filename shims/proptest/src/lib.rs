@@ -230,13 +230,19 @@ pub mod prop {
         impl From<Range<usize>> for SizeRange {
             fn from(r: Range<usize>) -> Self {
                 assert!(r.start < r.end, "empty size range");
-                SizeRange { start: r.start, end: r.end }
+                SizeRange {
+                    start: r.start,
+                    end: r.end,
+                }
             }
         }
 
         impl From<usize> for SizeRange {
             fn from(n: usize) -> Self {
-                SizeRange { start: n, end: n + 1 }
+                SizeRange {
+                    start: n,
+                    end: n + 1,
+                }
             }
         }
 
@@ -249,7 +255,10 @@ pub mod prop {
 
         /// `prop::collection::vec(element, size)`.
         pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { element, size: size.into() }
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
         }
 
         impl<S: Strategy> Strategy for VecStrategy<S> {

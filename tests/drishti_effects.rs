@@ -27,8 +27,18 @@ fn drishti_beats_myopic_on_scattered_pc_workload() {
     let cores = 8;
     let mix = Mix::homogeneous(Benchmark::Xalan, cores, 1);
     let cfg = rc(cores, 100_000);
-    let myopic = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::baseline(cores), &cfg);
-    let drishti = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::drishti(cores), &cfg);
+    let myopic = run_mix(
+        &mix,
+        PolicyKind::Mockingjay,
+        DrishtiConfig::baseline(cores),
+        &cfg,
+    );
+    let drishti = run_mix(
+        &mix,
+        PolicyKind::Mockingjay,
+        DrishtiConfig::drishti(cores),
+        &cfg,
+    );
     assert!(
         drishti.total_ipc() > myopic.total_ipc(),
         "d-mockingjay {} must beat mockingjay {} on xalan",
@@ -42,12 +52,22 @@ fn drishti_fabric_traffic_only_when_global() {
     let cores = 4;
     let mix = Mix::homogeneous(Benchmark::Mcf, cores, 2);
     let cfg = rc(cores, 15_000);
-    let base = run_mix(&mix, PolicyKind::Hawkeye, DrishtiConfig::baseline(cores), &cfg);
+    let base = run_mix(
+        &mix,
+        PolicyKind::Hawkeye,
+        DrishtiConfig::baseline(cores),
+        &cfg,
+    );
     assert_eq!(
         base.fabric.messages, 0,
         "per-slice predictors generate no interconnect traffic"
     );
-    let d = run_mix(&mix, PolicyKind::Hawkeye, DrishtiConfig::drishti(cores), &cfg);
+    let d = run_mix(
+        &mix,
+        PolicyKind::Hawkeye,
+        DrishtiConfig::drishti(cores),
+        &cfg,
+    );
     assert!(d.fabric.messages > 0);
     assert!(d.fabric.energy_pj > 0, "50 pJ per NOCSTAR message");
 }
@@ -66,7 +86,12 @@ fn centralized_predictor_concentrates_traffic() {
         DrishtiConfig::centralized(cores),
         &cfg,
     );
-    let drishti = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::drishti(cores), &cfg);
+    let drishti = run_mix(
+        &mix,
+        PolicyKind::Mockingjay,
+        DrishtiConfig::drishti(cores),
+        &cfg,
+    );
     let central_apki = central.predictor_apki(); // one structure takes it all
     let per_bank_apki = drishti.predictor_apki() / cores as f64;
     assert!(
@@ -83,7 +108,12 @@ fn nocstar_beats_mesh_fabric_for_drishti() {
     let cores = 16;
     let mix = Mix::homogeneous(Benchmark::Mcf, cores, 4);
     let cfg = rc(cores, 40_000);
-    let star = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::drishti(cores), &cfg);
+    let star = run_mix(
+        &mix,
+        PolicyKind::Mockingjay,
+        DrishtiConfig::drishti(cores),
+        &cfg,
+    );
     let mesh = run_mix(
         &mix,
         PolicyKind::Mockingjay,
@@ -114,7 +144,12 @@ fn dsc_saves_sampled_sets_without_collapse() {
         DrishtiConfig::global_view_only(cores),
         &cfg,
     );
-    let dsc = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::drishti(cores), &cfg);
+    let dsc = run_mix(
+        &mix,
+        PolicyKind::Mockingjay,
+        DrishtiConfig::drishti(cores),
+        &cfg,
+    );
     assert!(
         dsc.total_ipc() > global.total_ipc() * 0.93,
         "DSC with half the sampled sets collapsed: {} vs {}",

@@ -21,8 +21,18 @@ fn rc(cores: usize, accesses: u64) -> RunConfig {
 fn full_pipeline_is_deterministic() {
     let mix = Mix::heterogeneous(&Benchmark::spec_and_gap(), 4, 5);
     let cfg = rc(4, 20_000);
-    let a = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::drishti(4), &cfg);
-    let b = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::drishti(4), &cfg);
+    let a = run_mix(
+        &mix,
+        PolicyKind::Mockingjay,
+        DrishtiConfig::drishti(4),
+        &cfg,
+    );
+    let b = run_mix(
+        &mix,
+        PolicyKind::Mockingjay,
+        DrishtiConfig::drishti(4),
+        &cfg,
+    );
     assert_eq!(a.per_core, b.per_core);
     assert_eq!(a.llc, b.llc);
     assert_eq!(a.dram, b.dram);
@@ -42,10 +52,7 @@ fn every_policy_runs_every_organisation() {
         ] {
             let r = run_mix(&mix, pk, org, &cfg);
             assert!(r.total_ipc() > 0.0, "{pk} produced zero IPC");
-            assert!(
-                r.llc.demand_accesses > 0,
-                "{pk} saw no LLC traffic"
-            );
+            assert!(r.llc.demand_accesses > 0, "{pk} saw no LLC traffic");
         }
     }
 }
@@ -92,7 +99,12 @@ fn belady_policies_shift_wpki_as_in_table5() {
     let mix = Mix::homogeneous(Benchmark::Mcf, 4, 4);
     let cfg = rc(4, 80_000);
     let lru = run_mix(&mix, PolicyKind::Lru, DrishtiConfig::baseline(4), &cfg);
-    let mj = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::baseline(4), &cfg);
+    let mj = run_mix(
+        &mix,
+        PolicyKind::Mockingjay,
+        DrishtiConfig::baseline(4),
+        &cfg,
+    );
     assert!(
         mj.wpki() >= lru.wpki() * 0.9,
         "mockingjay WPKI {} collapsed vs lru {}",
@@ -106,14 +118,24 @@ fn belady_policies_shift_wpki_as_in_table5() {
 fn energy_accounting_is_consistent() {
     let mix = Mix::homogeneous(Benchmark::Mcf, 4, 6);
     let cfg = rc(4, 15_000);
-    let r = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::drishti(4), &cfg);
+    let r = run_mix(
+        &mix,
+        PolicyKind::Mockingjay,
+        DrishtiConfig::drishti(4),
+        &cfg,
+    );
     let e = r.energy;
     assert_eq!(e.total_pj(), e.llc_pj + e.noc_pj + e.dram_pj + e.fabric_pj);
     assert!(e.llc_pj > 0 && e.dram_pj > 0 && e.noc_pj > 0);
     // D-variants pay NOCSTAR energy.
     assert!(e.fabric_pj > 0, "drishti must account NOCSTAR energy");
     // Baseline has no fabric energy.
-    let base = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::baseline(4), &cfg);
+    let base = run_mix(
+        &mix,
+        PolicyKind::Mockingjay,
+        DrishtiConfig::baseline(4),
+        &cfg,
+    );
     assert_eq!(base.energy.fabric_pj, 0);
 }
 

@@ -3,13 +3,13 @@
 //! per-set counters used by Fig 5 / Table 1, and the offline oracle.
 
 use drishti::core::config::DrishtiConfig;
+use drishti::noc::slicehash::{SliceHasher, XorFoldHash};
 use drishti::policies::factory::PolicyKind;
 use drishti::policies::mockingjay::Mockingjay;
 use drishti::policies::opt::simulate_opt;
 use drishti::sim::config::SystemConfig;
 use drishti::sim::pcstats::pc_slice_concentration;
 use drishti::sim::runner::{run_mix, run_mix_with_policy, RunConfig};
-use drishti::noc::slicehash::{SliceHasher, XorFoldHash};
 use drishti::trace::mix::Mix;
 use drishti::trace::presets::Benchmark;
 
@@ -33,7 +33,10 @@ fn etr_log_survives_the_policy_moving_into_the_engine() {
     for a in probe.llc_stream.iter().filter(|a| a.kind.is_demand()) {
         *counts.entry(a.pc).or_insert(0u64) += 1;
     }
-    let (pc, n) = counts.into_iter().max_by_key(|&(_, c)| c).expect("stream nonempty");
+    let (pc, n) = counts
+        .into_iter()
+        .max_by_key(|&(_, c)| c)
+        .expect("stream nonempty");
     assert!(n > 10, "probe found no hot PC");
 
     let geom = cfg.system.llc;
