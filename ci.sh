@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Local CI gate: everything a pull request must pass, fully offline.
 #
-#   ./ci.sh          # build + test + fmt + clippy
-#   ./ci.sh --quick  # skip the release build (debug test run only)
+#   ./ci.sh          # build + test + fmt + clippy + rustdoc + determinism gate
+#   ./ci.sh --quick  # skip the release build and rustdoc (debug test run,
+#                    # fmt, clippy and the determinism gate still run)
 #
 # The workspace vendors its only external dev-dependencies (proptest and
 # criterion API shims under shims/), so --offline always works and no
@@ -29,5 +30,36 @@ cargo fmt --check
 
 step "cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [[ $quick -eq 0 ]]; then
+  step "cargo doc --offline --no-deps (warnings are errors)"
+  RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps --workspace
+fi
+
+# Determinism gate: the sweep report must be byte-identical no matter how
+# many workers ran it. Run a small fig13 sweep serially and maximally
+# parallel with the same configuration and diff the JSON reports; any
+# byte of difference fails CI. (Runs in --quick too — it is the core
+# contract of the sweep harness.)
+step "sweep determinism gate (--jobs 1 vs --jobs max)"
+profile_dir=debug
+if [[ $quick -eq 0 ]]; then
+  profile_dir=release
+  build_flags=(--release)
+else
+  build_flags=()
+fi
+cargo build -q --offline "${build_flags[@]}" -p drishti-bench --bin fig13_main_performance
+gate_args=(--mixes 2 --cores 4 --accesses 10000)
+out=target/sweep
+"target/$profile_dir/fig13_main_performance" "${gate_args[@]}" \
+  --jobs 1 --report "$out/determinism_j1.json" >/dev/null
+"target/$profile_dir/fig13_main_performance" "${gate_args[@]}" \
+  --jobs 8 --report "$out/determinism_j8.json" >/dev/null
+if ! diff -u "$out/determinism_j1.json" "$out/determinism_j8.json"; then
+  echo "FAIL: sweep report differs between --jobs 1 and --jobs 8" >&2
+  exit 1
+fi
+echo "reports byte-identical across worker counts"
 
 step "OK"

@@ -36,6 +36,7 @@ const EXPERIMENTS: &[&str] = &[
     "table8_other_policies",
     "table7_applicability",
     "scalability",
+    "resilience",
 ];
 
 fn main() {
@@ -47,13 +48,16 @@ fn main() {
         println!("\n================================================================");
         println!("==> {name}");
         println!("================================================================");
-        let status = Command::new(bin_dir.join(name))
-            .args(&args)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
-        if !status.success() {
-            eprintln!("!! {name} failed with {status}");
-            failures.push(*name);
+        match Command::new(bin_dir.join(name)).args(&args).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("!! {name} failed with {status}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("!! failed to launch {name}: {e}");
+                failures.push(*name);
+            }
         }
     }
     println!("\n================================================================");

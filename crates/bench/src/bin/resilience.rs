@@ -9,16 +9,26 @@
 //! never collapses — its slices fall back to static SRRIP-like insertion
 //! when predictions stop arriving instead of blocking on them.
 //!
-//! A fixed fault seed makes every row reproducible bit-for-bit.
+//! Every `(policy, organisation, drop-rate)` cell is an independent
+//! [`SweepJob`] on the parallel harness — this binary drives the raw
+//! `run_sweep` API rather than the mix-evaluation layer, because its
+//! normalisation baseline is the fault-free cell of the same variant, not
+//! LRU. A fixed fault seed carried by each job makes every row
+//! reproducible bit-for-bit at any `--jobs` width; the report lands in
+//! `target/sweep/resilience.json`.
 
-use drishti_bench::{f2, header, row, ExpOpts};
+use drishti_bench::{f2, header, row, write_reports, ExpOpts};
 use drishti_core::config::DrishtiConfig;
 use drishti_noc::faults::FaultConfig;
 use drishti_policies::factory::PolicyKind;
 use drishti_sim::config::SystemConfig;
-use drishti_sim::runner::{run_mix, RunConfig};
+use drishti_sim::runner::RunConfig;
+use drishti_sim::sweep::report::{SweepReport, SweepTiming};
+use drishti_sim::sweep::{run_sweep, JobKind, SweepJob};
 use drishti_trace::mix::Mix;
 use drishti_trace::presets::Benchmark;
+use drishti_trace::replay::TraceCache;
+use std::sync::Arc;
 
 const FAULT_SEED: u64 = 42;
 const DROP_PCTS: [f64; 5] = [0.0, 5.0, 10.0, 25.0, 50.0];
@@ -39,6 +49,58 @@ fn main() {
         (PolicyKind::Hawkeye, "drishti"),
     ];
 
+    // One job per (variant, drop-rate) cell; the job's seed is the cell's
+    // fault seed, so the whole batch is order-free.
+    let mut jobs = Vec::new();
+    for (policy, org) in &variants {
+        for &drop_pct in &DROP_PCTS {
+            let faults = FaultConfig::with_drops(FAULT_SEED, drop_pct);
+            let drishti = match *org {
+                "drishti" => DrishtiConfig::drishti(cores),
+                _ => DrishtiConfig::baseline(cores),
+            }
+            .with_faults(faults.clone());
+            let id = jobs.len();
+            jobs.push(SweepJob {
+                id,
+                label: format!("{}/{}/{org}/drop{drop_pct}", mix.name, policy.label()),
+                seed: FAULT_SEED,
+                rc: RunConfig {
+                    system: SystemConfig::with_faults(cores, faults),
+                    accesses_per_core: opts.accesses,
+                    warmup_accesses: opts.accesses / 4,
+                    record_llc_stream: false,
+                },
+                kind: JobKind::Run {
+                    mix: mix.clone(),
+                    policy: *policy,
+                    org: drishti,
+                    org_label: (*org).to_string(),
+                },
+            });
+        }
+    }
+
+    let cache = Arc::new(TraceCache::new());
+    let outcome = run_sweep(&jobs, opts.jobs, &cache);
+    let timing = SweepTiming::from_outcome("resilience", &outcome);
+    let failures = outcome.failures();
+    if !failures.is_empty() {
+        eprintln!("error: {} sweep cell(s) failed:", failures.len());
+        for f in failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    let mut report = SweepReport::from_outcome("resilience", &jobs, &outcome);
+    report
+        .config
+        .push(("fault_seed".to_string(), FAULT_SEED.to_string()));
+    report
+        .config
+        .push(("accesses".to_string(), opts.accesses.to_string()));
+    report.config.push(("cores".to_string(), cores.to_string()));
+
     header(
         "policy/org",
         &DROP_PCTS
@@ -47,51 +109,56 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
-    for (policy, org) in &variants {
+    for (v, (policy, org)) in variants.iter().enumerate() {
+        let base = v * DROP_PCTS.len();
+        let healthy = outcome.outputs[base]
+            .as_ref()
+            .expect("checked")
+            .unwrap_run();
+        if !healthy.fault_summary().is_clean() {
+            eprintln!(
+                "error: zero-rate run of {}/{org} reports faults",
+                policy.label()
+            );
+            std::process::exit(1);
+        }
+        let healthy_ipc = healthy.total_ipc();
         let mut cells = Vec::new();
-        let mut healthy_ipc = 0.0f64;
-        let mut counters = None;
-        for &drop_pct in &DROP_PCTS {
-            let faults = FaultConfig::with_drops(FAULT_SEED, drop_pct);
-            let drishti = match *org {
-                "drishti" => DrishtiConfig::drishti(cores),
-                _ => DrishtiConfig::baseline(cores),
-            }
-            .with_faults(faults.clone());
-            let rc = RunConfig {
-                system: SystemConfig::with_faults(cores, faults),
-                accesses_per_core: opts.accesses,
-                warmup_accesses: opts.accesses / 4,
-                record_llc_stream: false,
-            };
-            let r = run_mix(&mix, *policy, drishti, &rc);
+        for (d, &drop_pct) in DROP_PCTS.iter().enumerate() {
+            let r = outcome.outputs[base + d]
+                .as_ref()
+                .expect("checked")
+                .unwrap_run();
             let ipc = r.total_ipc();
-            if drop_pct == 0.0 {
-                healthy_ipc = ipc;
-                assert!(
-                    r.fault_summary().is_clean(),
-                    "zero-rate run must not report faults"
-                );
-            }
             let rel = if healthy_ipc > 0.0 {
                 ipc / healthy_ipc
             } else {
                 0.0
             };
             cells.push(format!("{} ({}×)", f2(ipc), f2(rel)));
-            if drop_pct == *DROP_PCTS.last().unwrap() {
-                counters = Some(r.fault_summary());
-            }
+            let cell = report.cell_mut(base + d).expect("run cell in report");
+            cell.metrics.push(("drop_pct".to_string(), drop_pct));
+            cell.metrics.push(("rel_ipc".to_string(), rel));
         }
         row(&format!("{}/{org}", policy.label()), &cells);
-        if let Some(s) = counters {
-            println!(
-                "    at 50%: mesh drops {} (retries {}), fabric fallbacks {}, dropped trainings {}",
-                s.mesh_dropped, s.mesh_retries, s.fallback_decisions, s.dropped_trainings
-            );
-        }
+        let worst = outcome.outputs[base + DROP_PCTS.len() - 1]
+            .as_ref()
+            .expect("checked")
+            .unwrap_run()
+            .fault_summary();
+        println!(
+            "    at 50%: mesh drops {} (retries {}), fabric fallbacks {}, dropped trainings {}",
+            worst.mesh_dropped,
+            worst.mesh_retries,
+            worst.fallback_decisions,
+            worst.dropped_trainings
+        );
     }
 
     println!("\ncells: absolute total IPC (relative to the same variant's fault-free run)");
     println!("graceful degradation = relative IPC declines smoothly and every run completes");
+    if let Err(e) = write_reports(&opts, &report, &timing) {
+        eprintln!("error: failed to write sweep report: {e}");
+        std::process::exit(1);
+    }
 }

@@ -17,13 +17,32 @@
 //! minutes. Pass `--full` for paper-scale mixes (70), core counts
 //! (4/16/32) and longer traces; `--mixes N` / `--cores a,b,c` /
 //! `--accesses N` override individual knobs.
+//!
+//! # Parallelism and reports
+//!
+//! The sweep-driven binaries (`fig13_main_performance`, `table6_metrics`,
+//! `fig17_ablation`, `resilience`) execute their cells on the
+//! [`drishti_sim::sweep`] harness: `--jobs N` picks the worker count
+//! (default: all available cores; results are bit-identical at any
+//! width), and every run writes a `drishti-sweep/v1` JSON report plus a
+//! timing sidecar to `target/sweep/` (`--report PATH` overrides the
+//! destination). The remaining binaries accept and ignore `--jobs` so
+//! `all_experiments` can forward one flag set to the whole suite.
 
 use drishti_core::config::DrishtiConfig;
 use drishti_policies::factory::PolicyKind;
 use drishti_sim::config::SystemConfig;
 use drishti_sim::metrics::{mean, MixMetrics};
 use drishti_sim::runner::{alone_ipcs, mix_metrics, run_mix, RunConfig, RunResult};
+use drishti_sim::sweep::report::{SweepReport, SweepTiming};
+use drishti_sim::sweep::{run_sweep, JobKind, JobOutput, SweepJob};
 use drishti_trace::mix::Mix;
+use drishti_trace::replay::TraceCache;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const OPTS_USAGE: &str = "usage: [--full] [--mixes N] [--cores a,b,c] [--accesses N] \
+[--jobs N] [--report PATH]";
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -36,53 +55,86 @@ pub struct ExpOpts {
     pub cores: Vec<usize>,
     /// Measured accesses per core.
     pub accesses: u64,
+    /// Sweep worker threads (0 = all available cores).
+    pub jobs: usize,
+    /// Report destination override (default: `target/sweep/<name>.json`).
+    pub report: Option<PathBuf>,
 }
 
-impl ExpOpts {
-    /// Parse `std::env::args`. Unknown arguments are rejected.
-    ///
-    /// # Panics
-    ///
-    /// Panics (with a usage message) on malformed arguments.
-    pub fn from_args() -> Self {
-        let mut opts = ExpOpts {
+impl Default for ExpOpts {
+    fn default() -> Self {
+        ExpOpts {
             full: false,
             mixes: 6,
             cores: vec![4, 16],
             accesses: 80_000,
-        };
-        let args: Vec<String> = std::env::args().skip(1).collect();
+            jobs: 0,
+            report: None,
+        }
+    }
+}
+
+impl ExpOpts {
+    /// Parse an argument list. Unknown or malformed arguments are
+    /// rejected with an actionable message.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = ExpOpts::default();
         let mut i = 0;
+        let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
         while i < args.len() {
-            match args[i].as_str() {
+            let flag = args[i].as_str();
+            match flag {
                 "--full" => {
                     opts.full = true;
                     opts.mixes = 70;
                     opts.cores = vec![4, 16, 32];
                     opts.accesses = 400_000;
+                    i += 1;
+                    continue;
                 }
                 "--mixes" => {
-                    i += 1;
-                    opts.mixes = args[i].parse().expect("--mixes takes a number");
+                    opts.mixes = parse_num(flag, &value(args, i, flag)?)?;
                 }
                 "--accesses" => {
-                    i += 1;
-                    opts.accesses = args[i].parse().expect("--accesses takes a number");
+                    opts.accesses = parse_num(flag, &value(args, i, flag)?)?;
+                }
+                "--jobs" => {
+                    opts.jobs = parse_num(flag, &value(args, i, flag)?)?;
+                }
+                "--report" => {
+                    opts.report = Some(PathBuf::from(value(args, i, flag)?));
                 }
                 "--cores" => {
-                    i += 1;
-                    opts.cores = args[i]
+                    opts.cores = value(args, i, flag)?
                         .split(',')
-                        .map(|c| c.parse().expect("--cores takes e.g. 4,16,32"))
-                        .collect();
+                        .map(|c| parse_num("--cores", c))
+                        .collect::<Result<_, _>>()?;
                 }
-                other => panic!(
-                    "unknown argument {other}; usage: [--full] [--mixes N] [--cores a,b,c] [--accesses N]"
-                ),
+                other => return Err(format!("unknown argument {other}")),
             }
-            i += 1;
+            i += 2;
         }
-        opts
+        if opts.mixes == 0 || opts.accesses == 0 {
+            return Err("--mixes and --accesses must be at least 1".to_string());
+        }
+        if opts.cores.is_empty() || opts.cores.contains(&0) {
+            return Err("--cores needs at least one nonzero core count".to_string());
+        }
+        Ok(opts)
+    }
+
+    /// Parse `std::env::args`, exiting with status 2 (and the usage
+    /// string on stderr) on malformed arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        ExpOpts::parse(&args).unwrap_or_else(|msg| {
+            eprintln!("error: {msg}\n{OPTS_USAGE}");
+            std::process::exit(2);
+        })
     }
 
     /// The run configuration for `cores` cores.
@@ -100,6 +152,11 @@ impl ExpOpts {
     pub fn paper_mixes(&self, cores: usize) -> Vec<Mix> {
         drishti_trace::mix::paper_mixes(cores, self.mixes.div_ceil(2), self.mixes / 2)
     }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag} needs a number, got `{s}`"))
 }
 
 /// One evaluated (mix, policy) cell.
@@ -182,6 +239,257 @@ pub fn mean_improvements(evals: &[MixEval]) -> Vec<(String, f64)> {
             (evals[0].cells[p].policy.clone(), mean(&vals))
         })
         .collect()
+}
+
+/// One batch of mixes evaluated under one `(policies, run-config)` pair —
+/// e.g. "all 4-core mixes under the headline policies". Binaries hand a
+/// list of groups to [`sweep_groups`], which flattens every group into one
+/// job batch so cells from *different* core counts also run concurrently.
+#[derive(Debug, Clone)]
+pub struct MixGroup {
+    /// Group label used in report summaries (e.g. `"4c"`).
+    pub label: String,
+    /// The mixes to evaluate.
+    pub mixes: Vec<Mix>,
+    /// The `(policy, organisation)` pairs to compare against LRU.
+    pub policies: Vec<(PolicyKind, DrishtiConfig)>,
+    /// The run configuration shared by the group's cells.
+    pub rc: RunConfig,
+}
+
+/// One evaluated group: the input mixes paired with their evaluations
+/// (same order), ready for figure-specific filtering and averaging.
+#[derive(Debug)]
+pub struct GroupEval {
+    /// The group's label.
+    pub label: String,
+    /// The group's mixes, in evaluation order.
+    pub mixes: Vec<Mix>,
+    /// One [`MixEval`] per mix.
+    pub evals: Vec<MixEval>,
+}
+
+/// A sweep in which one or more cells panicked. The surviving cells are
+/// intentionally discarded: a partial figure is worse than a loud failure
+/// (CI must go red, not quietly average over the missing cells).
+#[derive(Debug)]
+pub struct SweepFailed(pub Vec<drishti_sim::sweep::JobFailure>);
+
+impl std::fmt::Display for SweepFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} sweep cell(s) failed:", self.0.len())?;
+        for fail in &self.0 {
+            writeln!(f, "  {fail}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-mix job layout inside a group: alone-IPC baselines, the LRU
+/// normalisation run, then one run per compared policy.
+const JOBS_PER_MIX_FIXED: usize = 2;
+
+/// Evaluate every group's mixes on the parallel sweep harness.
+///
+/// Flattens all groups into one dense job batch (per mix: one alone-IPC
+/// job, one LRU job, one job per policy), executes it on
+/// [`drishti_sim::sweep::run_sweep`] with `opts.jobs` workers and a shared
+/// [`TraceCache`], and aggregates deterministically by job id — output is
+/// bit-identical for any worker count. Returns the per-group evaluations
+/// plus the enriched [`SweepReport`] (per-cell `ws`/`ws_improvement_pct`,
+/// per-group mean-improvement summaries) and the host-side
+/// [`SweepTiming`].
+pub fn sweep_groups(
+    name: &str,
+    groups: &[MixGroup],
+    opts: &ExpOpts,
+) -> Result<(Vec<GroupEval>, SweepReport, SweepTiming), SweepFailed> {
+    let mut jobs = Vec::new();
+    for group in groups {
+        let stride = group.policies.len() + JOBS_PER_MIX_FIXED;
+        for mix in &group.mixes {
+            let base = jobs.len();
+            jobs.push(SweepJob {
+                id: base,
+                label: format!("{}/alone", mix.name),
+                seed: SweepJob::derive_seed(base),
+                rc: group.rc.clone(),
+                kind: JobKind::AloneIpcs { mix: mix.clone() },
+            });
+            jobs.push(SweepJob {
+                id: base + 1,
+                label: format!("{}/lru/baseline", mix.name),
+                seed: SweepJob::derive_seed(base + 1),
+                rc: group.rc.clone(),
+                kind: JobKind::Run {
+                    mix: mix.clone(),
+                    policy: PolicyKind::Lru,
+                    org: DrishtiConfig::baseline(mix.cores()),
+                    org_label: "baseline".to_string(),
+                },
+            });
+            for (p, (pk, cfg)) in group.policies.iter().enumerate() {
+                jobs.push(SweepJob {
+                    id: base + JOBS_PER_MIX_FIXED + p,
+                    label: format!("{}/{}/{}", mix.name, pk.label(), cfg.label()),
+                    seed: SweepJob::derive_seed(base + JOBS_PER_MIX_FIXED + p),
+                    rc: group.rc.clone(),
+                    kind: JobKind::Run {
+                        mix: mix.clone(),
+                        policy: *pk,
+                        org: cfg.clone(),
+                        org_label: cfg.label(),
+                    },
+                });
+            }
+            debug_assert_eq!(jobs.len(), base + stride);
+        }
+    }
+
+    let cache = Arc::new(TraceCache::new());
+    let outcome = run_sweep(&jobs, opts.jobs, &cache);
+    let timing = SweepTiming::from_outcome(name, &outcome);
+    let failures: Vec<_> = outcome.failures().into_iter().cloned().collect();
+    if !failures.is_empty() {
+        return Err(SweepFailed(failures));
+    }
+    let mut report = SweepReport::from_outcome(name, &jobs, &outcome);
+    report
+        .config
+        .push(("mixes".to_string(), opts.mixes.to_string()));
+    report
+        .config
+        .push(("accesses".to_string(), opts.accesses.to_string()));
+    report.config.push((
+        "cores".to_string(),
+        groups
+            .iter()
+            .map(|g| g.rc.system.cores.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    ));
+
+    // Fold outputs back into per-mix evaluations, enriching the report's
+    // cells with the LRU-normalised metrics as we go. Outputs arrive in
+    // job-id order, which is exactly construction order.
+    let mut outputs = outcome
+        .outputs
+        .into_iter()
+        .map(|o| o.expect("failures handled above"));
+    let mut next_id = 0;
+    let mut group_evals = Vec::with_capacity(groups.len());
+    for group in groups {
+        let mut evals = Vec::with_capacity(group.mixes.len());
+        for mix in &group.mixes {
+            let alone = match outputs.next().expect("alone output") {
+                JobOutput::AloneIpcs(a) => a,
+                JobOutput::Run(_) => unreachable!("job layout: alone first"),
+            };
+            let lru = match outputs.next().expect("lru output") {
+                JobOutput::Run(r) => *r,
+                JobOutput::AloneIpcs(_) => unreachable!("job layout: lru second"),
+            };
+            let lru_metrics = mix_metrics(&lru, &alone);
+            let lru_ws = lru_metrics.weighted_speedup();
+            let lru_id = next_id + 1;
+            enrich_cell(&mut report, lru_id, lru_ws, 0.0);
+            let cells = group
+                .policies
+                .iter()
+                .enumerate()
+                .map(|(p, _)| {
+                    let result = match outputs.next().expect("policy output") {
+                        JobOutput::Run(r) => *r,
+                        JobOutput::AloneIpcs(_) => unreachable!("job layout: runs after lru"),
+                    };
+                    let metrics = mix_metrics(&result, &alone);
+                    let ws_improvement_pct = (metrics.weighted_speedup() / lru_ws - 1.0) * 100.0;
+                    enrich_cell(
+                        &mut report,
+                        next_id + JOBS_PER_MIX_FIXED + p,
+                        metrics.weighted_speedup(),
+                        ws_improvement_pct,
+                    );
+                    Cell {
+                        policy: result.policy.clone(),
+                        ws_improvement_pct,
+                        result,
+                        metrics,
+                    }
+                })
+                .collect();
+            next_id += group.policies.len() + JOBS_PER_MIX_FIXED;
+            evals.push(MixEval {
+                mix: mix.name.clone(),
+                lru,
+                lru_ws,
+                lru_metrics,
+                cells,
+            });
+        }
+        // Per-group summary: mean WS improvement per (policy, org) column.
+        let pairs = group
+            .policies
+            .iter()
+            .enumerate()
+            .map(|(p, (pk, cfg))| {
+                let vals: Vec<f64> = evals
+                    .iter()
+                    .map(|e| e.cells[p].ws_improvement_pct)
+                    .collect();
+                (format!("{}/{}", pk.label(), cfg.label()), mean(&vals))
+            })
+            .collect();
+        report
+            .summary
+            .push((format!("mean_ws_improvement_pct/{}", group.label), pairs));
+        group_evals.push(GroupEval {
+            label: group.label.clone(),
+            mixes: group.mixes.clone(),
+            evals,
+        });
+    }
+    debug_assert!(outputs.next().is_none(), "all outputs consumed");
+    Ok((group_evals, report, timing))
+}
+
+fn enrich_cell(report: &mut SweepReport, id: usize, ws: f64, ws_improvement_pct: f64) {
+    let cell = report.cell_mut(id).expect("run cell present in report");
+    cell.metrics.push(("ws".to_string(), ws));
+    cell.metrics
+        .push(("ws_improvement_pct".to_string(), ws_improvement_pct));
+}
+
+/// Write `report` (and its timing sidecar) to `opts.report` or the
+/// default `target/sweep/<name>.json`, and announce both on stderr
+/// together with the timing line. Returns the report path.
+pub fn write_reports(
+    opts: &ExpOpts,
+    report: &SweepReport,
+    timing: &SweepTiming,
+) -> std::io::Result<PathBuf> {
+    let path = opts
+        .report
+        .clone()
+        .unwrap_or_else(|| drishti_sim::sweep::report::default_report_path(&report.name));
+    report.write(&path)?;
+    let timing_path = timing.write_beside(&path)?;
+    eprintln!("{}", timing.line());
+    eprintln!(
+        "report: {} (timing: {})",
+        path.display(),
+        timing_path.display()
+    );
+    Ok(path)
+}
+
+/// Run a sweep-driven experiment binary's body and convert sweep
+/// failures into a nonzero exit (CI must fail when a cell errors).
+pub fn exit_on_sweep_failure<T>(result: Result<T, SweepFailed>) -> T {
+    result.unwrap_or_else(|failed| {
+        eprintln!("error: {failed}");
+        std::process::exit(1);
+    })
 }
 
 /// The four headline configurations of the paper's main figures:

@@ -10,7 +10,7 @@ pub enum AccessKind {
     /// A demand store (has a PC; marks lines dirty).
     Store,
     /// A hardware prefetch. Carries the *triggering* load's PC, because
-    /// "prefetch requests do not have a PC associated with [them]; policies
+    /// "prefetch requests do not have a PC associated with \[them\]; policies
     /// like Mockingjay use the PC of the load that triggered the prefetch"
     /// (paper §3.3). Predictors fold a *prefetch bit* into the signature.
     Prefetch,

@@ -190,7 +190,7 @@ impl Mesh {
     /// latency jitter, or be dropped in flight. Demand packets carry cache
     /// lines and cannot be lost, so a drop triggers a retransmission: the
     /// sender waits one zero-load round plus a fixed turnaround, then
-    /// resends (bounded by [`MAX_RETRANSMITS`], after which the packet is
+    /// resends (bounded by `MAX_RETRANSMITS`, after which the packet is
     /// force-delivered so the system always makes forward progress).
     pub fn traverse(&mut self, from: NodeId, to: NodeId, cycle: u64, flits: u32) -> u64 {
         if from == to || self.faults.is_none() {

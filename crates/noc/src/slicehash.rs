@@ -2,8 +2,8 @@
 //!
 //! Commercial processors distribute physical line addresses over LLC slices
 //! with an undocumented "complex addressing" hash (reverse-engineered by
-//! Maurice et al. [41] for Intel parts; the paper's baseline cites the
-//! Kayaalp et al. [33] construction). Two properties matter for this study:
+//! Maurice et al. \[41\] for Intel parts; the paper's baseline cites the
+//! Kayaalp et al. \[33\] construction). Two properties matter for this study:
 //!
 //! 1. **Uniformity** — consecutive and strided lines spread evenly over
 //!    slices, so no slice is hot merely because of the hash.

@@ -6,31 +6,49 @@
 //!             --accesses 200000 --l2-kib 1024 --llc-mib 4 --channels 2
 //! drishti-sim --cores 8 --policy mockingjay --org drishti \
 //!             --drop-pct 5 --fault-seed 42 --jitter 4 --dram-outage 0:50000:5000
+//! drishti-sim --cores 8 --policy hawkeye,mockingjay --org baseline,drishti \
+//!             --jobs 4 --report target/sweep/quick.json
 //! ```
 //!
-//! Prints per-core IPC, LLC/DRAM statistics, predictor-fabric traffic and
-//! the uncore energy breakdown for the requested configuration. With fault
-//! injection enabled it also reports the resilience counters (drops,
-//! retries, fallbacks, re-steers).
+//! With a single `(policy, org)` cell and no `--report`, prints per-core
+//! IPC, LLC/DRAM statistics, predictor-fabric traffic and the uncore
+//! energy breakdown for the requested configuration. With fault injection
+//! enabled it also reports the resilience counters (drops, retries,
+//! fallbacks, re-steers).
+//!
+//! `--policy` and `--org` also accept comma-separated lists: every
+//! `(policy, org)` combination becomes one cell of a parallel sweep
+//! (`--jobs N` workers, 0 = one per CPU), printed as a compact table and
+//! optionally written as a deterministic JSON report via `--report`.
 //!
 //! Argument handling never panics: every malformed or inconsistent input
-//! exits with status 2 and an actionable message.
+//! exits with status 2 and an actionable message. A sweep cell that fails
+//! internally exits with status 1 after reporting every failed cell.
 
 use drishti_core::config::DrishtiConfig;
 use drishti_noc::faults::{FaultConfig, OutageWindow};
 use drishti_policies::factory::PolicyKind;
 use drishti_sim::config::SystemConfig;
 use drishti_sim::runner::{run_mix, RunConfig};
+use drishti_sim::sweep::report::{SweepReport, SweepTiming};
+use drishti_sim::sweep::{run_sweep, JobKind, SweepJob};
 use drishti_trace::mix::Mix;
 use drishti_trace::presets::Benchmark;
+use drishti_trace::replay::TraceCache;
+use std::path::PathBuf;
+use std::sync::Arc;
 
-const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P] [--org O] [--mix M]
+const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P[,P...]] [--org O[,O...]] [--mix M]
        [--accesses N] [--warmup N] [--l2-kib K] [--llc-mib M] [--channels C]
+       [--jobs N] [--report PATH]
        [--fault-seed S] [--drop-pct F] [--jitter J]
        [--link-outage PERIOD:LEN] [--dram-outage CH:START:LEN]...
   P: lru srrip dip drrip sdbp ship++ hawkeye mockingjay glider chrome
   O: baseline drishti global-view dsc-only centralized mesh
   M: homo:<bench> | hetero:<seed>   (bench: mcf xalan lbm gcc ... )
+  sweeps: comma-separated --policy/--org lists run every combination as a
+  parallel sweep on --jobs workers (0 = one per CPU); --report writes the
+  deterministic JSON report (plus a .timing.json sidecar) to PATH.
   faults: --drop-pct is a percentage (0..=100) of uncore messages lost,
   --jitter a max per-message latency jitter in cycles, --link-outage a
   recurring link blackout, --dram-outage a one-shot channel blackout
@@ -39,14 +57,16 @@ const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P] [--org O] [--mi
 /// Everything the CLI accepts, fully validated.
 struct CliArgs {
     cores: usize,
-    policy: PolicyKind,
-    org: String,
+    policies: Vec<PolicyKind>,
+    orgs: Vec<String>,
     mix_spec: String,
     accesses: u64,
     warmup: u64,
     l2_kib: usize,
     llc_mib: usize,
     channels: Option<usize>,
+    jobs: usize,
+    report: Option<PathBuf>,
     faults: FaultConfig,
 }
 
@@ -54,14 +74,16 @@ impl Default for CliArgs {
     fn default() -> Self {
         CliArgs {
             cores: 8,
-            policy: PolicyKind::Mockingjay,
-            org: "baseline".to_string(),
+            policies: vec![PolicyKind::Mockingjay],
+            orgs: vec!["baseline".to_string()],
             mix_spec: "homo:mcf".to_string(),
             accesses: 100_000,
             warmup: 25_000,
             l2_kib: 512,
             llc_mib: 2,
             channels: None,
+            jobs: 0,
+            report: None,
             faults: FaultConfig::none(),
         }
     }
@@ -127,14 +149,21 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             .ok_or_else(|| format!("{flag} needs a value"))?;
         match flag {
             "--cores" => cli.cores = parse_num(flag, val)?,
-            "--policy" => cli.policy = parse_policy(val)?,
-            "--org" => cli.org = val.clone(),
+            "--policy" => {
+                cli.policies = val
+                    .split(',')
+                    .map(parse_policy)
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+            "--org" => cli.orgs = val.split(',').map(str::to_string).collect(),
             "--mix" => cli.mix_spec = val.clone(),
             "--accesses" => cli.accesses = parse_num(flag, val)?,
             "--warmup" => cli.warmup = parse_num(flag, val)?,
             "--l2-kib" => cli.l2_kib = parse_num(flag, val)?,
             "--llc-mib" => cli.llc_mib = parse_num(flag, val)?,
             "--channels" => cli.channels = Some(parse_num(flag, val)?),
+            "--jobs" => cli.jobs = parse_num(flag, val)?,
+            "--report" => cli.report = Some(PathBuf::from(val)),
             "--fault-seed" => cli.faults.seed = parse_num(flag, val)?,
             "--drop-pct" => cli.faults.drop_pct = parse_num(flag, val)?,
             "--jitter" => cli.faults.jitter = parse_num(flag, val)?,
@@ -152,6 +181,12 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     // Cross-flag consistency: catch impossible runs before they start.
     if cli.cores == 0 {
         return Err("--cores must be at least 1".to_string());
+    }
+    if cli.policies.is_empty() {
+        return Err("--policy needs at least one policy".to_string());
+    }
+    if cli.orgs.is_empty() {
+        return Err("--org needs at least one organisation".to_string());
     }
     if cli.accesses == 0 {
         return Err("--accesses must be at least 1".to_string());
@@ -195,9 +230,9 @@ fn build_mix(cli: &CliArgs) -> Result<Mix, String> {
     }
 }
 
-fn build_org(cli: &CliArgs) -> Result<DrishtiConfig, String> {
+fn build_org(cli: &CliArgs, org: &str) -> Result<DrishtiConfig, String> {
     const KNOWN: &str = "baseline drishti global-view dsc-only centralized mesh";
-    let cfg = match cli.org.as_str() {
+    let cfg = match org {
         "baseline" => DrishtiConfig::baseline(cli.cores),
         "drishti" => DrishtiConfig::drishti(cli.cores),
         "global-view" => DrishtiConfig::global_view_only(cli.cores),
@@ -211,10 +246,7 @@ fn build_org(cli: &CliArgs) -> Result<DrishtiConfig, String> {
     Ok(cfg.with_faults(cli.faults.clone()))
 }
 
-fn run(cli: &CliArgs) -> Result<(), String> {
-    let mix = build_mix(cli)?;
-    let drishti = build_org(cli)?;
-
+fn run_config(cli: &CliArgs) -> RunConfig {
     let mut system = SystemConfig::paper_baseline(cli.cores);
     system.l2 = drishti_mem::cache::CacheConfig::l2_with_kib(cli.l2_kib);
     system.llc = drishti_mem::llc::LlcGeometry::per_core_mib(cli.cores, cli.llc_mib);
@@ -222,18 +254,26 @@ fn run(cli: &CliArgs) -> Result<(), String> {
         system.dram = drishti_mem::dram::DramConfig::with_channels(ch);
     }
     system.faults = cli.faults.clone();
-    let rc = RunConfig {
+    RunConfig {
         system,
         accesses_per_core: cli.accesses,
         warmup_accesses: cli.warmup,
         record_llc_stream: false,
-    };
+    }
+}
+
+/// Detailed single-cell output (the classic `drishti-sim` report).
+fn run_single(cli: &CliArgs) -> Result<(), String> {
+    let mix = build_mix(cli)?;
+    let drishti = build_org(cli, &cli.orgs[0])?;
+    let rc = run_config(cli);
+    let policy = cli.policies[0];
 
     println!(
         "mix={} policy={} org={} cores={} llc={}MB/core l2={}KB",
         mix.name,
-        cli.policy.label(),
-        cli.org,
+        policy.label(),
+        cli.orgs[0],
         cli.cores,
         cli.llc_mib,
         cli.l2_kib
@@ -250,7 +290,7 @@ fn run(cli: &CliArgs) -> Result<(), String> {
         );
     }
     let t = std::time::Instant::now();
-    let r = run_mix(&mix, cli.policy, drishti, &rc);
+    let r = run_mix(&mix, policy, drishti, &rc);
     println!("\nsimulated in {:.1?}\n", t.elapsed());
 
     println!("policy reported: {}", r.policy);
@@ -300,6 +340,97 @@ fn run(cli: &CliArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Multi-cell sweep over every `(policy, org)` combination on one mix.
+///
+/// Returns the process exit code: cell failures are runtime errors (1),
+/// not usage errors (2).
+fn run_sweep_cli(cli: &CliArgs) -> Result<i32, String> {
+    let mix = build_mix(cli)?;
+    let rc = run_config(cli);
+    let mut jobs = Vec::new();
+    for policy in &cli.policies {
+        for org in &cli.orgs {
+            let cfg = build_org(cli, org)?;
+            let id = jobs.len();
+            jobs.push(SweepJob {
+                id,
+                label: format!("{}/{}/{org}", mix.name, policy.label()),
+                seed: SweepJob::derive_seed(id),
+                rc: rc.clone(),
+                kind: JobKind::Run {
+                    mix: mix.clone(),
+                    policy: *policy,
+                    org: cfg,
+                    org_label: org.clone(),
+                },
+            });
+        }
+    }
+
+    println!(
+        "mix={} cores={} cells={} ({} policies × {} orgs)",
+        mix.name,
+        cli.cores,
+        jobs.len(),
+        cli.policies.len(),
+        cli.orgs.len()
+    );
+    let cache = Arc::new(TraceCache::new());
+    let outcome = run_sweep(&jobs, cli.jobs, &cache);
+    let timing = SweepTiming::from_outcome("drishti-sim", &outcome);
+
+    println!(
+        "\n{:<28} {:>8} {:>8} {:>10}",
+        "policy/org", "IPC", "MPKI", "energy µJ"
+    );
+    for (job, out) in jobs.iter().zip(&outcome.outputs) {
+        match out {
+            Ok(o) => {
+                let r = o.unwrap_run();
+                println!(
+                    "{:<28} {:>8.3} {:>8.1} {:>10}",
+                    format!(
+                        "{}/{}",
+                        job.label.rsplit('/').nth(1).unwrap_or("?"),
+                        job.label.rsplit('/').next().unwrap_or("?")
+                    ),
+                    r.total_ipc(),
+                    r.llc_mpki(),
+                    r.energy.total_pj() / 1_000_000
+                );
+            }
+            Err(f) => println!("{:<28} FAILED: {}", job.label, f.message),
+        }
+    }
+    eprintln!("{}", timing.line());
+
+    if let Some(path) = &cli.report {
+        let mut report = SweepReport::from_outcome("drishti-sim", &jobs, &outcome);
+        report.config.push(("mix".to_string(), mix.name.clone()));
+        report
+            .config
+            .push(("cores".to_string(), cli.cores.to_string()));
+        report
+            .config
+            .push(("accesses".to_string(), cli.accesses.to_string()));
+        report
+            .write(path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let tpath = timing
+            .write_beside(path)
+            .map_err(|e| format!("writing timing sidecar: {e}"))?;
+        eprintln!("report: {}", path.display());
+        eprintln!("timing: {}", tpath.display());
+    }
+
+    let failures = outcome.failures();
+    if !failures.is_empty() {
+        eprintln!("error: {} sweep cell(s) failed", failures.len());
+        return Ok(1);
+    }
+    Ok(0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
@@ -314,8 +445,19 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Err(msg) = run(&cli) {
-        eprintln!("error: {msg}\n\n{USAGE}");
-        std::process::exit(2);
+    let single_cell = cli.policies.len() == 1 && cli.orgs.len() == 1;
+    if single_cell && cli.report.is_none() {
+        if let Err(msg) = run_single(&cli) {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    } else {
+        match run_sweep_cli(&cli) {
+            Ok(code) => std::process::exit(code),
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 }

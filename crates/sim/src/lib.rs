@@ -17,7 +17,10 @@
 //! * [`energy`] — uncore (LLC + NoC + DRAM (+ NOCSTAR)) dynamic energy;
 //! * [`pcstats`] — the PC-to-slice concentration analysis of paper Fig 2;
 //! * [`runner`] — one-call experiment helpers (`run_mix`, alone-IPC
-//!   baselines, normalised speedups).
+//!   baselines, normalised speedups);
+//! * [`sweep`] — the parallel sweep harness: a std-only work-stealing
+//!   pool over `(mix, policy, organisation)` cells with deterministic
+//!   aggregation, a shared trace cache, and JSON sweep reports.
 //!
 //! # Example: one tiny 4-core run
 //!
@@ -46,3 +49,4 @@ pub mod engine;
 pub mod metrics;
 pub mod pcstats;
 pub mod runner;
+pub mod sweep;

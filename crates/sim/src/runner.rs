@@ -18,6 +18,7 @@ use drishti_mem::policy::LlcPolicy;
 use drishti_noc::NocStats;
 use drishti_policies::factory::PolicyKind;
 use drishti_trace::mix::Mix;
+use drishti_trace::replay::TraceCache;
 use drishti_trace::WorkloadGen;
 
 /// Parameters of one simulation run.
@@ -212,6 +213,46 @@ pub fn run_mix(mix: &Mix, policy: PolicyKind, drishti: DrishtiConfig, rc: &RunCo
     run_engine(workloads, pol, rc)
 }
 
+/// Like [`run_mix`], but replaying materialised traces from `cache`
+/// instead of regenerating them — the sweep harness's per-cell entry
+/// point. Replay is bit-exact, so the result equals [`run_mix`]'s.
+///
+/// # Panics
+///
+/// Panics if the mix's core count differs from the system's.
+pub fn run_mix_cached(
+    mix: &Mix,
+    policy: PolicyKind,
+    drishti: DrishtiConfig,
+    rc: &RunConfig,
+    cache: &TraceCache,
+) -> RunResult {
+    assert_eq!(mix.cores(), rc.system.cores, "mix/system core mismatch");
+    let len = rc.warmup_accesses + rc.accesses_per_core;
+    let workloads = cache
+        .workloads_for(mix, len)
+        .into_iter()
+        .map(|w| Some(Box::new(w) as Box<dyn WorkloadGen>))
+        .collect();
+    let pol = policy.build(&rc.system.llc, drishti);
+    run_engine(workloads, pol, rc)
+}
+
+/// Like [`alone_ipcs`], but replaying materialised traces from `cache`.
+pub fn alone_ipcs_cached(mix: &Mix, rc: &RunConfig, cache: &TraceCache) -> Vec<f64> {
+    let len = rc.warmup_accesses + rc.accesses_per_core;
+    (0..mix.cores())
+        .map(|c| {
+            let mut workloads: Vec<Option<Box<dyn WorkloadGen>>> =
+                (0..mix.cores()).map(|_| None).collect();
+            workloads[c] = Some(Box::new(cache.replay(mix.benchmarks[c], mix.seeds[c], len)));
+            let pol = PolicyKind::Lru.build(&rc.system.llc, DrishtiConfig::baseline(mix.cores()));
+            let r = run_engine(workloads, pol, rc);
+            r.per_core[c].ipc()
+        })
+        .collect()
+}
+
 /// Run `mix` under an explicitly constructed policy object (used by the
 /// instrumented case studies, e.g. Mockingjay with ETR logging).
 pub fn run_mix_with_policy(mix: &Mix, policy: Box<dyn LlcPolicy>, rc: &RunConfig) -> RunResult {
@@ -321,6 +362,24 @@ mod tests {
         );
         assert!(r.wpki() >= 0.0);
         assert!(r.wpki().is_finite());
+    }
+
+    #[test]
+    fn cached_run_is_bit_identical_to_direct_run() {
+        let mix = Mix::heterogeneous(&drishti_trace::presets::Benchmark::spec_and_gap(), 4, 5);
+        let rc = tiny_rc(4);
+        let cache = TraceCache::new();
+        let direct = run_mix(&mix, PolicyKind::Srrip, DrishtiConfig::baseline(4), &rc);
+        let cached = run_mix_cached(
+            &mix,
+            PolicyKind::Srrip,
+            DrishtiConfig::baseline(4),
+            &rc,
+            &cache,
+        );
+        assert_eq!(direct.per_core, cached.per_core);
+        assert_eq!(format!("{:?}", direct.llc), format!("{:?}", cached.llc));
+        assert_eq!(alone_ipcs(&mix, &rc), alone_ipcs_cached(&mix, &rc, &cache));
     }
 
     #[test]

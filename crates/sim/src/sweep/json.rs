@@ -1,0 +1,172 @@
+//! A tiny deterministic JSON writer.
+//!
+//! The workspace builds offline with no external dependencies, so the
+//! sweep reports are emitted by this ~100-line writer instead of serde.
+//! Determinism is the point: object keys keep insertion order, floats are
+//! formatted with Rust's shortest-round-trip formatter (identical for
+//! identical bit patterns), and non-finite floats become `null` — so a
+//! byte-wise `diff` of two reports is a semantic comparison.
+
+/// A JSON value with insertion-ordered object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (kept separate from floats so counters never grow
+    /// a fractional part).
+    Int(i64),
+    /// An unsigned integer (seeds and counters use the full u64 range).
+    UInt(u64),
+    /// A float; NaN and infinities serialise as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys serialise in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, ready for [`Json::push`].
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append `key: value` to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    pub fn push(&mut self, key: &str, value: Json) -> &mut Self {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value)),
+            other => panic!("push on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Serialise with two-space indentation and a trailing newline, ready
+    /// to be written to a report file.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Num(x) if x.is_finite() => out.push_str(&format!("{x}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_block(out, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, depth + 1);
+            }),
+            Json::Obj(pairs) => write_block(out, depth, '{', '}', pairs.len(), |out, i| {
+                write_escaped(out, &pairs[i].0);
+                out.push_str(": ");
+                pairs[i].1.write(out, depth + 1);
+            }),
+        }
+    }
+}
+
+/// Write an indented `[...]`/`{...}` block with one element per line.
+fn write_block(
+    out: &mut String,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    if len == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    for i in 0..len {
+        out.push('\n');
+        out.push_str(&"  ".repeat(depth + 1));
+        item(out, i);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(depth));
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialise() {
+        assert_eq!(Json::Null.to_pretty_string(), "null\n");
+        assert_eq!(Json::Bool(true).to_pretty_string(), "true\n");
+        assert_eq!(Json::Int(-3).to_pretty_string(), "-3\n");
+        assert_eq!(
+            Json::UInt(u64::MAX).to_pretty_string(),
+            format!("{}\n", u64::MAX)
+        );
+        assert_eq!(Json::Num(1.5).to_pretty_string(), "1.5\n");
+        assert_eq!(Json::Num(f64::NAN).to_pretty_string(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).to_pretty_string(), "null\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::Str("a\"b\\c\nd\u{1}".to_string()).to_pretty_string();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let mut o = Json::obj();
+        o.push("zeta", Json::Int(1)).push("alpha", Json::Int(2));
+        let s = o.to_pretty_string();
+        assert!(s.find("zeta").unwrap() < s.find("alpha").unwrap());
+    }
+
+    #[test]
+    fn nested_layout_is_stable() {
+        let mut inner = Json::obj();
+        inner.push("k", Json::Arr(vec![Json::Int(1), Json::Int(2)]));
+        let mut outer = Json::obj();
+        outer.push("cells", Json::Arr(vec![inner]));
+        let expected = "{\n  \"cells\": [\n    {\n      \"k\": [\n        1,\n        2\n      ]\n    }\n  ]\n}\n";
+        assert_eq!(outer.to_pretty_string(), expected);
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(Json::Arr(vec![]).to_pretty_string(), "[]\n");
+        assert_eq!(Json::obj().to_pretty_string(), "{}\n");
+    }
+}

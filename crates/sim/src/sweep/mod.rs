@@ -1,0 +1,340 @@
+//! The parallel sweep harness.
+//!
+//! Every figure and table of the paper reproduction is a sweep over
+//! independent `(mix × policy × organisation)` simulation cells — an
+//! embarrassingly parallel batch. This module turns that batch into
+//! [`SweepJob`]s executed on a std-only work-stealing [`pool`], with three
+//! guarantees (see DESIGN.md §10):
+//!
+//! 1. **Deterministic aggregation.** Results come back keyed and ordered
+//!    by job id, and every job carries its own seed and full
+//!    configuration; nothing reads shared mutable state. A `--jobs 1`
+//!    sweep is therefore bit-identical to a `--jobs 16` sweep, and CI
+//!    enforces this with a byte-wise `diff` of the two reports.
+//! 2. **Shared trace cache.** Each synthetic workload is materialised
+//!    once behind an `Arc` ([`drishti_trace::replay::TraceCache`]) and
+//!    replayed by every cell that uses it, instead of being regenerated
+//!    per cell.
+//! 3. **Structured results.** [`report::SweepReport`] serialises per-cell
+//!    metrics to `target/sweep/*.json` for CI artifacts and trajectory
+//!    tracking; the host-dependent timing line
+//!    ([`report::SweepTiming`]) goes to a `*.timing.json` sidecar so the
+//!    main report stays byte-comparable across hosts and worker counts.
+
+pub mod json;
+pub mod pool;
+pub mod report;
+
+use crate::runner::{alone_ipcs_cached, run_mix_cached, RunConfig, RunResult};
+use drishti_core::config::DrishtiConfig;
+use drishti_policies::factory::PolicyKind;
+use drishti_trace::mix::Mix;
+use drishti_trace::replay::TraceCache;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What one sweep cell simulates.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// One full `(mix, policy, organisation)` simulation.
+    Run {
+        /// The workload mix.
+        mix: Mix,
+        /// The replacement policy under test.
+        policy: PolicyKind,
+        /// The predictor organisation (baseline, drishti, ablations).
+        org: DrishtiConfig,
+        /// Human-readable organisation label for the report.
+        org_label: String,
+    },
+    /// The per-core `IPC_alone` baselines of a mix (each core run by
+    /// itself under LRU).
+    AloneIpcs {
+        /// The workload mix.
+        mix: Mix,
+    },
+}
+
+/// One schedulable cell of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Dense job id; results are keyed and ordered by it.
+    pub id: usize,
+    /// Display label, e.g. `"homo-00-mcf/mockingjay/drishti"`.
+    pub label: String,
+    /// The job's private randomness root. Every source of per-cell
+    /// variation (mix seeds, fault seeds) is either fixed in the job's
+    /// configuration or derived from this value, never from shared state —
+    /// that independence is what makes aggregation order-free.
+    pub seed: u64,
+    /// The run configuration (system, access counts).
+    pub rc: RunConfig,
+    /// What to simulate.
+    pub kind: JobKind,
+}
+
+impl SweepJob {
+    /// A deterministic per-job seed: splitmix64 of the job id, so ids
+    /// that differ by one get statistically independent streams.
+    pub fn derive_seed(id: usize) -> u64 {
+        let mut z = (id as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn execute(self, cache: &TraceCache) -> JobOutput {
+        match self.kind {
+            JobKind::Run {
+                mix, policy, org, ..
+            } => JobOutput::Run(Box::new(run_mix_cached(&mix, policy, org, &self.rc, cache))),
+            JobKind::AloneIpcs { mix } => {
+                JobOutput::AloneIpcs(alone_ipcs_cached(&mix, &self.rc, cache))
+            }
+        }
+    }
+}
+
+/// What a completed cell produced.
+#[derive(Debug)]
+pub enum JobOutput {
+    /// A full simulation result.
+    Run(Box<RunResult>),
+    /// Per-core alone-IPC baselines.
+    AloneIpcs(Vec<f64>),
+}
+
+impl JobOutput {
+    /// The run result, when this output is one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the output is an alone-IPC vector.
+    pub fn unwrap_run(&self) -> &RunResult {
+        match self {
+            JobOutput::Run(r) => r,
+            JobOutput::AloneIpcs(_) => panic!("expected a Run output"),
+        }
+    }
+
+    /// The alone-IPC vector, when this output is one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the output is a run result.
+    pub fn unwrap_alone(&self) -> &[f64] {
+        match self {
+            JobOutput::AloneIpcs(a) => a,
+            JobOutput::Run(_) => panic!("expected an AloneIpcs output"),
+        }
+    }
+}
+
+/// A cell that panicked instead of completing.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// The failed job's id.
+    pub id: usize,
+    /// The failed job's label.
+    pub label: String,
+    /// The panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} ({}): {}", self.id, self.label, self.message)
+    }
+}
+
+/// Everything a sweep produced: per-job outputs in job-id order, isolated
+/// failures, and host-side timing.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One entry per job, ordered by job id; `Err` for panicked cells.
+    pub outputs: Vec<Result<JobOutput, JobFailure>>,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Trace-cache `(hits, misses)` accumulated by the batch.
+    pub cache_stats: (u64, u64),
+}
+
+impl SweepOutcome {
+    /// All failures, in job-id order.
+    pub fn failures(&self) -> Vec<&JobFailure> {
+        self.outputs
+            .iter()
+            .filter_map(|o| o.as_ref().err())
+            .collect()
+    }
+
+    /// Completed cells per wall-clock second.
+    pub fn cells_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.outputs.len() as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The worker count to use when the caller passes `0` ("auto"): the
+/// host's available parallelism.
+pub fn auto_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Execute `jobs` on `workers` threads (0 = [`auto_workers`]) sharing
+/// `cache`, and aggregate results in job-id order. The jobs are borrowed
+/// so callers can keep them for report assembly.
+///
+/// # Panics
+///
+/// Panics if job ids are not dense `0..jobs.len()` — deterministic
+/// aggregation keys on them.
+pub fn run_sweep(jobs: &[SweepJob], workers: usize, cache: &Arc<TraceCache>) -> SweepOutcome {
+    for (i, j) in jobs.iter().enumerate() {
+        assert_eq!(i, j.id, "job ids must be dense and ordered");
+    }
+    let workers = if workers == 0 {
+        auto_workers()
+    } else {
+        workers
+    };
+    let cache_before = cache.stats();
+    let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
+
+    let start = Instant::now();
+    let tasks: Vec<pool::Task<JobOutput>> = jobs
+        .iter()
+        .map(|job| {
+            let job = job.clone();
+            let cache = Arc::clone(cache);
+            Box::new(move || job.execute(&cache)) as pool::Task<JobOutput>
+        })
+        .collect();
+    let raw = pool::run_tasks(tasks, workers);
+    let wall = start.elapsed();
+
+    let cache_after = cache.stats();
+    let outputs = raw
+        .into_iter()
+        .enumerate()
+        .map(|(id, r)| {
+            r.map_err(|message| JobFailure {
+                id,
+                label: labels[id].clone(),
+                message,
+            })
+        })
+        .collect();
+    SweepOutcome {
+        outputs,
+        workers,
+        wall,
+        cache_stats: (
+            cache_after.0 - cache_before.0,
+            cache_after.1 - cache_before.1,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use drishti_trace::presets::Benchmark;
+
+    fn tiny_rc(cores: usize) -> RunConfig {
+        RunConfig {
+            system: SystemConfig::paper_baseline(cores),
+            accesses_per_core: 2_000,
+            warmup_accesses: 400,
+            record_llc_stream: false,
+        }
+    }
+
+    fn tiny_jobs() -> Vec<SweepJob> {
+        let mix = Mix::homogeneous(Benchmark::Gcc, 4, 1);
+        let mut jobs = vec![SweepJob {
+            id: 0,
+            label: format!("{}/alone", mix.name),
+            seed: SweepJob::derive_seed(0),
+            rc: tiny_rc(4),
+            kind: JobKind::AloneIpcs { mix: mix.clone() },
+        }];
+        for (i, policy) in [PolicyKind::Lru, PolicyKind::Srrip].into_iter().enumerate() {
+            jobs.push(SweepJob {
+                id: 1 + i,
+                label: format!("{}/{}", mix.name, policy.label()),
+                seed: SweepJob::derive_seed(1 + i),
+                rc: tiny_rc(4),
+                kind: JobKind::Run {
+                    mix: mix.clone(),
+                    policy,
+                    org: DrishtiConfig::baseline(4),
+                    org_label: "baseline".to_string(),
+                },
+            });
+        }
+        jobs
+    }
+
+    #[test]
+    fn sweep_runs_all_cells_and_orders_outputs() {
+        let cache = Arc::new(TraceCache::new());
+        let out = run_sweep(&tiny_jobs(), 2, &cache);
+        assert_eq!(out.outputs.len(), 3);
+        assert!(out.failures().is_empty());
+        assert_eq!(out.outputs[0].as_ref().unwrap().unwrap_alone().len(), 4);
+        assert_eq!(out.outputs[1].as_ref().unwrap().unwrap_run().policy, "lru");
+        assert_eq!(
+            out.outputs[2].as_ref().unwrap().unwrap_run().policy,
+            "srrip"
+        );
+        // 3 cells × 4 cores touch the same 4 (bench, seed) traces. Two
+        // cells racing on the same key may both count a miss (the first
+        // insert wins, see TraceCache::get), so `misses` is a lower bound
+        // of 4, not an exact count — only the total is exact.
+        let (hits, misses) = out.cache_stats;
+        assert_eq!(hits + misses, 12);
+        assert!((4..=8).contains(&misses), "misses = {misses}");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let cache1 = Arc::new(TraceCache::new());
+        let cache4 = Arc::new(TraceCache::new());
+        let a = run_sweep(&tiny_jobs(), 1, &cache1);
+        let b = run_sweep(&tiny_jobs(), 4, &cache4);
+        for (x, y) in a.outputs.iter().zip(&b.outputs) {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            match (x, y) {
+                (JobOutput::AloneIpcs(p), JobOutput::AloneIpcs(q)) => assert_eq!(p, q),
+                (JobOutput::Run(p), JobOutput::Run(q)) => {
+                    assert_eq!(p.per_core, q.per_core);
+                    assert_eq!(p.diagnostics, q.diagnostics);
+                }
+                _ => panic!("output kinds diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_spreads() {
+        assert_eq!(SweepJob::derive_seed(3), SweepJob::derive_seed(3));
+        assert_ne!(SweepJob::derive_seed(3), SweepJob::derive_seed(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_job_ids_rejected() {
+        let mut jobs = tiny_jobs();
+        jobs[2].id = 9;
+        let cache = Arc::new(TraceCache::new());
+        let _ = run_sweep(&jobs, 1, &cache);
+    }
+}

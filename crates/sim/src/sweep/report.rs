@@ -1,0 +1,379 @@
+//! Structured sweep results: the `drishti-sweep/v1` JSON schema.
+//!
+//! A sweep produces two files under `target/sweep/` (or wherever
+//! `--report` points):
+//!
+//! * `<name>.json` — the [`SweepReport`]: per-cell metrics, fault
+//!   counters, seeds, and figure-level summary statistics. Everything in
+//!   it is a deterministic function of the sweep's configuration, so two
+//!   runs of the same sweep are **byte-identical regardless of worker
+//!   count** — CI diffs a `--jobs 1` run against a `--jobs max` run.
+//! * `<name>.timing.json` — the [`SweepTiming`] sidecar: wall-clock,
+//!   cells/second, worker count, trace-cache hit rate. Host-dependent by
+//!   nature, hence kept out of the byte-comparable report.
+//!
+//! See DESIGN.md §10 for the full schema.
+
+use super::json::Json;
+use super::{JobKind, JobOutput, SweepJob, SweepOutcome};
+use crate::metrics::FaultSummary;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The schema identifier stamped into every report.
+pub const SCHEMA: &str = "drishti-sweep/v1";
+
+/// One cell of a sweep report.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Job id (dense, report-ordered).
+    pub id: usize,
+    /// Mix name.
+    pub mix: String,
+    /// Core count of the cell's system.
+    pub cores: usize,
+    /// Policy name as the policy reported it (e.g. `"d-mockingjay"`).
+    pub policy: String,
+    /// Organisation label (`"baseline"`, `"drishti"`, ablations, …).
+    pub org: String,
+    /// The job's seed.
+    pub seed: u64,
+    /// Ordered `(name, value)` metric pairs; emitters append
+    /// figure-specific metrics (e.g. `ws_improvement_pct`) to the
+    /// standard set.
+    pub metrics: Vec<(String, f64)>,
+    /// Fault counters, present only when the run observed faults.
+    pub faults: Option<FaultSummary>,
+}
+
+impl CellReport {
+    fn to_json(&self) -> Json {
+        let mut cell = Json::obj();
+        cell.push("id", Json::UInt(self.id as u64))
+            .push("mix", Json::Str(self.mix.clone()))
+            .push("cores", Json::UInt(self.cores as u64))
+            .push("policy", Json::Str(self.policy.clone()))
+            .push("org", Json::Str(self.org.clone()))
+            .push("seed", Json::UInt(self.seed));
+        let mut metrics = Json::obj();
+        for (k, v) in &self.metrics {
+            metrics.push(k, Json::Num(*v));
+        }
+        cell.push("metrics", metrics);
+        if let Some(f) = &self.faults {
+            let mut faults = Json::obj();
+            for (k, v) in f.entries() {
+                faults.push(k, Json::UInt(v));
+            }
+            cell.push("faults", faults);
+        }
+        cell
+    }
+}
+
+/// The deterministic report of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Sweep name (usually the experiment binary's name).
+    pub name: String,
+    /// Configuration echo — `(key, value)` pairs describing the sweep's
+    /// knobs, so a report is self-describing.
+    pub config: Vec<(String, String)>,
+    /// Per-cell results, ordered by job id.
+    pub cells: Vec<CellReport>,
+    /// Cells that panicked: `(id, label, message)` triples. Non-empty
+    /// reports here must fail the producing process.
+    pub errors: Vec<(usize, String, String)>,
+    /// Figure-level summary sections: `(section, [(key, value)])`.
+    pub summary: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl SweepReport {
+    /// An empty report named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepReport {
+            name: name.into(),
+            config: Vec::new(),
+            cells: Vec::new(),
+            errors: Vec::new(),
+            summary: Vec::new(),
+        }
+    }
+
+    /// Build the standard per-cell report from a sweep's jobs and
+    /// outputs: every `Run` cell gets the standard metric set (IPC,
+    /// MPKI, WPKI, predictor APKI, uncore energy), every failure is
+    /// recorded under `errors`. `AloneIpcs` cells carry no report row of
+    /// their own — emitters fold them into derived metrics (weighted
+    /// speedup) instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` and `outcome.outputs` differ in length.
+    pub fn from_outcome(
+        name: impl Into<String>,
+        jobs: &[SweepJob],
+        outcome: &SweepOutcome,
+    ) -> Self {
+        assert_eq!(jobs.len(), outcome.outputs.len(), "jobs/outputs mismatch");
+        let mut report = SweepReport::new(name);
+        for (job, out) in jobs.iter().zip(&outcome.outputs) {
+            match out {
+                Err(fail) => {
+                    report
+                        .errors
+                        .push((fail.id, fail.label.clone(), fail.message.clone()));
+                }
+                Ok(JobOutput::AloneIpcs(_)) => {}
+                Ok(JobOutput::Run(r)) => {
+                    let JobKind::Run { mix, org_label, .. } = &job.kind else {
+                        panic!("Run output from a non-Run job {}", job.id);
+                    };
+                    let faults = r.fault_summary();
+                    report.cells.push(CellReport {
+                        id: job.id,
+                        mix: mix.name.clone(),
+                        cores: mix.cores(),
+                        policy: r.policy.clone(),
+                        org: org_label.clone(),
+                        seed: job.seed,
+                        metrics: vec![
+                            ("total_ipc".to_string(), r.total_ipc()),
+                            ("llc_mpki".to_string(), r.llc_mpki()),
+                            ("wpki".to_string(), r.wpki()),
+                            ("predictor_apki".to_string(), r.predictor_apki()),
+                            (
+                                "uncore_energy_uj".to_string(),
+                                r.energy.total_pj() as f64 / 1e6,
+                            ),
+                        ],
+                        faults: (!faults.is_clean()).then_some(faults),
+                    });
+                }
+            }
+        }
+        report
+    }
+
+    /// The cell with job id `id`, for emitters appending derived metrics.
+    pub fn cell_mut(&mut self, id: usize) -> Option<&mut CellReport> {
+        self.cells.iter_mut().find(|c| c.id == id)
+    }
+
+    /// Serialise to the `drishti-sweep/v1` JSON document.
+    pub fn to_json_string(&self) -> String {
+        let mut root = Json::obj();
+        root.push("schema", Json::Str(SCHEMA.to_string()))
+            .push("name", Json::Str(self.name.clone()));
+        let mut config = Json::obj();
+        for (k, v) in &self.config {
+            config.push(k, Json::Str(v.clone()));
+        }
+        root.push("config", config);
+        root.push(
+            "cells",
+            Json::Arr(self.cells.iter().map(CellReport::to_json).collect()),
+        );
+        root.push(
+            "errors",
+            Json::Arr(
+                self.errors
+                    .iter()
+                    .map(|(id, label, msg)| {
+                        let mut e = Json::obj();
+                        e.push("id", Json::UInt(*id as u64))
+                            .push("label", Json::Str(label.clone()))
+                            .push("message", Json::Str(msg.clone()));
+                        e
+                    })
+                    .collect(),
+            ),
+        );
+        let mut summary = Json::obj();
+        for (section, pairs) in &self.summary {
+            let mut sec = Json::obj();
+            for (k, v) in pairs {
+                sec.push(k, Json::Num(*v));
+            }
+            summary.push(section, sec);
+        }
+        root.push("summary", summary);
+        root.to_pretty_string()
+    }
+
+    /// Write the report to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        write_file(path, &self.to_json_string())
+    }
+}
+
+/// The host-dependent timing sidecar of a sweep — the part that is *not*
+/// covered by the determinism contract.
+#[derive(Debug, Clone)]
+pub struct SweepTiming {
+    /// Sweep name.
+    pub name: String,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total cells executed (including alone-IPC cells).
+    pub cells: usize,
+    /// Cells that panicked.
+    pub failed: usize,
+    /// Wall-clock milliseconds for the whole batch.
+    pub wall_ms: f64,
+    /// Completed cells per wall-clock second.
+    pub cells_per_sec: f64,
+    /// Trace-cache hits during the sweep.
+    pub cache_hits: u64,
+    /// Trace-cache misses (i.e. traces actually generated).
+    pub cache_misses: u64,
+}
+
+impl SweepTiming {
+    /// Extract the timing view of an outcome.
+    pub fn from_outcome(name: impl Into<String>, outcome: &SweepOutcome) -> Self {
+        SweepTiming {
+            name: name.into(),
+            workers: outcome.workers,
+            cells: outcome.outputs.len(),
+            failed: outcome.failures().len(),
+            wall_ms: outcome.wall.as_secs_f64() * 1e3,
+            cells_per_sec: outcome.cells_per_sec(),
+            cache_hits: outcome.cache_stats.0,
+            cache_misses: outcome.cache_stats.1,
+        }
+    }
+
+    /// Serialise to JSON.
+    pub fn to_json_string(&self) -> String {
+        let mut root = Json::obj();
+        root.push("schema", Json::Str(format!("{SCHEMA}-timing")))
+            .push("name", Json::Str(self.name.clone()))
+            .push("workers", Json::UInt(self.workers as u64))
+            .push("cells", Json::UInt(self.cells as u64))
+            .push("failed", Json::UInt(self.failed as u64))
+            .push("wall_ms", Json::Num(self.wall_ms))
+            .push("cells_per_sec", Json::Num(self.cells_per_sec))
+            .push("trace_cache_hits", Json::UInt(self.cache_hits))
+            .push("trace_cache_misses", Json::UInt(self.cache_misses));
+        root.to_pretty_string()
+    }
+
+    /// Write the sidecar next to `report_path` (`x.json` →
+    /// `x.timing.json`), creating parent directories.
+    pub fn write_beside(&self, report_path: &Path) -> io::Result<PathBuf> {
+        let path = timing_path(report_path);
+        write_file(&path, &self.to_json_string())?;
+        Ok(path)
+    }
+
+    /// One human-readable line, for the experiment binaries' stderr.
+    pub fn line(&self) -> String {
+        format!(
+            "sweep {}: {} cells on {} worker(s) in {:.0} ms ({:.2} cells/s, trace cache {}/{} hits)",
+            self.name,
+            self.cells,
+            self.workers,
+            self.wall_ms,
+            self.cells_per_sec,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses
+        )
+    }
+}
+
+/// The default report path for a sweep: `target/sweep/<name>.json`.
+pub fn default_report_path(name: &str) -> PathBuf {
+    PathBuf::from("target/sweep").join(format!("{name}.json"))
+}
+
+/// The timing-sidecar path for a report path (`x.json` → `x.timing.json`).
+pub fn timing_path(report_path: &Path) -> PathBuf {
+    report_path.with_extension("timing.json")
+}
+
+fn write_file(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SweepReport {
+        let mut r = SweepReport::new("unit");
+        r.config.push(("cores".to_string(), "4".to_string()));
+        r.cells.push(CellReport {
+            id: 1,
+            mix: "homo-mcf".to_string(),
+            cores: 4,
+            policy: "lru".to_string(),
+            org: "baseline".to_string(),
+            seed: 42,
+            metrics: vec![("total_ipc".to_string(), 2.5)],
+            faults: None,
+        });
+        r.summary.push((
+            "mean_ws_improvement_pct".to_string(),
+            vec![("lru".to_string(), 0.0)],
+        ));
+        r
+    }
+
+    #[test]
+    fn report_serialises_all_sections() {
+        let s = sample_report().to_json_string();
+        for needle in [
+            "\"schema\": \"drishti-sweep/v1\"",
+            "\"name\": \"unit\"",
+            "\"cores\": \"4\"",
+            "\"mix\": \"homo-mcf\"",
+            "\"total_ipc\": 2.5",
+            "\"errors\": []",
+            "\"mean_ws_improvement_pct\"",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+
+    #[test]
+    fn identical_reports_serialise_identically() {
+        assert_eq!(
+            sample_report().to_json_string(),
+            sample_report().to_json_string()
+        );
+    }
+
+    #[test]
+    fn paths_are_derived_consistently() {
+        let p = default_report_path("fig13");
+        assert_eq!(p, PathBuf::from("target/sweep/fig13.json"));
+        assert_eq!(
+            timing_path(&p),
+            PathBuf::from("target/sweep/fig13.timing.json")
+        );
+    }
+
+    #[test]
+    fn timing_line_mentions_workers_and_rate() {
+        let t = SweepTiming {
+            name: "x".to_string(),
+            workers: 8,
+            cells: 16,
+            failed: 0,
+            wall_ms: 1000.0,
+            cells_per_sec: 16.0,
+            cache_hits: 60,
+            cache_misses: 4,
+        };
+        let line = t.line();
+        assert!(line.contains("8 worker(s)"));
+        assert!(line.contains("16.00 cells/s"));
+        assert!(t.to_json_string().contains("\"wall_ms\": 1000"));
+    }
+}

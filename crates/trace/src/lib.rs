@@ -17,8 +17,9 @@
 //!
 //! [`pattern`] provides the primitive address patterns, [`synthetic`]
 //! composes them into weighted multi-PC workloads, [`presets`] names ~25
-//! benchmark-like configurations, and [`mix`] builds the paper's
-//! homogeneous/heterogeneous multi-core mixes.
+//! benchmark-like configurations, [`mix`] builds the paper's
+//! homogeneous/heterogeneous multi-core mixes, and [`replay`] materialises
+//! traces once and shares them across concurrent sweep cells.
 //!
 //! # Example
 //!
@@ -35,6 +36,7 @@ pub mod analysis;
 pub mod mix;
 pub mod pattern;
 pub mod presets;
+pub mod replay;
 pub mod synthetic;
 
 /// One record of a core's memory trace.

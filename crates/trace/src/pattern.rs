@@ -107,7 +107,7 @@ pub struct PatternState {
 
 impl PatternState {
     /// Instantiate `pattern` at address `base` (line address) with a
-    /// program-stable `program_salt` (see [`PatternState::program_salt`]).
+    /// program-stable `program_salt` (see `PatternState::program_salt`).
     pub fn with_salt(pattern: Pattern, base: u64, program_salt: u64, rng: &mut Rng) -> Self {
         let zipf_cum = match pattern {
             Pattern::Zipf { alpha, .. } => {

@@ -1,0 +1,195 @@
+//! Trace materialisation and sharing.
+//!
+//! The sweep harness runs the same (benchmark, seed) workload under many
+//! policies and organisations. Generating the synthetic stream is cheap
+//! but not free — and, more importantly, regenerating it per cell makes
+//! every cell pay the cost again. [`TraceCache`] materialises each
+//! workload's record stream exactly once, behind an [`Arc`], and
+//! [`ReplayWorkload`] replays the shared records as a normal
+//! [`WorkloadGen`].
+//!
+//! Replay is bit-exact: [`crate::synthetic::SyntheticWorkload`] is a
+//! deterministic function of `(benchmark, seed)`, so a replayed run equals
+//! a freshly generated one record for record (see the workspace-level
+//! `tests/sweep.rs` proof).
+
+use crate::presets::Benchmark;
+use crate::{TraceRecord, WorkloadGen};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A [`WorkloadGen`] that replays a shared, pre-materialised record
+/// stream.
+///
+/// Engines pull exactly as many records as their configured access count;
+/// should a caller pull past the end anyway, the stream wraps around (the
+/// `WorkloadGen` contract is an infinite generator).
+pub struct ReplayWorkload {
+    name: String,
+    records: Arc<Vec<TraceRecord>>,
+    pos: usize,
+}
+
+impl ReplayWorkload {
+    /// Replay `records` under the benchmark-style name `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty — an empty stream cannot satisfy the
+    /// infinite-generator contract.
+    pub fn new(name: impl Into<String>, records: Arc<Vec<TraceRecord>>) -> Self {
+        assert!(!records.is_empty(), "cannot replay an empty trace");
+        ReplayWorkload {
+            name: name.into(),
+            records,
+            pos: 0,
+        }
+    }
+
+    /// The shared record stream (for pointer-equality checks in tests).
+    pub fn records(&self) -> &Arc<Vec<TraceRecord>> {
+        &self.records
+    }
+}
+
+impl std::fmt::Debug for ReplayWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayWorkload")
+            .field("name", &self.name)
+            .field("len", &self.records.len())
+            .field("pos", &self.pos)
+            .finish()
+    }
+}
+
+impl WorkloadGen for ReplayWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_record(&mut self) -> TraceRecord {
+        let r = self.records[self.pos % self.records.len()];
+        self.pos += 1;
+        r
+    }
+}
+
+/// A concurrent, seed-keyed cache of materialised workload traces.
+///
+/// Keys are `(benchmark, seed, length)`; values are `Arc<Vec<TraceRecord>>`
+/// shared by every cell that replays the same workload. Generation happens
+/// outside the map lock so concurrent misses on *different* keys never
+/// serialise; two racing misses on the *same* key both generate, but the
+/// first insertion wins and both callers receive the same `Arc` (pointer
+/// equality is part of the contract — it is what makes the cache a cache).
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    entries: Mutex<HashMap<TraceKey, Arc<Vec<TraceRecord>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Cache key: `(benchmark, seed, length)` pins a workload trace exactly.
+type TraceKey = (Benchmark, u64, u64);
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// The materialised trace of `bench` at `seed`, `len` records long.
+    /// Generated on first request, shared thereafter.
+    pub fn get(&self, bench: Benchmark, seed: u64, len: u64) -> Arc<Vec<TraceRecord>> {
+        let key = (bench, seed, len);
+        if let Some(hit) = self.entries.lock().expect("trace cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Generate without holding the lock; `or_insert` keeps the racer's
+        // copy if one beat us back, preserving pointer equality.
+        let generated = Arc::new(bench.build(seed).collect(len as usize));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("trace cache poisoned");
+        Arc::clone(entries.entry(key).or_insert(generated))
+    }
+
+    /// A replaying [`WorkloadGen`] for `bench` at `seed`, backed by the
+    /// shared trace.
+    pub fn replay(&self, bench: Benchmark, seed: u64, len: u64) -> ReplayWorkload {
+        ReplayWorkload::new(bench.label(), self.get(bench, seed, len))
+    }
+
+    /// One replaying workload per core of `mix`, each `len` records long.
+    pub fn workloads_for(&self, mix: &crate::mix::Mix, len: u64) -> Vec<ReplayWorkload> {
+        mix.benchmarks
+            .iter()
+            .zip(&mix.seeds)
+            .map(|(&b, &s)| self.replay(b, s, len))
+            .collect()
+    }
+
+    /// `(hits, misses)` so far. A sweep of `C` cells over `M` distinct
+    /// workloads should report `C·cores − M` hits.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_equals_generation() {
+        let cache = TraceCache::new();
+        let mut replayed = cache.replay(Benchmark::Mcf, 7, 500);
+        let mut fresh = Benchmark::Mcf.build(7);
+        for _ in 0..500 {
+            assert_eq!(replayed.next_record(), fresh.next_record());
+        }
+    }
+
+    #[test]
+    fn cache_shares_one_arc_per_key() {
+        let cache = TraceCache::new();
+        let a = cache.get(Benchmark::Gcc, 3, 100);
+        let b = cache.get(Benchmark::Gcc, 3, 100);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.get(Benchmark::Gcc, 4, 100);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn replay_wraps_around() {
+        let cache = TraceCache::new();
+        let mut w = cache.replay(Benchmark::Lbm, 1, 10);
+        let first: Vec<_> = w.collect(10);
+        let wrapped: Vec<_> = w.collect(10);
+        assert_eq!(first, wrapped);
+    }
+
+    #[test]
+    fn workloads_for_mix_cover_every_core() {
+        let cache = TraceCache::new();
+        let mix = crate::mix::Mix::homogeneous(Benchmark::Xalan, 4, 9);
+        let ws = cache.workloads_for(&mix, 50);
+        assert_eq!(ws.len(), 4);
+        // Distinct seeds → distinct traces; same call again → shared Arcs.
+        let again = cache.workloads_for(&mix, 50);
+        for (w, a) in ws.iter().zip(&again) {
+            assert!(Arc::ptr_eq(w.records(), a.records()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_replay_rejected() {
+        let _ = ReplayWorkload::new("x", Arc::new(Vec::new()));
+    }
+}
