@@ -62,4 +62,31 @@ if ! diff -u "$out/determinism_j1.json" "$out/determinism_j8.json"; then
 fi
 echo "reports byte-identical across worker counts"
 
+# Telemetry gate: epoch sampling is observation-only, so the same sweep
+# with --telemetry must produce a main report byte-identical to the
+# telemetry-off one — timelines land in separate *.timeline.json files.
+step "telemetry gate (--telemetry report must byte-match)"
+rm -f "$out"/telemetry_on.cell*.timeline.json
+"target/$profile_dir/fig13_main_performance" "${gate_args[@]}" \
+  --jobs 8 --telemetry --epoch 2000 --report "$out/telemetry_on.json" >/dev/null
+if ! diff -u "$out/determinism_j8.json" "$out/telemetry_on.json"; then
+  echo "FAIL: --telemetry changed the sweep report bytes" >&2
+  exit 1
+fi
+timelines=("$out"/telemetry_on.cell*.timeline.json)
+if [[ ! -e "${timelines[0]}" ]]; then
+  echo "FAIL: --telemetry produced no timeline files in $out" >&2
+  exit 1
+fi
+if ! grep -q '"schema": "drishti-telemetry/v1"' "${timelines[0]}"; then
+  echo "FAIL: ${timelines[0]} lacks the drishti-telemetry/v1 schema stamp" >&2
+  exit 1
+fi
+echo "telemetry-on report byte-identical; ${#timelines[@]} timeline file(s)"
+
+if [[ $quick -eq 0 ]]; then
+  step "release-mode oracle/golden/telemetry tests"
+  cargo test -q --offline --release --test oracle --test golden --test telemetry
+fi
+
 step "OK"

@@ -7,6 +7,7 @@ use drishti_core::config::DrishtiConfig;
 use drishti_policies::factory::PolicyKind;
 use drishti_sim::config::SystemConfig;
 use drishti_sim::runner::{run_mix, RunConfig};
+use drishti_sim::telemetry::TelemetrySpec;
 use drishti_trace::mix::Mix;
 use drishti_trace::presets::Benchmark;
 use std::hint::black_box;
@@ -18,6 +19,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         accesses_per_core: 10_000,
         warmup_accesses: 1_000,
         record_llc_stream: false,
+        telemetry: TelemetrySpec::off(),
     };
     let mix = Mix::homogeneous(Benchmark::Gcc, cores, 1);
     let mut group = c.benchmark_group("end_to_end_4core_gcc");
@@ -61,6 +63,7 @@ fn bench_scaling(c: &mut Criterion) {
             accesses_per_core: 5_000,
             warmup_accesses: 500,
             record_llc_stream: false,
+            telemetry: TelemetrySpec::off(),
         };
         let mix = Mix::heterogeneous(&Benchmark::spec_and_gap(), cores, 1);
         group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, _| {

@@ -25,6 +25,7 @@ use drishti_sim::config::SystemConfig;
 use drishti_sim::runner::RunConfig;
 use drishti_sim::sweep::report::{SweepReport, SweepTiming};
 use drishti_sim::sweep::{run_sweep, JobKind, SweepJob};
+use drishti_sim::telemetry::TelemetrySpec;
 use drishti_trace::mix::Mix;
 use drishti_trace::presets::Benchmark;
 use drishti_trace::replay::TraceCache;
@@ -32,6 +33,28 @@ use std::sync::Arc;
 
 const FAULT_SEED: u64 = 42;
 const DROP_PCTS: [f64; 5] = [0.0, 5.0, 10.0, 25.0, 50.0];
+
+/// The run result of cell `idx`, or a fatal error naming exactly which
+/// cell is missing — a normalisation baseline that silently vanishes
+/// would otherwise surface as an opaque panic far from the cause.
+fn run_cell<'a>(
+    outcome: &'a drishti_sim::sweep::SweepOutcome,
+    jobs: &[SweepJob],
+    idx: usize,
+) -> &'a drishti_sim::runner::RunResult {
+    match &outcome.outputs[idx] {
+        Ok(out) => out.unwrap_run(),
+        Err(f) => {
+            eprintln!(
+                "error: baseline cell {} ({}) is missing: {}",
+                f.id,
+                jobs.get(idx).map_or("?", |j| j.label.as_str()),
+                f.message
+            );
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let mut opts = ExpOpts::from_args();
@@ -70,6 +93,7 @@ fn main() {
                     accesses_per_core: opts.accesses,
                     warmup_accesses: opts.accesses / 4,
                     record_llc_stream: false,
+                    telemetry: TelemetrySpec::off(),
                 },
                 kind: JobKind::Run {
                     mix: mix.clone(),
@@ -111,10 +135,7 @@ fn main() {
 
     for (v, (policy, org)) in variants.iter().enumerate() {
         let base = v * DROP_PCTS.len();
-        let healthy = outcome.outputs[base]
-            .as_ref()
-            .expect("checked")
-            .unwrap_run();
+        let healthy = run_cell(&outcome, &jobs, base);
         if !healthy.fault_summary().is_clean() {
             eprintln!(
                 "error: zero-rate run of {}/{org} reports faults",
@@ -125,10 +146,7 @@ fn main() {
         let healthy_ipc = healthy.total_ipc();
         let mut cells = Vec::new();
         for (d, &drop_pct) in DROP_PCTS.iter().enumerate() {
-            let r = outcome.outputs[base + d]
-                .as_ref()
-                .expect("checked")
-                .unwrap_run();
+            let r = run_cell(&outcome, &jobs, base + d);
             let ipc = r.total_ipc();
             let rel = if healthy_ipc > 0.0 {
                 ipc / healthy_ipc
@@ -141,11 +159,7 @@ fn main() {
             cell.metrics.push(("rel_ipc".to_string(), rel));
         }
         row(&format!("{}/{org}", policy.label()), &cells);
-        let worst = outcome.outputs[base + DROP_PCTS.len() - 1]
-            .as_ref()
-            .expect("checked")
-            .unwrap_run()
-            .fault_summary();
+        let worst = run_cell(&outcome, &jobs, base + DROP_PCTS.len() - 1).fault_summary();
         println!(
             "    at 50%: mesh drops {} (retries {}), fabric fallbacks {}, dropped trainings {}",
             worst.mesh_dropped,

@@ -36,13 +36,14 @@ use drishti_sim::metrics::{mean, MixMetrics};
 use drishti_sim::runner::{alone_ipcs, mix_metrics, run_mix, RunConfig, RunResult};
 use drishti_sim::sweep::report::{SweepReport, SweepTiming};
 use drishti_sim::sweep::{run_sweep, JobKind, JobOutput, SweepJob};
+use drishti_sim::telemetry::TelemetrySpec;
 use drishti_trace::mix::Mix;
 use drishti_trace::replay::TraceCache;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 const OPTS_USAGE: &str = "usage: [--full] [--mixes N] [--cores a,b,c] [--accesses N] \
-[--jobs N] [--report PATH]";
+[--jobs N] [--report PATH] [--telemetry] [--epoch N]";
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -59,6 +60,10 @@ pub struct ExpOpts {
     pub jobs: usize,
     /// Report destination override (default: `target/sweep/<name>.json`).
     pub report: Option<PathBuf>,
+    /// Sample per-epoch telemetry timelines during every run.
+    pub telemetry: bool,
+    /// Telemetry epoch length in engine steps (0 = library default).
+    pub epoch: u64,
 }
 
 impl Default for ExpOpts {
@@ -70,6 +75,8 @@ impl Default for ExpOpts {
             accesses: 80_000,
             jobs: 0,
             report: None,
+            telemetry: false,
+            epoch: 0,
         }
     }
 }
@@ -95,6 +102,15 @@ impl ExpOpts {
                     opts.accesses = 400_000;
                     i += 1;
                     continue;
+                }
+                "--telemetry" => {
+                    opts.telemetry = true;
+                    i += 1;
+                    continue;
+                }
+                "--epoch" => {
+                    opts.epoch = parse_num(flag, &value(args, i, flag)?)?;
+                    opts.telemetry = true; // an explicit epoch implies telemetry
                 }
                 "--mixes" => {
                     opts.mixes = parse_num(flag, &value(args, i, flag)?)?;
@@ -137,6 +153,19 @@ impl ExpOpts {
         })
     }
 
+    /// The telemetry spec these options describe.
+    pub fn telemetry_spec(&self) -> TelemetrySpec {
+        if !self.telemetry {
+            return TelemetrySpec::off();
+        }
+        let steps = if self.epoch == 0 {
+            drishti_sim::telemetry::DEFAULT_EPOCH_STEPS
+        } else {
+            self.epoch
+        };
+        TelemetrySpec::sampling(steps)
+    }
+
     /// The run configuration for `cores` cores.
     pub fn rc(&self, cores: usize) -> RunConfig {
         RunConfig {
@@ -144,6 +173,7 @@ impl ExpOpts {
             accesses_per_core: self.accesses,
             warmup_accesses: self.accesses / 4,
             record_llc_stream: false,
+            telemetry: self.telemetry_spec(),
         }
     }
 
@@ -473,6 +503,10 @@ pub fn write_reports(
         .clone()
         .unwrap_or_else(|| drishti_sim::sweep::report::default_report_path(&report.name));
     report.write(&path)?;
+    // Timeline file names go in the host-dependent timing sidecar so the
+    // main report stays byte-comparable with telemetry on or off.
+    let mut timing = timing.clone();
+    timing.attach_timelines(report, &path);
     let timing_path = timing.write_beside(&path)?;
     eprintln!("{}", timing.line());
     eprintln!(
@@ -545,6 +579,7 @@ mod tests {
             accesses_per_core: 3_000,
             warmup_accesses: 500,
             record_llc_stream: false,
+            telemetry: TelemetrySpec::off(),
         };
         let eval = evaluate_mix(
             &mix,

@@ -89,12 +89,48 @@ pub struct LlcStats {
     pub prefetch_misses: u64,
     /// Write-back lookups arriving from L2.
     pub writeback_accesses: u64,
+    /// Write-back lookups that missed (the line allocates without a DRAM
+    /// fetch, but the miss still triggers a fill).
+    pub writeback_misses: u64,
     /// Dirty victims the LLC pushed to DRAM.
     pub dram_writebacks: u64,
     /// Fills that the policy chose to bypass.
     pub bypasses: u64,
     /// Fills installed.
     pub fills: u64,
+}
+
+impl LlcStats {
+    /// Total lookups across all request categories.
+    pub fn total_accesses(&self) -> u64 {
+        self.demand_accesses + self.prefetch_accesses + self.writeback_accesses
+    }
+
+    /// Total lookup misses across all request categories.
+    pub fn total_misses(&self) -> u64 {
+        self.demand_misses + self.prefetch_misses + self.writeback_misses
+    }
+}
+
+/// Per-slice traffic and eviction-reason counters (telemetry).
+///
+/// Unlike [`SetCounters`] these fold the whole slice together but split
+/// *why* lines left: clean eviction, dirty eviction (DRAM write-back), or
+/// a bypass that never installed the line at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SliceCounters {
+    /// Lookups (any kind) that hit in this slice.
+    pub hits: u64,
+    /// Lookups (any kind) that missed in this slice.
+    pub misses: u64,
+    /// Fills installed into this slice.
+    pub fills: u64,
+    /// Victims evicted clean.
+    pub evictions_clean: u64,
+    /// Victims evicted dirty (each one is a DRAM write-back).
+    pub evictions_dirty: u64,
+    /// Fills the policy chose to bypass.
+    pub bypasses: u64,
 }
 
 /// Per-set instrumentation record.
@@ -148,6 +184,7 @@ pub struct SlicedLlc {
     /// `lines[slice][set * ways + way]`.
     lines: Vec<Vec<LlcLineState>>,
     set_counters: Vec<Vec<SetCounters>>,
+    slice_counters: Vec<SliceCounters>,
     stats: LlcStats,
 }
 
@@ -192,6 +229,7 @@ impl SlicedLlc {
                 geom.slices
             ],
             set_counters: vec![vec![SetCounters::default(); geom.sets_per_slice]; geom.slices],
+            slice_counters: vec![SliceCounters::default(); geom.slices],
             geom,
             hasher,
             policy,
@@ -248,6 +286,7 @@ impl SlicedLlc {
             .position(|l| l.valid && l.line == acc.line);
 
         if let Some(way) = way {
+            self.slice_counters[slice].hits += 1;
             let base = set * self.geom.ways;
             if matches!(acc.kind, AccessKind::Store | AccessKind::Writeback) {
                 self.lines[slice][base + way].dirty = true;
@@ -261,10 +300,11 @@ impl SlicedLlc {
             }
         } else {
             self.set_counters[slice][set].misses += 1;
+            self.slice_counters[slice].misses += 1;
             match acc.kind {
                 AccessKind::Load | AccessKind::Store => self.stats.demand_misses += 1,
                 AccessKind::Prefetch => self.stats.prefetch_misses += 1,
-                AccessKind::Writeback => {}
+                AccessKind::Writeback => self.stats.writeback_misses += 1,
             }
             self.policy.on_miss(loc, acc, cycle);
             LookupResult {
@@ -315,6 +355,7 @@ impl SlicedLlc {
                     }
                     Decision::Bypass => {
                         self.stats.bypasses += 1;
+                        self.slice_counters[slice].bypasses += 1;
                         // The policy still sees the fill event as a bypass so
                         // it can train; we model that as no state change.
                         return FillResult {
@@ -331,6 +372,13 @@ impl SlicedLlc {
         if writeback.is_some() {
             self.stats.dram_writebacks += 1;
         }
+        if evicted.is_some() {
+            if writeback.is_some() {
+                self.slice_counters[slice].evictions_dirty += 1;
+            } else {
+                self.slice_counters[slice].evictions_clean += 1;
+            }
+        }
 
         self.lines[slice][base + way] = LlcLineState {
             line: acc.line,
@@ -340,6 +388,7 @@ impl SlicedLlc {
             signature: acc.signature(),
         };
         self.stats.fills += 1;
+        self.slice_counters[slice].fills += 1;
 
         let set_lines = &self.lines[slice][self.set_range(set)];
         let extra = self
@@ -371,6 +420,16 @@ impl SlicedLlc {
         &self.set_counters[slice]
     }
 
+    /// Per-slice traffic and eviction counters (telemetry), indexed by slice.
+    pub fn slice_counters(&self) -> &[SliceCounters] {
+        &self.slice_counters
+    }
+
+    /// Number of valid lines currently resident in one slice.
+    pub fn slice_occupancy(&self, slice: usize) -> usize {
+        self.lines[slice].iter().filter(|l| l.valid).count()
+    }
+
     /// Reset aggregate and per-set statistics (contents retained) — used at
     /// the end of warm-up.
     pub fn reset_stats(&mut self) {
@@ -378,6 +437,7 @@ impl SlicedLlc {
         for slice in &mut self.set_counters {
             slice.fill(SetCounters::default());
         }
+        self.slice_counters.fill(SliceCounters::default());
     }
 
     /// Number of valid lines resident across all slices (tests).
@@ -570,6 +630,58 @@ mod tests {
         llc.fill(&acc, 0);
         llc.reset_stats();
         assert_eq!(llc.stats().demand_accesses, 0);
+        assert_eq!(
+            llc.slice_counters().iter().map(|c| c.misses).sum::<u64>(),
+            0
+        );
         assert!(llc.peek(7));
+    }
+
+    #[test]
+    fn writeback_miss_is_counted() {
+        let mut llc = SlicedLlc::new(small_geom(), Box::new(EvictZero::default()));
+        let wb = Access::writeback(0, 0x99);
+        assert!(!llc.lookup(&wb, 0).hit);
+        assert_eq!(llc.stats().writeback_accesses, 1);
+        assert_eq!(llc.stats().writeback_misses, 1);
+        assert_eq!(llc.stats().total_accesses(), 1);
+        assert_eq!(llc.stats().total_misses(), 1);
+    }
+
+    #[test]
+    fn slice_counters_track_hits_misses_and_evictions() {
+        let g = LlcGeometry {
+            slices: 1,
+            sets_per_slice: 1,
+            ways: 1,
+            latency: 20,
+        };
+        let mut llc = SlicedLlc::with_hasher(
+            g,
+            Box::new(EvictZero::default()),
+            Box::new(ModuloHash::new()),
+        );
+        // Miss + fill, hit, then a conflicting store evicts the clean line,
+        // and a second conflict evicts the now-dirty line.
+        let ld = Access::load(0, 0x1, 1);
+        llc.lookup(&ld, 0);
+        llc.fill(&ld, 0);
+        llc.lookup(&ld, 1);
+        let st = Access::store(0, 0x2, 2);
+        llc.lookup(&st, 2);
+        llc.fill(&st, 2);
+        let ld3 = Access::load(0, 0x3, 3);
+        llc.lookup(&ld3, 3);
+        llc.fill(&ld3, 3);
+
+        let c = llc.slice_counters()[0];
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 3);
+        assert_eq!(c.fills, 3);
+        assert_eq!(c.evictions_clean, 1);
+        assert_eq!(c.evictions_dirty, 1);
+        assert_eq!(c.bypasses, 0);
+        assert_eq!(c.hits + c.misses, llc.stats().total_accesses());
+        assert_eq!(llc.slice_occupancy(0), 1);
     }
 }

@@ -92,6 +92,8 @@ enum Dir {
 struct LinkState {
     debt: u64,
     last: u64,
+    /// Total flits ever pushed through this link (telemetry).
+    flits: u64,
 }
 
 impl LinkState {
@@ -102,6 +104,7 @@ impl LinkState {
         self.last = self.last.max(cycle);
         let wait = self.debt;
         self.debt += flits;
+        self.flits += flits;
         wait
     }
 }
@@ -272,6 +275,16 @@ impl Mesh {
         &self.stats
     }
 
+    /// Cumulative flit counts per outgoing link, flattened as
+    /// `node * 4 + direction` (E, W, N, S) — the telemetry layer diffs
+    /// these across epochs to derive per-link utilisation.
+    pub fn link_flits(&self) -> Vec<u64> {
+        self.links
+            .iter()
+            .flat_map(|dirs| dirs.iter().map(|l| l.flits))
+            .collect()
+    }
+
     /// Reset statistics (link occupancy is kept).
     pub fn reset_stats(&mut self) {
         self.stats = NocStats::default();
@@ -437,6 +450,18 @@ mod tests {
         let mut mesh = Mesh::with_faults(MeshConfig::for_nodes(16), &cfg);
         assert_eq!(mesh.traverse(6, 6, 50, 1), mesh.config().router_latency);
         assert_eq!(mesh.stats().dropped, 0);
+    }
+
+    #[test]
+    fn link_flits_account_every_hop() {
+        let mut mesh = Mesh::new(MeshConfig::for_nodes(16)); // 4x4
+        mesh.traverse(0, 3, 0, 8); // 3 hops east, 8 flits each
+        let per_link = mesh.link_flits();
+        assert_eq!(per_link.len(), 16 * 4);
+        assert_eq!(per_link.iter().sum::<u64>(), 3 * 8);
+        // Self-messages never touch a link.
+        mesh.traverse(5, 5, 10, 8);
+        assert_eq!(mesh.link_flits().iter().sum::<u64>(), 3 * 8);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use drishti_sim::config::SystemConfig;
 use drishti_sim::runner::{run_mix, RunConfig};
 use drishti_sim::sweep::report::{SweepReport, SweepTiming};
 use drishti_sim::sweep::{run_sweep, JobKind, SweepJob};
+use drishti_sim::telemetry::{TelemetrySpec, DEFAULT_EPOCH_STEPS};
 use drishti_trace::mix::Mix;
 use drishti_trace::presets::Benchmark;
 use drishti_trace::replay::TraceCache;
@@ -41,6 +42,7 @@ use std::sync::Arc;
 const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P[,P...]] [--org O[,O...]] [--mix M]
        [--accesses N] [--warmup N] [--l2-kib K] [--llc-mib M] [--channels C]
        [--jobs N] [--report PATH]
+       [--telemetry] [--epoch N] [--check-invariants]
        [--fault-seed S] [--drop-pct F] [--jitter J]
        [--link-outage PERIOD:LEN] [--dram-outage CH:START:LEN]...
   P: lru srrip dip drrip sdbp ship++ hawkeye mockingjay glider chrome
@@ -49,6 +51,11 @@ const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P[,P...]] [--org O
   sweeps: comma-separated --policy/--org lists run every combination as a
   parallel sweep on --jobs workers (0 = one per CPU); --report writes the
   deterministic JSON report (plus a .timing.json sidecar) to PATH.
+  telemetry: --telemetry samples per-core/slice/NoC/DRAM counters every
+  --epoch engine steps (default 5000; --epoch implies --telemetry) into a
+  drishti-telemetry/v1 timeline — printed as a per-epoch table for single
+  runs, written as <report>.cellNNN.timeline.json files for sweeps;
+  --check-invariants runs the counter invariant checkers in release too.
   faults: --drop-pct is a percentage (0..=100) of uncore messages lost,
   --jitter a max per-message latency jitter in cycles, --link-outage a
   recurring link blackout, --dram-outage a one-shot channel blackout
@@ -67,7 +74,27 @@ struct CliArgs {
     channels: Option<usize>,
     jobs: usize,
     report: Option<PathBuf>,
+    telemetry: bool,
+    epoch: u64,
+    check_invariants: bool,
     faults: FaultConfig,
+}
+
+impl CliArgs {
+    /// The telemetry spec these flags describe.
+    fn telemetry_spec(&self) -> TelemetrySpec {
+        if !self.telemetry {
+            return TelemetrySpec::off();
+        }
+        TelemetrySpec {
+            epoch_steps: if self.epoch == 0 {
+                DEFAULT_EPOCH_STEPS
+            } else {
+                self.epoch
+            },
+            check_invariants: self.check_invariants,
+        }
+    }
 }
 
 impl Default for CliArgs {
@@ -84,6 +111,9 @@ impl Default for CliArgs {
             channels: None,
             jobs: 0,
             report: None,
+            telemetry: false,
+            epoch: 0,
+            check_invariants: false,
             faults: FaultConfig::none(),
         }
     }
@@ -144,6 +174,20 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         if flag == "--help" || flag == "-h" {
             return Err(String::new()); // usage-only exit
         }
+        // Value-less flags, handled before the value extraction below.
+        match flag {
+            "--telemetry" => {
+                cli.telemetry = true;
+                i += 1;
+                continue;
+            }
+            "--check-invariants" => {
+                cli.check_invariants = true;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
         let val = args
             .get(i + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
@@ -164,6 +208,10 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--channels" => cli.channels = Some(parse_num(flag, val)?),
             "--jobs" => cli.jobs = parse_num(flag, val)?,
             "--report" => cli.report = Some(PathBuf::from(val)),
+            "--epoch" => {
+                cli.epoch = parse_num(flag, val)?;
+                cli.telemetry = true; // an explicit epoch implies telemetry
+            }
             "--fault-seed" => cli.faults.seed = parse_num(flag, val)?,
             "--drop-pct" => cli.faults.drop_pct = parse_num(flag, val)?,
             "--jitter" => cli.faults.jitter = parse_num(flag, val)?,
@@ -202,6 +250,15 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     }
     if cli.channels == Some(0) {
         return Err("--channels must be at least 1".to_string());
+    }
+    if cli.telemetry && cli.epoch == 0 && cli.accesses < DEFAULT_EPOCH_STEPS {
+        // Not an error — the final partial epoch is always flushed — but a
+        // custom epoch usually gives a more useful timeline.
+        eprintln!(
+            "note: default epoch ({DEFAULT_EPOCH_STEPS} steps) is coarse for --accesses {}; \
+             consider --epoch",
+            cli.accesses
+        );
     }
     cli.faults.validate()?;
     if let Some(ch) = cli.channels {
@@ -259,6 +316,7 @@ fn run_config(cli: &CliArgs) -> RunConfig {
         accesses_per_core: cli.accesses,
         warmup_accesses: cli.warmup,
         record_llc_stream: false,
+        telemetry: cli.telemetry_spec(),
     }
 }
 
@@ -337,6 +395,42 @@ fn run_single(cli: &CliArgs) -> Result<(), String> {
         }
     }
     println!("diag   : {:?}", r.diagnostics);
+    if let Some(tl) = &r.telemetry {
+        println!(
+            "\ntelemetry ({} epochs of {} steps):",
+            tl.epochs.len(),
+            tl.epoch_steps
+        );
+        println!(
+            "{:>6} {:>10} {:>7} {:>7} {:>9} {:>9} {:>8} {:>9}",
+            "epoch", "end-step", "IPC", "MPKI", "llc-hits", "llc-miss", "noc-msg", "dram-r/w"
+        );
+        for e in &tl.epochs {
+            let instructions: u64 = e.per_core.iter().map(|c| c.instructions).sum();
+            let cycles = e.per_core.iter().map(|c| c.cycles).max().unwrap_or(0);
+            let misses: u64 = e.per_core.iter().map(|c| c.llc_misses).sum();
+            let ipc = if cycles > 0 {
+                instructions as f64 / cycles as f64
+            } else {
+                0.0
+            };
+            let mpki = if instructions > 0 {
+                misses as f64 * 1000.0 / instructions as f64
+            } else {
+                0.0
+            };
+            let hits: u64 = e.slices.iter().map(|s| s.hits).sum();
+            let slice_misses: u64 = e.slices.iter().map(|s| s.misses).sum();
+            let (dr, dw) = e
+                .dram
+                .iter()
+                .fold((0u64, 0u64), |(r, w), c| (r + c.reads, w + c.writes));
+            println!(
+                "{:>6} {:>10} {:>7.3} {:>7.1} {:>9} {:>9} {:>8} {:>5}/{}",
+                e.index, e.end_step, ipc, mpki, hits, slice_misses, e.noc.messages, dr, dw
+            );
+        }
+    }
     Ok(())
 }
 
@@ -377,7 +471,7 @@ fn run_sweep_cli(cli: &CliArgs) -> Result<i32, String> {
     );
     let cache = Arc::new(TraceCache::new());
     let outcome = run_sweep(&jobs, cli.jobs, &cache);
-    let timing = SweepTiming::from_outcome("drishti-sim", &outcome);
+    let mut timing = SweepTiming::from_outcome("drishti-sim", &outcome);
 
     println!(
         "\n{:<28} {:>8} {:>8} {:>10}",
@@ -416,11 +510,20 @@ fn run_sweep_cli(cli: &CliArgs) -> Result<i32, String> {
         report
             .write(path)
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        // Timeline file names live in the host-dependent timing sidecar so
+        // the main report stays byte-comparable with telemetry on or off.
+        timing.attach_timelines(&report, path);
         let tpath = timing
             .write_beside(path)
             .map_err(|e| format!("writing timing sidecar: {e}"))?;
         eprintln!("report: {}", path.display());
         eprintln!("timing: {}", tpath.display());
+        for (id, _) in &report.timelines {
+            eprintln!(
+                "timeline: {}",
+                drishti_sim::sweep::report::timeline_path(path, *id).display()
+            );
+        }
     }
 
     let failures = outcome.failures();

@@ -14,6 +14,7 @@
 //! dirty victims written back level by level and LLC victims to DRAM.
 
 use crate::config::SystemConfig;
+use crate::telemetry::{Telemetry, TelemetrySpec, TelemetryTimeline};
 use drishti_mem::access::{Access, AccessKind};
 use drishti_mem::cache::PrivateCache;
 use drishti_mem::dram::Dram;
@@ -105,6 +106,28 @@ pub struct Engine {
     record_llc_stream: bool,
     accesses_per_core: u64,
     warmup_accesses: u64,
+    /// Observability sink; `Telemetry::Off` (the default) costs one
+    /// integer comparison per step and nothing else.
+    telemetry: Telemetry,
+    /// Engine scheduling steps taken so far (only advanced while
+    /// telemetry is enabled — epochs are its only consumer).
+    steps: u64,
+}
+
+/// The measured-so-far result of one core: zero until its measurement
+/// window opens, deltas from the window start after. The end-of-run value
+/// is bit-identical to the historical unconditional computation (a core
+/// that never started measuring has all-zero counters anyway).
+fn core_result(core: &CoreState) -> CoreResult {
+    if !core.measuring {
+        return CoreResult::default();
+    }
+    CoreResult {
+        instructions: core.retired - core.meas_start_retired,
+        cycles: core.cycle.saturating_sub(core.meas_start_cycle),
+        accesses: core.accesses - core.meas_start_accesses,
+        llc_misses: core.meas_llc_misses,
+    }
 }
 
 impl std::fmt::Debug for Engine {
@@ -164,7 +187,44 @@ impl Engine {
             record_llc_stream,
             accesses_per_core,
             warmup_accesses,
+            telemetry: Telemetry::Off,
+            steps: 0,
             cfg,
+        }
+    }
+
+    /// Install a telemetry sink before [`Engine::run`]. The default is
+    /// [`Telemetry::Off`].
+    pub fn set_telemetry(&mut self, spec: TelemetrySpec) {
+        self.telemetry = spec.build();
+    }
+
+    /// Take the collected timeline (if telemetry was enabled), leaving the
+    /// sink off. Call after [`Engine::run`].
+    pub fn take_timeline(&mut self) -> Option<TelemetryTimeline> {
+        match std::mem::replace(&mut self.telemetry, Telemetry::Off) {
+            Telemetry::Off => None,
+            Telemetry::Epoch(sampler) => {
+                let (spec, epochs) = sampler.into_epochs();
+                Some(TelemetryTimeline {
+                    policy: self.llc.policy().name(),
+                    epoch_steps: spec.epoch_steps,
+                    check_invariants: spec.check_invariants,
+                    cores: self.cfg.cores,
+                    slices: self.cfg.llc.slices,
+                    channels: self.cfg.dram.channels,
+                    epochs,
+                })
+            }
+        }
+    }
+
+    /// Close the current epoch: snapshot every core's measured-so-far
+    /// result and hand the subsystems to the sampler (read-only).
+    fn sample_epoch(&mut self) {
+        let per_core: Vec<CoreResult> = self.cores.iter().map(core_result).collect();
+        if let Telemetry::Epoch(sampler) = &mut self.telemetry {
+            sampler.sample(self.steps, &per_core, &self.llc, &self.mesh, &self.dram);
         }
     }
 
@@ -172,22 +232,26 @@ impl Engine {
     /// records (after `warmup_accesses` of warm-up). Returns per-core
     /// results.
     pub fn run(&mut self) -> Vec<CoreResult> {
-        // Advance the unfinished core with the minimum local clock.
+        let epoch_len = self.telemetry.epoch_steps(); // 0 = telemetry off
+                                                      // Advance the unfinished core with the minimum local clock.
         while let Some(c) = (0..self.cores.len())
             .filter(|&c| !self.cores[c].finished)
             .min_by_key(|&c| self.cores[c].cycle)
         {
             self.step(c);
+            if epoch_len != 0 {
+                self.steps += 1;
+                if self.steps.is_multiple_of(epoch_len) {
+                    self.sample_epoch();
+                }
+            }
         }
-        self.cores
-            .iter()
-            .map(|core| CoreResult {
-                instructions: core.retired - core.meas_start_retired,
-                cycles: core.cycle.saturating_sub(core.meas_start_cycle),
-                accesses: core.accesses - core.meas_start_accesses,
-                llc_misses: core.meas_llc_misses,
-            })
-            .collect()
+        // Flush the final partial epoch so epoch sums equal the aggregate
+        // counters (conservation).
+        if epoch_len != 0 && !self.steps.is_multiple_of(epoch_len) {
+            self.sample_epoch();
+        }
+        self.cores.iter().map(core_result).collect()
     }
 
     /// The LLC (for stats and per-set counters).

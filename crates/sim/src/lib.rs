@@ -20,7 +20,10 @@
 //!   baselines, normalised speedups);
 //! * [`sweep`] — the parallel sweep harness: a std-only work-stealing
 //!   pool over `(mix, policy, organisation)` cells with deterministic
-//!   aggregation, a shared trace cache, and JSON sweep reports.
+//!   aggregation, a shared trace cache, and JSON sweep reports;
+//! * [`telemetry`] — zero-overhead-when-disabled epoch sampling of
+//!   per-core, per-slice, NoC and DRAM counters, with invariant checkers
+//!   and `drishti-telemetry/v1` JSON timelines.
 //!
 //! # Example: one tiny 4-core run
 //!
@@ -38,6 +41,7 @@
 //!     accesses_per_core: 20_000,
 //!     warmup_accesses: 2_000,
 //!     record_llc_stream: false,
+//!     telemetry: drishti_sim::telemetry::TelemetrySpec::off(),
 //! };
 //! let r = run_mix(&mix, PolicyKind::Lru, DrishtiConfig::baseline(4), &rc);
 //! assert!(r.total_ipc() > 0.0);
@@ -50,3 +54,4 @@ pub mod metrics;
 pub mod pcstats;
 pub mod runner;
 pub mod sweep;
+pub mod telemetry;

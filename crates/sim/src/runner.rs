@@ -10,6 +10,7 @@ use crate::config::SystemConfig;
 use crate::energy::EnergyBreakdown;
 use crate::engine::{CoreResult, Engine};
 use crate::metrics::{FaultSummary, MixMetrics};
+use crate::telemetry::{TelemetrySpec, TelemetryTimeline};
 use drishti_core::config::DrishtiConfig;
 use drishti_mem::access::Access;
 use drishti_mem::dram::DramStats;
@@ -32,6 +33,8 @@ pub struct RunConfig {
     pub warmup_accesses: u64,
     /// Capture the LLC-level demand stream (needed by oracle studies).
     pub record_llc_stream: bool,
+    /// Epoch-sampled telemetry (off by default; see [`crate::telemetry`]).
+    pub telemetry: TelemetrySpec,
 }
 
 impl RunConfig {
@@ -42,6 +45,7 @@ impl RunConfig {
             accesses_per_core: 60_000,
             warmup_accesses: 15_000,
             record_llc_stream: false,
+            telemetry: TelemetrySpec::off(),
         }
     }
 
@@ -52,6 +56,7 @@ impl RunConfig {
             accesses_per_core: 400_000,
             warmup_accesses: 100_000,
             record_llc_stream: false,
+            telemetry: TelemetrySpec::off(),
         }
     }
 }
@@ -79,6 +84,8 @@ pub struct RunResult {
     pub diagnostics: Vec<(String, u64)>,
     /// Captured LLC demand stream (empty unless requested).
     pub llc_stream: Vec<Access>,
+    /// Collected telemetry timeline (`None` unless requested).
+    pub telemetry: Option<TelemetryTimeline>,
 }
 
 impl RunResult {
@@ -171,6 +178,7 @@ fn run_engine(
         rc.warmup_accesses,
         rc.record_llc_stream,
     );
+    engine.set_telemetry(rc.telemetry);
     let per_core = engine.run();
     let llc = *engine.llc().stats();
     let set_counters = (0..rc.system.llc.slices)
@@ -183,6 +191,7 @@ fn run_engine(
     let diagnostics = engine.llc().policy().diagnostics();
     let policy_name = engine.llc().policy().name();
     let llc_stream = std::mem::take(&mut engine.llc_stream);
+    let telemetry = engine.take_timeline();
     RunResult {
         policy: policy_name,
         per_core,
@@ -194,6 +203,7 @@ fn run_engine(
         energy,
         diagnostics,
         llc_stream,
+        telemetry,
     }
 }
 
@@ -281,7 +291,19 @@ pub fn alone_ipcs(mix: &Mix, rc: &RunConfig) -> Vec<f64> {
 }
 
 /// Mix metrics of a run against alone-IPC baselines.
+///
+/// # Panics
+///
+/// Panics when `alone` does not have one baseline per core of the run —
+/// a silent `zip` truncation here would quietly misattribute speedups.
 pub fn mix_metrics(result: &RunResult, alone: &[f64]) -> MixMetrics {
+    assert_eq!(
+        result.per_core.len(),
+        alone.len(),
+        "one alone-IPC baseline per core: run has {} cores, {} baselines given",
+        result.per_core.len(),
+        alone.len()
+    );
     let together: Vec<f64> = result
         .per_core
         .iter()
@@ -310,6 +332,7 @@ mod tests {
             accesses_per_core: 4_000,
             warmup_accesses: 500,
             record_llc_stream: false,
+            telemetry: TelemetrySpec::off(),
         }
     }
 

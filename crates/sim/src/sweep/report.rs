@@ -12,11 +12,19 @@
 //!   cells/second, worker count, trace-cache hit rate. Host-dependent by
 //!   nature, hence kept out of the byte-comparable report.
 //!
+//! When cells ran with telemetry enabled, each cell's timeline lands in a
+//! third kind of file, `<name>.cell<id>.timeline.json`
+//! (`drishti-telemetry/v1`, see DESIGN.md §11). Timelines are *separate
+//! files* and the main report never mentions them, so the byte-determinism
+//! contract holds with telemetry on or off; the timing sidecar lists the
+//! timeline file names for discoverability.
+//!
 //! See DESIGN.md §10 for the full schema.
 
 use super::json::Json;
 use super::{JobKind, JobOutput, SweepJob, SweepOutcome};
 use crate::metrics::FaultSummary;
+use crate::telemetry::TelemetryTimeline;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -86,6 +94,10 @@ pub struct SweepReport {
     pub errors: Vec<(usize, String, String)>,
     /// Figure-level summary sections: `(section, [(key, value)])`.
     pub summary: Vec<(String, Vec<(String, f64)>)>,
+    /// Per-cell telemetry timelines `(cell id, timeline)`, present when
+    /// the cells ran with telemetry enabled. Written to side files by
+    /// [`SweepReport::write`]; never serialised into the main report.
+    pub timelines: Vec<(usize, TelemetryTimeline)>,
 }
 
 impl SweepReport {
@@ -97,6 +109,7 @@ impl SweepReport {
             cells: Vec::new(),
             errors: Vec::new(),
             summary: Vec::new(),
+            timelines: Vec::new(),
         }
     }
 
@@ -149,6 +162,9 @@ impl SweepReport {
                         ],
                         faults: (!faults.is_clean()).then_some(faults),
                     });
+                    if let Some(tl) = &r.telemetry {
+                        report.timelines.push((job.id, tl.clone()));
+                    }
                 }
             }
         }
@@ -201,9 +217,16 @@ impl SweepReport {
         root.to_pretty_string()
     }
 
-    /// Write the report to `path`, creating parent directories.
+    /// Write the report to `path`, creating parent directories. Any
+    /// collected telemetry timelines land beside it, one file per cell
+    /// (see [`timeline_path`]); the report file itself is unaffected by
+    /// their presence.
     pub fn write(&self, path: &Path) -> io::Result<()> {
-        write_file(path, &self.to_json_string())
+        write_file(path, &self.to_json_string())?;
+        for (id, tl) in &self.timelines {
+            tl.write(&timeline_path(path, *id))?;
+        }
+        Ok(())
     }
 }
 
@@ -227,6 +250,10 @@ pub struct SweepTiming {
     pub cache_hits: u64,
     /// Trace-cache misses (i.e. traces actually generated).
     pub cache_misses: u64,
+    /// Telemetry timeline files written beside the report (file names
+    /// only), empty when telemetry was off. Listed here — not in the main
+    /// report — so the byte-determinism contract is unaffected.
+    pub timeline_files: Vec<String>,
 }
 
 impl SweepTiming {
@@ -241,7 +268,22 @@ impl SweepTiming {
             cells_per_sec: outcome.cells_per_sec(),
             cache_hits: outcome.cache_stats.0,
             cache_misses: outcome.cache_stats.1,
+            timeline_files: Vec::new(),
         }
+    }
+
+    /// Record the timeline files that [`SweepReport::write`] will emit for
+    /// `report` at `report_path`, so the sidecar points readers at them.
+    pub fn attach_timelines(&mut self, report: &SweepReport, report_path: &Path) {
+        self.timeline_files = report
+            .timelines
+            .iter()
+            .filter_map(|(id, _)| {
+                timeline_path(report_path, *id)
+                    .file_name()
+                    .map(|f| f.to_string_lossy().into_owned())
+            })
+            .collect();
     }
 
     /// Serialise to JSON.
@@ -256,6 +298,17 @@ impl SweepTiming {
             .push("cells_per_sec", Json::Num(self.cells_per_sec))
             .push("trace_cache_hits", Json::UInt(self.cache_hits))
             .push("trace_cache_misses", Json::UInt(self.cache_misses));
+        if !self.timeline_files.is_empty() {
+            root.push(
+                "timelines",
+                Json::Arr(
+                    self.timeline_files
+                        .iter()
+                        .map(|f| Json::Str(f.clone()))
+                        .collect(),
+                ),
+            );
+        }
         root.to_pretty_string()
     }
 
@@ -290,6 +343,12 @@ pub fn default_report_path(name: &str) -> PathBuf {
 /// The timing-sidecar path for a report path (`x.json` → `x.timing.json`).
 pub fn timing_path(report_path: &Path) -> PathBuf {
     report_path.with_extension("timing.json")
+}
+
+/// The telemetry-timeline path of cell `id` for a report path
+/// (`x.json` → `x.cell007.timeline.json`).
+pub fn timeline_path(report_path: &Path, id: usize) -> PathBuf {
+    report_path.with_extension(format!("cell{id:03}.timeline.json"))
 }
 
 fn write_file(path: &Path, contents: &str) -> io::Result<()> {
@@ -357,6 +416,51 @@ mod tests {
             timing_path(&p),
             PathBuf::from("target/sweep/fig13.timing.json")
         );
+        assert_eq!(
+            timeline_path(&p, 7),
+            PathBuf::from("target/sweep/fig13.cell007.timeline.json")
+        );
+    }
+
+    #[test]
+    fn timelines_stay_out_of_the_main_report() {
+        let mut r = sample_report();
+        let plain = r.to_json_string();
+        r.timelines.push((
+            1,
+            TelemetryTimeline {
+                policy: "lru".to_string(),
+                epoch_steps: 100,
+                check_invariants: false,
+                cores: 4,
+                slices: 4,
+                channels: 1,
+                epochs: Vec::new(),
+            },
+        ));
+        assert_eq!(
+            r.to_json_string(),
+            plain,
+            "timelines must not change report bytes"
+        );
+
+        let mut t = SweepTiming {
+            name: "x".to_string(),
+            workers: 1,
+            cells: 1,
+            failed: 0,
+            wall_ms: 1.0,
+            cells_per_sec: 1.0,
+            cache_hits: 0,
+            cache_misses: 0,
+            timeline_files: Vec::new(),
+        };
+        assert!(!t.to_json_string().contains("timelines"));
+        t.attach_timelines(&r, &default_report_path("unit"));
+        assert_eq!(t.timeline_files, vec!["unit.cell001.timeline.json"]);
+        assert!(t
+            .to_json_string()
+            .contains("\"unit.cell001.timeline.json\""));
     }
 
     #[test]
@@ -370,6 +474,7 @@ mod tests {
             cells_per_sec: 16.0,
             cache_hits: 60,
             cache_misses: 4,
+            timeline_files: Vec::new(),
         };
         let line = t.line();
         assert!(line.contains("8 worker(s)"));

@@ -1,0 +1,684 @@
+//! Epoch-sampled observability for the simulation engine.
+//!
+//! The paper's analysis figures (ETR over time, per-slice occupancy,
+//! predictor accuracy) need *time-resolved* visibility into the hierarchy,
+//! while the runner only reports end-of-run aggregates. This module adds a
+//! [`Telemetry`] sink the engine drives once per *epoch* (a fixed number of
+//! engine scheduling steps): it reads the monotonic counters already
+//! maintained by the LLC, mesh and DRAM models, diffs them against the
+//! previous epoch's snapshot, and appends an [`EpochRecord`] to an
+//! in-memory timeline.
+//!
+//! Three properties are load-bearing:
+//!
+//! * **Zero overhead when disabled.** [`Telemetry::Off`] is the default;
+//!   the engine's hot loop tests one integer and touches nothing else, and
+//!   the disabled path leaves `RunResult` bit-identical (pinned by test).
+//! * **Observation only.** Sampling never mutates simulation state, so an
+//!   enabled sampler cannot perturb results either — `Off` and
+//!   `Epoch` runs of the same configuration produce bit-identical core
+//!   metrics (pinned by proptest).
+//! * **Conservation.** The final partial epoch is always flushed, so the
+//!   sum of every per-epoch delta series equals the end-of-run aggregate
+//!   counter it was diffed from.
+//!
+//! Timelines serialise to the `drishti-telemetry/v1` JSON schema
+//! (documented in DESIGN.md §11) via the same hand-rolled writer as the
+//! sweep reports, and land in `*.timeline.json` files *next to* the sweep
+//! report — the main `drishti-sweep/v1` report stays byte-comparable
+//! across worker counts and telemetry settings.
+//!
+//! The sampler also hosts cheap invariant checkers over the monotonic
+//! counters (see [`check_invariants`]): they run on every sample in debug
+//! builds and, via [`TelemetrySpec::check_invariants`], in release too.
+
+use crate::engine::CoreResult;
+use crate::sweep::json::Json;
+use drishti_mem::dram::Dram;
+use drishti_mem::llc::{SliceCounters, SlicedLlc};
+use drishti_noc::mesh::Mesh;
+use std::io;
+use std::path::Path;
+
+/// Schema identifier stamped into every timeline file.
+pub const SCHEMA: &str = "drishti-telemetry/v1";
+
+/// Default epoch length in engine steps when telemetry is enabled without
+/// an explicit `--epoch` (one step ≈ one trace record on one core).
+pub const DEFAULT_EPOCH_STEPS: u64 = 5_000;
+
+/// What the engine should collect. `Copy` and tiny so it travels inside
+/// `RunConfig` through the sweep harness unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySpec {
+    /// Engine steps per epoch; `0` disables telemetry entirely.
+    pub epoch_steps: u64,
+    /// Run the counter invariant checkers on every sample even in release
+    /// builds (they always run in debug builds).
+    pub check_invariants: bool,
+}
+
+impl TelemetrySpec {
+    /// Telemetry disabled (the default).
+    pub fn off() -> Self {
+        TelemetrySpec {
+            epoch_steps: 0,
+            check_invariants: false,
+        }
+    }
+
+    /// Sample every `epoch_steps` engine steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_steps` is zero — use [`TelemetrySpec::off`].
+    pub fn sampling(epoch_steps: u64) -> Self {
+        assert!(epoch_steps > 0, "epoch length must be positive");
+        TelemetrySpec {
+            epoch_steps,
+            check_invariants: false,
+        }
+    }
+
+    /// Whether any sampling will happen.
+    pub fn enabled(&self) -> bool {
+        self.epoch_steps != 0
+    }
+
+    /// Build the matching sink.
+    pub fn build(&self) -> Telemetry {
+        if self.enabled() {
+            Telemetry::Epoch(Box::new(EpochSampler::new(*self)))
+        } else {
+            Telemetry::Off
+        }
+    }
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        TelemetrySpec::off()
+    }
+}
+
+/// The telemetry sink the engine drives. Enum dispatch keeps the disabled
+/// arm a single match on the hot path with no indirect call.
+#[derive(Debug)]
+pub enum Telemetry {
+    /// Collect nothing (default).
+    Off,
+    /// Sample every N engine steps. Boxed so the disabled variant — the
+    /// one the engine carries in the common case — stays pointer-sized.
+    Epoch(Box<EpochSampler>),
+}
+
+impl Telemetry {
+    /// Epoch length in steps (`0` when off) — hoisted by the engine so the
+    /// run loop tests a local integer instead of matching the enum.
+    pub fn epoch_steps(&self) -> u64 {
+        match self {
+            Telemetry::Off => 0,
+            Telemetry::Epoch(s) => s.spec.epoch_steps,
+        }
+    }
+
+    /// Whether this sink discards everything.
+    pub fn is_off(&self) -> bool {
+        matches!(self, Telemetry::Off)
+    }
+}
+
+/// One core's activity during one epoch (deltas of the measured counters;
+/// all-zero while the core is still warming up or idle).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoreEpoch {
+    /// Instructions retired this epoch (measurement window only).
+    pub instructions: u64,
+    /// Cycles elapsed this epoch (measurement window only).
+    pub cycles: u64,
+    /// Demand accesses issued this epoch.
+    pub accesses: u64,
+    /// LLC demand misses attributed to this core this epoch.
+    pub llc_misses: u64,
+}
+
+impl CoreEpoch {
+    /// Instructions per cycle within the epoch (0 when no cycles elapsed).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// LLC misses per kilo-instruction within the epoch.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// One LLC slice's activity during one epoch: traffic/eviction deltas plus
+/// the absolute occupancy at the sample point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SliceEpoch {
+    /// Lookup hits this epoch.
+    pub hits: u64,
+    /// Lookup misses this epoch.
+    pub misses: u64,
+    /// Lines installed this epoch.
+    pub fills: u64,
+    /// Clean evictions this epoch.
+    pub evictions_clean: u64,
+    /// Dirty evictions (DRAM write-backs) this epoch.
+    pub evictions_dirty: u64,
+    /// Policy bypass decisions this epoch.
+    pub bypasses: u64,
+    /// Valid lines resident at the end of the epoch (absolute, not a
+    /// delta).
+    pub occupancy: u64,
+}
+
+/// NoC activity during one epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NocEpoch {
+    /// Messages injected this epoch.
+    pub messages: u64,
+    /// Flits injected this epoch.
+    pub flits: u64,
+    /// Retransmissions (fault-injected drops) this epoch.
+    pub retries: u64,
+    /// Flits carried per link this epoch, flattened `node * 4 + direction`
+    /// (E, W, N, S).
+    pub link_flits: Vec<u64>,
+}
+
+/// One DRAM channel's activity during one epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramChannelEpoch {
+    /// Read bursts serviced this epoch.
+    pub reads: u64,
+    /// Write bursts drained this epoch.
+    pub writes: u64,
+    /// Posted writes waiting in the channel's queue at the end of the
+    /// epoch (absolute).
+    pub queue_depth: u64,
+    /// Data-bus backlog in cycles at the end of the epoch (absolute).
+    pub bus_backlog: u64,
+}
+
+/// Everything sampled at one epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Zero-based epoch index.
+    pub index: u64,
+    /// Engine step count at the sample point (the final record may close a
+    /// partial epoch).
+    pub end_step: u64,
+    /// Per-core deltas, indexed by core.
+    pub per_core: Vec<CoreEpoch>,
+    /// Per-slice deltas, indexed by slice.
+    pub slices: Vec<SliceEpoch>,
+    /// Policy diagnostic counter deltas (train/predict/mispredict etc.),
+    /// in the policy's own reporting order.
+    pub predictor: Vec<(String, u64)>,
+    /// Demand-mesh deltas.
+    pub noc: NocEpoch,
+    /// Per-channel DRAM deltas, indexed by channel.
+    pub dram: Vec<DramChannelEpoch>,
+}
+
+/// Counter snapshot an [`EpochSampler`] diffs against. Starts all-zero, so
+/// epoch sums equal the end-of-run aggregates.
+#[derive(Debug, Default)]
+struct Snapshot {
+    per_core: Vec<CoreResult>,
+    slices: Vec<SliceCounters>,
+    diagnostics: Vec<(String, u64)>,
+    noc_messages: u64,
+    noc_flits: u64,
+    noc_retries: u64,
+    link_flits: Vec<u64>,
+    chan_reads: Vec<u64>,
+    chan_writes: Vec<u64>,
+}
+
+/// The active telemetry collector: diffs counters against the previous
+/// epoch and accumulates [`EpochRecord`]s.
+#[derive(Debug)]
+pub struct EpochSampler {
+    spec: TelemetrySpec,
+    prev: Snapshot,
+    epochs: Vec<EpochRecord>,
+}
+
+impl EpochSampler {
+    fn new(spec: TelemetrySpec) -> Self {
+        EpochSampler {
+            spec,
+            prev: Snapshot::default(),
+            epochs: Vec::new(),
+        }
+    }
+
+    /// Close the current epoch at `step`: read every counter, emit deltas
+    /// against the previous snapshot, and (in debug builds or when the
+    /// spec asks for it) verify the counter invariants.
+    ///
+    /// Observation only — `llc`, `mesh` and `dram` are read, never
+    /// mutated, which is what makes telemetry results-neutral.
+    ///
+    /// # Panics
+    ///
+    /// Panics when invariant checking is active and a monotonic-counter
+    /// invariant is violated.
+    pub fn sample(
+        &mut self,
+        step: u64,
+        per_core: &[CoreResult],
+        llc: &SlicedLlc,
+        mesh: &Mesh,
+        dram: &Dram,
+    ) {
+        if cfg!(debug_assertions) || self.spec.check_invariants {
+            let violations = check_invariants(llc, dram);
+            assert!(
+                violations.is_empty(),
+                "telemetry invariants violated at step {step}: {violations:?}"
+            );
+        }
+
+        let cores: Vec<CoreEpoch> = per_core
+            .iter()
+            .enumerate()
+            .map(|(c, cur)| {
+                let prev = self.prev.per_core.get(c).copied().unwrap_or_default();
+                CoreEpoch {
+                    instructions: cur.instructions.saturating_sub(prev.instructions),
+                    cycles: cur.cycles.saturating_sub(prev.cycles),
+                    accesses: cur.accesses.saturating_sub(prev.accesses),
+                    llc_misses: cur.llc_misses.saturating_sub(prev.llc_misses),
+                }
+            })
+            .collect();
+
+        let slice_counters = llc.slice_counters();
+        let slices: Vec<SliceEpoch> = slice_counters
+            .iter()
+            .enumerate()
+            .map(|(s, cur)| {
+                let prev = self.prev.slices.get(s).copied().unwrap_or_default();
+                SliceEpoch {
+                    hits: cur.hits - prev.hits,
+                    misses: cur.misses - prev.misses,
+                    fills: cur.fills - prev.fills,
+                    evictions_clean: cur.evictions_clean - prev.evictions_clean,
+                    evictions_dirty: cur.evictions_dirty - prev.evictions_dirty,
+                    bypasses: cur.bypasses - prev.bypasses,
+                    occupancy: llc.slice_occupancy(s) as u64,
+                }
+            })
+            .collect();
+
+        let diagnostics = llc.policy().diagnostics();
+        let predictor: Vec<(String, u64)> = diagnostics
+            .iter()
+            .map(|(name, cur)| {
+                let prev = self
+                    .prev
+                    .diagnostics
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or(0, |(_, v)| *v);
+                (name.clone(), cur.saturating_sub(prev))
+            })
+            .collect();
+
+        let ns = mesh.stats();
+        let link_flits_now = mesh.link_flits();
+        let link_flits: Vec<u64> = link_flits_now
+            .iter()
+            .enumerate()
+            .map(|(i, cur)| cur - self.prev.link_flits.get(i).copied().unwrap_or(0))
+            .collect();
+        let noc = NocEpoch {
+            messages: ns.messages - self.prev.noc_messages,
+            flits: ns.flits - self.prev.noc_flits,
+            retries: ns.retries - self.prev.noc_retries,
+            link_flits,
+        };
+
+        let chans = dram.channel_snapshots();
+        let dram_epochs: Vec<DramChannelEpoch> = chans
+            .iter()
+            .enumerate()
+            .map(|(ch, cur)| DramChannelEpoch {
+                reads: cur.reads - self.prev.chan_reads.get(ch).copied().unwrap_or(0),
+                writes: cur.writes - self.prev.chan_writes.get(ch).copied().unwrap_or(0),
+                queue_depth: cur.queue_depth,
+                bus_backlog: cur.bus_backlog,
+            })
+            .collect();
+
+        self.epochs.push(EpochRecord {
+            index: self.epochs.len() as u64,
+            end_step: step,
+            per_core: cores,
+            slices,
+            predictor,
+            noc,
+            dram: dram_epochs,
+        });
+
+        self.prev = Snapshot {
+            per_core: per_core.to_vec(),
+            slices: slice_counters.to_vec(),
+            diagnostics,
+            noc_messages: ns.messages,
+            noc_flits: ns.flits,
+            noc_retries: ns.retries,
+            link_flits: link_flits_now,
+            chan_reads: chans.iter().map(|c| c.reads).collect(),
+            chan_writes: chans.iter().map(|c| c.writes).collect(),
+        };
+    }
+
+    /// Consume the sampler into its collected epochs.
+    pub fn into_epochs(self) -> (TelemetrySpec, Vec<EpochRecord>) {
+        (self.spec, self.epochs)
+    }
+}
+
+/// Verify the cheap monotonic-counter invariants that tie the subsystem
+/// counters together; returns one human-readable message per violation
+/// (empty on a consistent system).
+///
+/// 1. Every LLC lookup is exactly one slice hit or miss:
+///    `Σ slice (hits + misses) == total accesses` and
+///    `Σ slice misses == total misses`.
+/// 2. Per access category, `misses ≤ accesses`.
+/// 3. Every install or bypass follows a miss:
+///    `fills + bypasses ≤ total misses`.
+/// 4. Per slice, `occupancy ≤ sets × ways`.
+/// 5. Per slice, the slice counters agree with the per-set counters:
+///    `hits + misses == Σ set accesses` and `misses == Σ set misses`.
+/// 6. DRAM conservation: `Σ channel reads == reads serviced` and
+///    `Σ channel writes drained + Σ queued == writes posted`.
+pub fn check_invariants(llc: &SlicedLlc, dram: &Dram) -> Vec<String> {
+    let mut v = Vec::new();
+    let stats = llc.stats();
+    let slices = llc.slice_counters();
+
+    let slice_hits: u64 = slices.iter().map(|s| s.hits).sum();
+    let slice_misses: u64 = slices.iter().map(|s| s.misses).sum();
+    if slice_hits + slice_misses != stats.total_accesses() {
+        v.push(format!(
+            "slice hits+misses {} != total accesses {}",
+            slice_hits + slice_misses,
+            stats.total_accesses()
+        ));
+    }
+    if slice_misses != stats.total_misses() {
+        v.push(format!(
+            "slice misses {} != total misses {}",
+            slice_misses,
+            stats.total_misses()
+        ));
+    }
+    for (label, misses, accesses) in [
+        ("demand", stats.demand_misses, stats.demand_accesses),
+        ("prefetch", stats.prefetch_misses, stats.prefetch_accesses),
+        (
+            "writeback",
+            stats.writeback_misses,
+            stats.writeback_accesses,
+        ),
+    ] {
+        if misses > accesses {
+            v.push(format!("{label} misses {misses} > accesses {accesses}"));
+        }
+    }
+    if stats.fills + stats.bypasses > stats.total_misses() {
+        v.push(format!(
+            "fills {} + bypasses {} > total misses {}",
+            stats.fills,
+            stats.bypasses,
+            stats.total_misses()
+        ));
+    }
+
+    let geom = llc.geometry();
+    let capacity = geom.sets_per_slice * geom.ways;
+    for (s, sc) in slices.iter().enumerate() {
+        let occ = llc.slice_occupancy(s);
+        if occ > capacity {
+            v.push(format!("slice {s} occupancy {occ} > capacity {capacity}"));
+        }
+        let set_accesses: u64 = llc.set_counters(s).iter().map(|c| c.accesses).sum();
+        let set_misses: u64 = llc.set_counters(s).iter().map(|c| c.misses).sum();
+        if sc.hits + sc.misses != set_accesses {
+            v.push(format!(
+                "slice {s} hits+misses {} != per-set accesses {set_accesses}",
+                sc.hits + sc.misses
+            ));
+        }
+        if sc.misses != set_misses {
+            v.push(format!(
+                "slice {s} misses {} != per-set misses {set_misses}",
+                sc.misses
+            ));
+        }
+    }
+
+    let ds = dram.stats();
+    let chans = dram.channel_snapshots();
+    let chan_reads: u64 = chans.iter().map(|c| c.reads).sum();
+    let drained: u64 = chans.iter().map(|c| c.writes).sum();
+    let queued: u64 = chans.iter().map(|c| c.queue_depth).sum();
+    if chan_reads != ds.reads {
+        v.push(format!(
+            "per-channel reads {chan_reads} != serviced reads {}",
+            ds.reads
+        ));
+    }
+    if drained + queued != ds.writes {
+        v.push(format!(
+            "drained {drained} + queued {queued} writes != posted writes {}",
+            ds.writes
+        ));
+    }
+    v
+}
+
+/// A complete collected timeline, ready for JSON export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryTimeline {
+    /// Name reported by the policy that ran.
+    pub policy: String,
+    /// Epoch length in engine steps.
+    pub epoch_steps: u64,
+    /// Whether release-mode invariant checking was requested.
+    pub check_invariants: bool,
+    /// Core count of the run.
+    pub cores: usize,
+    /// LLC slice count of the run.
+    pub slices: usize,
+    /// DRAM channel count of the run.
+    pub channels: usize,
+    /// The sampled epochs, in order.
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl TelemetryTimeline {
+    /// The timeline as a JSON value in the `drishti-telemetry/v1` schema.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        root.push("schema", Json::Str(SCHEMA.to_string()))
+            .push("policy", Json::Str(self.policy.clone()))
+            .push("epoch_steps", Json::UInt(self.epoch_steps))
+            .push("check_invariants", Json::Bool(self.check_invariants))
+            .push("cores", Json::UInt(self.cores as u64))
+            .push("slices", Json::UInt(self.slices as u64))
+            .push("channels", Json::UInt(self.channels as u64))
+            .push(
+                "epochs",
+                Json::Arr(self.epochs.iter().map(epoch_json).collect()),
+            );
+        root
+    }
+
+    /// Pretty-printed JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+
+    /// Write the timeline to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json_string())
+    }
+}
+
+fn epoch_json(e: &EpochRecord) -> Json {
+    let mut o = Json::obj();
+    o.push("index", Json::UInt(e.index))
+        .push("end_step", Json::UInt(e.end_step));
+    let cores = e
+        .per_core
+        .iter()
+        .map(|c| {
+            let mut j = Json::obj();
+            j.push("instructions", Json::UInt(c.instructions))
+                .push("cycles", Json::UInt(c.cycles))
+                .push("accesses", Json::UInt(c.accesses))
+                .push("llc_misses", Json::UInt(c.llc_misses))
+                .push("ipc", Json::Num(c.ipc()))
+                .push("mpki", Json::Num(c.mpki()));
+            j
+        })
+        .collect();
+    o.push("cores", Json::Arr(cores));
+    let slices = e
+        .slices
+        .iter()
+        .map(|s| {
+            let mut j = Json::obj();
+            j.push("hits", Json::UInt(s.hits))
+                .push("misses", Json::UInt(s.misses))
+                .push("fills", Json::UInt(s.fills))
+                .push("evictions_clean", Json::UInt(s.evictions_clean))
+                .push("evictions_dirty", Json::UInt(s.evictions_dirty))
+                .push("bypasses", Json::UInt(s.bypasses))
+                .push("occupancy", Json::UInt(s.occupancy));
+            j
+        })
+        .collect();
+    o.push("slices", Json::Arr(slices));
+    let mut pred = Json::obj();
+    for (name, delta) in &e.predictor {
+        pred.push(name, Json::UInt(*delta));
+    }
+    o.push("predictor", pred);
+    let mut noc = Json::obj();
+    noc.push("messages", Json::UInt(e.noc.messages))
+        .push("flits", Json::UInt(e.noc.flits))
+        .push("retries", Json::UInt(e.noc.retries))
+        .push(
+            "link_flits",
+            Json::Arr(e.noc.link_flits.iter().map(|&f| Json::UInt(f)).collect()),
+        );
+    o.push("noc", noc);
+    let dram = e
+        .dram
+        .iter()
+        .map(|d| {
+            let mut j = Json::obj();
+            j.push("reads", Json::UInt(d.reads))
+                .push("writes", Json::UInt(d.writes))
+                .push("queue_depth", Json::UInt(d.queue_depth))
+                .push("bus_backlog", Json::UInt(d.bus_backlog));
+            j
+        })
+        .collect();
+    o.push("dram", Json::Arr(dram));
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_defaults_to_off() {
+        let spec = TelemetrySpec::default();
+        assert!(!spec.enabled());
+        assert!(spec.build().is_off());
+        assert_eq!(spec.build().epoch_steps(), 0);
+    }
+
+    #[test]
+    fn sampling_spec_builds_an_epoch_sink() {
+        let spec = TelemetrySpec::sampling(100);
+        assert!(spec.enabled());
+        let sink = spec.build();
+        assert!(!sink.is_off());
+        assert_eq!(sink.epoch_steps(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_epoch_sampling_rejected() {
+        let _ = TelemetrySpec::sampling(0);
+    }
+
+    #[test]
+    fn timeline_json_carries_schema_and_epochs() {
+        let tl = TelemetryTimeline {
+            policy: "lru".to_string(),
+            epoch_steps: 10,
+            check_invariants: false,
+            cores: 1,
+            slices: 1,
+            channels: 1,
+            epochs: vec![EpochRecord {
+                index: 0,
+                end_step: 10,
+                per_core: vec![CoreEpoch {
+                    instructions: 100,
+                    cycles: 50,
+                    accesses: 20,
+                    llc_misses: 5,
+                }],
+                slices: vec![SliceEpoch::default()],
+                predictor: vec![("predictor_train".to_string(), 3)],
+                noc: NocEpoch::default(),
+                dram: vec![DramChannelEpoch::default()],
+            }],
+        };
+        let s = tl.to_json_string();
+        assert!(s.contains("\"schema\": \"drishti-telemetry/v1\""));
+        assert!(s.contains("\"end_step\": 10"));
+        assert!(s.contains("\"predictor_train\": 3"));
+        assert!(s.contains("\"ipc\": 2"));
+    }
+
+    #[test]
+    fn epoch_ipc_and_mpki() {
+        let e = CoreEpoch {
+            instructions: 2000,
+            cycles: 1000,
+            accesses: 100,
+            llc_misses: 4,
+        };
+        assert!((e.ipc() - 2.0).abs() < 1e-12);
+        assert!((e.mpki() - 2.0).abs() < 1e-12);
+        assert_eq!(CoreEpoch::default().ipc(), 0.0);
+        assert_eq!(CoreEpoch::default().mpki(), 0.0);
+    }
+}

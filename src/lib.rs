@@ -42,6 +42,7 @@
 //!     accesses_per_core: 20_000,
 //!     warmup_accesses: 5_000,
 //!     record_llc_stream: false,
+//!     telemetry: drishti::sim::telemetry::TelemetrySpec::off(),
 //! };
 //! let baseline = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::baseline(cores), &rc);
 //! let drishti = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::drishti(cores), &rc);

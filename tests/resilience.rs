@@ -17,6 +17,7 @@ use drishti::noc::faults::FaultConfig;
 use drishti::policies::factory::PolicyKind;
 use drishti::sim::config::SystemConfig;
 use drishti::sim::runner::{run_mix, RunConfig, RunResult};
+use drishti::sim::telemetry::TelemetrySpec;
 use drishti::trace::mix::Mix;
 use drishti::trace::presets::Benchmark;
 use proptest::prelude::*;
@@ -34,6 +35,7 @@ fn faulty_run(faults: FaultConfig, policy: PolicyKind) -> RunResult {
         accesses_per_core: 4_000,
         warmup_accesses: 500,
         record_llc_stream: false,
+        telemetry: TelemetrySpec::off(),
     };
     run_mix(&mix(), policy, drishti, &rc)
 }
@@ -117,6 +119,7 @@ fn dram_outage_resteers_and_recovers() {
         accesses_per_core: 4_000,
         warmup_accesses: 500,
         record_llc_stream: false,
+        telemetry: TelemetrySpec::off(),
     };
     let drishti = DrishtiConfig::drishti(CORES).with_faults(faults);
     let r = run_mix(&mix(), PolicyKind::Mockingjay, drishti, &rc);

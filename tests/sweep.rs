@@ -9,6 +9,7 @@ use drishti_sim::runner::RunConfig;
 use drishti_sim::sweep::pool::{run_tasks, Task};
 use drishti_sim::sweep::report::SweepReport;
 use drishti_sim::sweep::{run_sweep, JobKind, SweepJob};
+use drishti_sim::telemetry::TelemetrySpec;
 use drishti_trace::mix::Mix;
 use drishti_trace::presets::Benchmark;
 use drishti_trace::replay::TraceCache;
@@ -74,6 +75,7 @@ fn tiny_jobs(cores: usize) -> Vec<SweepJob> {
         accesses_per_core: 3_000,
         warmup_accesses: 600,
         record_llc_stream: false,
+        telemetry: TelemetrySpec::off(),
     };
     let mix = Mix::homogeneous(Benchmark::Mcf, cores, 1);
     let cells = [
