@@ -84,6 +84,29 @@ if ! grep -q '"schema": "drishti-telemetry/v1"' "${timelines[0]}"; then
 fi
 echo "telemetry-on report byte-identical; ${#timelines[@]} timeline file(s)"
 
+# Record/replay gate: a sweep replayed from on-disk drishti-trace/v1
+# files must produce a byte-identical drishti-sweep/v1 report to the same
+# sweep over freshly generated traces, at --jobs 1 and --jobs 8. (Runs in
+# --quick too — bit-identity is the whole point of the trace store.)
+step "record/replay gate (on-disk traces vs generated, --jobs 1/8)"
+cargo build -q --offline "${build_flags[@]}" -p drishti-sim --bin drishti-sim
+sim="target/$profile_dir/drishti-sim"
+rr_args=(--cores 4 --mix homo:mcf --policy lru,hawkeye --org baseline,drishti
+         --accesses 8000 --warmup 2000)
+"$sim" "${rr_args[@]}" --record "$out/rr_trace" \
+  --jobs 2 --report "$out/rr_generated.json" >/dev/null 2>&1
+"$sim" "${rr_args[@]}" --trace-file "$out/rr_trace" \
+  --jobs 1 --report "$out/rr_replay_j1.json" >/dev/null
+"$sim" "${rr_args[@]}" --trace-file "$out/rr_trace" \
+  --jobs 8 --report "$out/rr_replay_j8.json" >/dev/null
+for replay in "$out/rr_replay_j1.json" "$out/rr_replay_j8.json"; do
+  if ! diff -u "$out/rr_generated.json" "$replay"; then
+    echo "FAIL: replayed sweep report $replay differs from the generated run" >&2
+    exit 1
+  fi
+done
+echo "replayed reports byte-identical to the generated run at --jobs 1 and 8"
+
 if [[ $quick -eq 0 ]]; then
   step "release-mode oracle/golden/telemetry tests"
   cargo test -q --offline --release --test oracle --test golden --test telemetry

@@ -7,6 +7,7 @@ use drishti_core::config::DrishtiConfig;
 use drishti_policies::factory::PolicyKind;
 use drishti_sim::config::SystemConfig;
 use drishti_sim::runner::{run_mix, RunConfig};
+use drishti_sim::sampling::SamplingSpec;
 use drishti_sim::telemetry::TelemetrySpec;
 use drishti_trace::mix::Mix;
 use drishti_trace::presets::Benchmark;
@@ -19,6 +20,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         accesses_per_core: 10_000,
         warmup_accesses: 1_000,
         record_llc_stream: false,
+        sampling: SamplingSpec::off(),
         telemetry: TelemetrySpec::off(),
     };
     let mix = Mix::homogeneous(Benchmark::Gcc, cores, 1);
@@ -63,6 +65,7 @@ fn bench_scaling(c: &mut Criterion) {
             accesses_per_core: 5_000,
             warmup_accesses: 500,
             record_llc_stream: false,
+            sampling: SamplingSpec::off(),
             telemetry: TelemetrySpec::off(),
         };
         let mix = Mix::heterogeneous(&Benchmark::spec_and_gap(), cores, 1);

@@ -1,0 +1,87 @@
+//! Criterion benchmarks of the `drishti-trace/v1` store: encode and
+//! decode throughput of the delta+varint codec, full write→read file
+//! round-trips, and streaming replay — the costs that decide whether
+//! replaying from disk beats regenerating a workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drishti_trace::presets::Benchmark;
+use drishti_trace::store::{read_trace, write_trace, StreamingTrace, TraceWriter};
+use drishti_trace::WorkloadGen;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const RECORDS: usize = 100_000;
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "drishti-codec-bench-{}-{tag}.drtr",
+        std::process::id()
+    ))
+}
+
+/// File round-trip cost per benchmark stream (write includes encoding and
+/// checksumming; read includes validation and decoding).
+fn bench_file_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_store_file");
+    group.sample_size(10);
+    for bench in [Benchmark::Mcf, Benchmark::Gcc, Benchmark::Lbm] {
+        let records = bench.build(1).collect(RECORDS);
+        let path = scratch(bench.label());
+        group.bench_with_input(
+            BenchmarkId::new("write", bench.label()),
+            &records,
+            |b, records| {
+                b.iter(|| black_box(write_trace(&path, bench.label(), 1, records).unwrap()));
+            },
+        );
+        write_trace(&path, bench.label(), 1, &records).unwrap();
+        group.bench_with_input(BenchmarkId::new("read", bench.label()), &path, |b, path| {
+            b.iter(|| black_box(read_trace(path).unwrap().1.len()));
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+    group.finish();
+}
+
+/// Streaming replay versus in-RAM generation of the same stream — the
+/// comparison that justifies the store's existence for long traces.
+fn bench_streaming_vs_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(10);
+    let path = scratch("stream");
+    let mut w = TraceWriter::create(&path, "mcf", 1).unwrap();
+    let mut gen = Benchmark::Mcf.build(1);
+    for _ in 0..RECORDS {
+        w.push(gen.next_record()).unwrap();
+    }
+    w.finish().unwrap();
+    group.bench_function(BenchmarkId::from_parameter("generate"), |b| {
+        b.iter(|| {
+            let mut g = Benchmark::Mcf.build(1);
+            let mut sum = 0u64;
+            for _ in 0..RECORDS {
+                sum = sum.wrapping_add(g.next_record().line);
+            }
+            black_box(sum)
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("stream"), |b| {
+        b.iter(|| {
+            let mut s = StreamingTrace::open(&path).unwrap();
+            let mut sum = 0u64;
+            for _ in 0..RECORDS {
+                sum = sum.wrapping_add(s.next_record().line);
+            }
+            black_box(sum)
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(
+    benches,
+    bench_file_round_trip,
+    bench_streaming_vs_generation
+);
+criterion_main!(benches);

@@ -23,6 +23,7 @@ use drishti_noc::faults::FaultConfig;
 use drishti_policies::factory::PolicyKind;
 use drishti_sim::config::SystemConfig;
 use drishti_sim::runner::RunConfig;
+use drishti_sim::sampling::SamplingSpec;
 use drishti_sim::sweep::report::{SweepReport, SweepTiming};
 use drishti_sim::sweep::{run_sweep, JobKind, SweepJob};
 use drishti_sim::telemetry::TelemetrySpec;
@@ -93,6 +94,7 @@ fn main() {
                     accesses_per_core: opts.accesses,
                     warmup_accesses: opts.accesses / 4,
                     record_llc_stream: false,
+                    sampling: SamplingSpec::off(),
                     telemetry: TelemetrySpec::off(),
                 },
                 kind: JobKind::Run {

@@ -34,6 +34,7 @@ use drishti_policies::factory::PolicyKind;
 use drishti_sim::config::SystemConfig;
 use drishti_sim::metrics::{mean, MixMetrics};
 use drishti_sim::runner::{alone_ipcs, mix_metrics, run_mix, RunConfig, RunResult};
+use drishti_sim::sampling::SamplingSpec;
 use drishti_sim::sweep::report::{SweepReport, SweepTiming};
 use drishti_sim::sweep::{run_sweep, JobKind, JobOutput, SweepJob};
 use drishti_sim::telemetry::TelemetrySpec;
@@ -43,7 +44,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 const OPTS_USAGE: &str = "usage: [--full] [--mixes N] [--cores a,b,c] [--accesses N] \
-[--jobs N] [--report PATH] [--telemetry] [--epoch N]";
+[--jobs N] [--report PATH] [--telemetry] [--epoch N] \
+[--sample-interval N] [--sample-warmup N]";
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -64,6 +66,10 @@ pub struct ExpOpts {
     pub telemetry: bool,
     /// Telemetry epoch length in engine steps (0 = library default).
     pub epoch: u64,
+    /// Interval-sampling period in records (0 = full simulation).
+    pub sample_interval: u64,
+    /// Warm records before each detailed window.
+    pub sample_warmup: u64,
 }
 
 impl Default for ExpOpts {
@@ -77,6 +83,8 @@ impl Default for ExpOpts {
             report: None,
             telemetry: false,
             epoch: 0,
+            sample_interval: 0,
+            sample_warmup: 0,
         }
     }
 }
@@ -124,6 +132,12 @@ impl ExpOpts {
                 "--report" => {
                     opts.report = Some(PathBuf::from(value(args, i, flag)?));
                 }
+                "--sample-interval" => {
+                    opts.sample_interval = parse_num(flag, &value(args, i, flag)?)?;
+                }
+                "--sample-warmup" => {
+                    opts.sample_warmup = parse_num(flag, &value(args, i, flag)?)?;
+                }
                 "--cores" => {
                     opts.cores = value(args, i, flag)?
                         .split(',')
@@ -140,6 +154,7 @@ impl ExpOpts {
         if opts.cores.is_empty() || opts.cores.contains(&0) {
             return Err("--cores needs at least one nonzero core count".to_string());
         }
+        opts.sampling_spec().validate()?;
         Ok(opts)
     }
 
@@ -166,6 +181,11 @@ impl ExpOpts {
         TelemetrySpec::sampling(steps)
     }
 
+    /// The interval-sampling schedule these options describe.
+    pub fn sampling_spec(&self) -> SamplingSpec {
+        SamplingSpec::every(self.sample_interval, self.sample_warmup)
+    }
+
     /// The run configuration for `cores` cores.
     pub fn rc(&self, cores: usize) -> RunConfig {
         RunConfig {
@@ -173,6 +193,7 @@ impl ExpOpts {
             accesses_per_core: self.accesses,
             warmup_accesses: self.accesses / 4,
             record_llc_stream: false,
+            sampling: self.sampling_spec(),
             telemetry: self.telemetry_spec(),
         }
     }
@@ -398,6 +419,18 @@ pub fn sweep_groups(
             .collect::<Vec<_>>()
             .join(","),
     ));
+    // Sampled runs are not byte-comparable to full runs, so stamp the
+    // schedule into the config (only when on — full-run reports keep
+    // their historical bytes).
+    if opts.sampling_spec().enabled() {
+        report.config.push((
+            "sample_interval".to_string(),
+            opts.sample_interval.to_string(),
+        ));
+        report
+            .config
+            .push(("sample_warmup".to_string(), opts.sample_warmup.to_string()));
+    }
 
     // Fold outputs back into per-mix evaluations, enriching the report's
     // cells with the LRU-normalised metrics as we go. Outputs arrive in
@@ -579,6 +612,7 @@ mod tests {
             accesses_per_core: 3_000,
             warmup_accesses: 500,
             record_llc_stream: false,
+            sampling: SamplingSpec::off(),
             telemetry: TelemetrySpec::off(),
         };
         let eval = evaluate_mix(

@@ -29,19 +29,24 @@ use drishti_core::config::DrishtiConfig;
 use drishti_noc::faults::{FaultConfig, OutageWindow};
 use drishti_policies::factory::PolicyKind;
 use drishti_sim::config::SystemConfig;
-use drishti_sim::runner::{run_mix, RunConfig};
+use drishti_sim::runner::{run_mix, run_with_workloads, RunConfig};
+use drishti_sim::sampling::SamplingSpec;
 use drishti_sim::sweep::report::{SweepReport, SweepTiming};
 use drishti_sim::sweep::{run_sweep, JobKind, SweepJob};
 use drishti_sim::telemetry::{TelemetrySpec, DEFAULT_EPOCH_STEPS};
 use drishti_trace::mix::Mix;
 use drishti_trace::presets::Benchmark;
 use drishti_trace::replay::TraceCache;
-use std::path::PathBuf;
+use drishti_trace::store::{read_trace, write_trace, StreamingTrace};
+use drishti_trace::WorkloadGen;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P[,P...]] [--org O[,O...]] [--mix M]
        [--accesses N] [--warmup N] [--l2-kib K] [--llc-mib M] [--channels C]
        [--jobs N] [--report PATH]
+       [--record PREFIX | --trace-file PREFIX] [--trace-cache-mib N]
+       [--sample-interval N] [--sample-warmup N]
        [--telemetry] [--epoch N] [--check-invariants]
        [--fault-seed S] [--drop-pct F] [--jitter J]
        [--link-outage PERIOD:LEN] [--dram-outage CH:START:LEN]...
@@ -51,6 +56,16 @@ const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P[,P...]] [--org O
   sweeps: comma-separated --policy/--org lists run every combination as a
   parallel sweep on --jobs workers (0 = one per CPU); --report writes the
   deterministic JSON report (plus a .timing.json sidecar) to PATH.
+  traces: --record writes each core's stream to PREFIX.coreNN.drtr
+  (drishti-trace/v1) before running; --trace-file replays such files
+  instead of generating (must match the mix's benchmarks/seeds and hold
+  >= warmup+accesses records; replay is bit-identical to generation).
+  --trace-cache-mib caps the sweep trace cache's RAM tier, spilling
+  evicted traces to disk (0 = unlimited).
+  sampling: --sample-interval P fast-forwards most of each P-record
+  period, warms the hierarchy for the --sample-warmup records before the
+  detailed window (the last P/10 records), and measures only there;
+  reported counts are sampled, ratios (IPC, MPKI) comparable to full runs.
   telemetry: --telemetry samples per-core/slice/NoC/DRAM counters every
   --epoch engine steps (default 5000; --epoch implies --telemetry) into a
   drishti-telemetry/v1 timeline — printed as a per-epoch table for single
@@ -74,6 +89,11 @@ struct CliArgs {
     channels: Option<usize>,
     jobs: usize,
     report: Option<PathBuf>,
+    record: Option<PathBuf>,
+    trace_file: Option<PathBuf>,
+    trace_cache_mib: usize,
+    sample_interval: u64,
+    sample_warmup: u64,
     telemetry: bool,
     epoch: u64,
     check_invariants: bool,
@@ -95,6 +115,17 @@ impl CliArgs {
             check_invariants: self.check_invariants,
         }
     }
+
+    /// The sampling schedule these flags describe (validated in
+    /// `parse_args`).
+    fn sampling_spec(&self) -> SamplingSpec {
+        SamplingSpec::every(self.sample_interval, self.sample_warmup)
+    }
+
+    /// Records each core pulls: warmup plus measured accesses.
+    fn span(&self) -> u64 {
+        self.warmup + self.accesses
+    }
 }
 
 impl Default for CliArgs {
@@ -111,6 +142,11 @@ impl Default for CliArgs {
             channels: None,
             jobs: 0,
             report: None,
+            record: None,
+            trace_file: None,
+            trace_cache_mib: 0,
+            sample_interval: 0,
+            sample_warmup: 0,
             telemetry: false,
             epoch: 0,
             check_invariants: false,
@@ -208,6 +244,11 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--channels" => cli.channels = Some(parse_num(flag, val)?),
             "--jobs" => cli.jobs = parse_num(flag, val)?,
             "--report" => cli.report = Some(PathBuf::from(val)),
+            "--record" => cli.record = Some(PathBuf::from(val)),
+            "--trace-file" => cli.trace_file = Some(PathBuf::from(val)),
+            "--trace-cache-mib" => cli.trace_cache_mib = parse_num(flag, val)?,
+            "--sample-interval" => cli.sample_interval = parse_num(flag, val)?,
+            "--sample-warmup" => cli.sample_warmup = parse_num(flag, val)?,
             "--epoch" => {
                 cli.epoch = parse_num(flag, val)?;
                 cli.telemetry = true; // an explicit epoch implies telemetry
@@ -248,6 +289,10 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     if cli.l2_kib == 0 || cli.llc_mib == 0 {
         return Err("--l2-kib and --llc-mib must be at least 1".to_string());
     }
+    if cli.record.is_some() && cli.trace_file.is_some() {
+        return Err("--record and --trace-file are mutually exclusive".to_string());
+    }
+    cli.sampling_spec().validate()?;
     if cli.channels == Some(0) {
         return Err("--channels must be at least 1".to_string());
     }
@@ -316,8 +361,120 @@ fn run_config(cli: &CliArgs) -> RunConfig {
         accesses_per_core: cli.accesses,
         warmup_accesses: cli.warmup,
         record_llc_stream: false,
+        sampling: cli.sampling_spec(),
         telemetry: cli.telemetry_spec(),
     }
+}
+
+/// Per-core trace file path under a `--record`/`--trace-file` prefix.
+fn core_trace_path(prefix: &Path, core: usize) -> PathBuf {
+    let mut s = prefix.as_os_str().to_os_string();
+    s.push(format!(".core{core:02}.drtr"));
+    PathBuf::from(s)
+}
+
+/// `--record`: write each core's stream (warmup + accesses records) to
+/// `PREFIX.coreNN.drtr`, generating through `cache` so a following sweep
+/// reuses the already-materialised records.
+fn record_traces(cli: &CliArgs, mix: &Mix, cache: &TraceCache) -> Result<(), String> {
+    let prefix = cli.record.as_ref().expect("caller checked --record");
+    if let Some(dir) = prefix.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    for c in 0..mix.cores() {
+        let (bench, seed) = (mix.benchmarks[c], mix.seeds[c]);
+        let records = cache.get(bench, seed, cli.span());
+        let path = core_trace_path(prefix, c);
+        write_trace(&path, bench.label(), seed, &records)
+            .map_err(|e| format!("recording {}: {e}", path.display()))?;
+        eprintln!("recorded: {} ({} records)", path.display(), records.len());
+    }
+    Ok(())
+}
+
+/// Validates one `--trace-file` header against the mix slot it will drive.
+fn check_trace_meta(
+    path: &Path,
+    meta: &drishti_trace::store::TraceMeta,
+    bench: Benchmark,
+    seed: u64,
+    span: u64,
+) -> Result<(), String> {
+    if meta.name != bench.label() {
+        return Err(format!(
+            "{}: trace is `{}` but the mix wants `{}` on this core",
+            path.display(),
+            meta.name,
+            bench.label()
+        ));
+    }
+    if meta.seed != seed {
+        return Err(format!(
+            "{}: trace seed {} does not match the mix seed {seed}",
+            path.display(),
+            meta.seed
+        ));
+    }
+    if meta.records < span {
+        return Err(format!(
+            "{}: trace holds {} records but the run needs {span} \
+             (warmup + accesses); re-record with matching lengths",
+            path.display(),
+            meta.records
+        ));
+    }
+    Ok(())
+}
+
+/// `--trace-file`, single-run mode: one bounded-memory [`StreamingTrace`]
+/// per core.
+fn open_streaming_workloads(
+    cli: &CliArgs,
+    mix: &Mix,
+) -> Result<Vec<Option<Box<dyn WorkloadGen>>>, String> {
+    let prefix = cli.trace_file.as_ref().expect("caller checked");
+    let mut workloads = Vec::with_capacity(mix.cores());
+    for c in 0..mix.cores() {
+        let path = core_trace_path(prefix, c);
+        let stream = StreamingTrace::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        check_trace_meta(
+            &path,
+            stream.meta(),
+            mix.benchmarks[c],
+            mix.seeds[c],
+            cli.span(),
+        )?;
+        workloads.push(Some(Box::new(stream) as Box<dyn WorkloadGen>));
+    }
+    Ok(workloads)
+}
+
+/// `--trace-file`, sweep mode: validate and preload every core's records
+/// into the shared cache (truncated to the span), so every cell replays
+/// the on-disk bytes.
+fn preload_trace_files(cli: &CliArgs, mix: &Mix, cache: &TraceCache) -> Result<(), String> {
+    let prefix = cli.trace_file.as_ref().expect("caller checked");
+    let span = cli.span() as usize;
+    for c in 0..mix.cores() {
+        let path = core_trace_path(prefix, c);
+        let (meta, mut records) =
+            read_trace(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        check_trace_meta(&path, &meta, mix.benchmarks[c], mix.seeds[c], cli.span())?;
+        records.truncate(span);
+        cache.insert(mix.benchmarks[c], mix.seeds[c], records);
+    }
+    Ok(())
+}
+
+/// The shared sweep trace cache these flags describe: unbounded by
+/// default, two-tier (RAM budget + disk spill) under `--trace-cache-mib`.
+fn build_cache(cli: &CliArgs) -> Result<TraceCache, String> {
+    if cli.trace_cache_mib == 0 {
+        return Ok(TraceCache::new());
+    }
+    let dir = std::env::temp_dir().join(format!("drishti-spill-{}", std::process::id()));
+    TraceCache::with_spill(cli.trace_cache_mib << 20, &dir)
+        .map_err(|e| format!("creating spill dir {}: {e}", dir.display()))
 }
 
 /// Detailed single-cell output (the classic `drishti-sim` report).
@@ -347,8 +504,28 @@ fn run_single(cli: &CliArgs) -> Result<(), String> {
             cli.faults.dram_outages.len()
         );
     }
+    if rc.sampling.enabled() {
+        println!(
+            "sampling: interval={} warmup={} detailed={} — measuring {}/{} records (scale ×{:.1})",
+            rc.sampling.interval,
+            rc.sampling.warmup,
+            rc.sampling.detailed_len(),
+            rc.sampling.detailed_in(cli.span()),
+            cli.span(),
+            rc.sampling.scale(cli.span())
+        );
+    }
+    if cli.record.is_some() {
+        record_traces(cli, &mix, &TraceCache::new())?;
+    }
     let t = std::time::Instant::now();
-    let r = run_mix(&mix, policy, drishti, &rc);
+    let r = if cli.trace_file.is_some() {
+        let workloads = open_streaming_workloads(cli, &mix)?;
+        println!("replaying {} on-disk traces (streaming)", mix.cores());
+        run_with_workloads(workloads, policy, drishti, &rc)
+    } else {
+        run_mix(&mix, policy, drishti, &rc)
+    };
     println!("\nsimulated in {:.1?}\n", t.elapsed());
 
     println!("policy reported: {}", r.policy);
@@ -469,7 +646,14 @@ fn run_sweep_cli(cli: &CliArgs) -> Result<i32, String> {
         cli.policies.len(),
         cli.orgs.len()
     );
-    let cache = Arc::new(TraceCache::new());
+    let cache = Arc::new(build_cache(cli)?);
+    if cli.record.is_some() {
+        record_traces(cli, &mix, &cache)?;
+    }
+    if cli.trace_file.is_some() {
+        preload_trace_files(cli, &mix, &cache)?;
+        println!("preloaded {} on-disk traces", mix.cores());
+    }
     let outcome = run_sweep(&jobs, cli.jobs, &cache);
     let mut timing = SweepTiming::from_outcome("drishti-sim", &outcome);
 

@@ -14,6 +14,7 @@
 //! dirty victims written back level by level and LLC victims to DRAM.
 
 use crate::config::SystemConfig;
+use crate::sampling::{Phase, SamplingSpec};
 use crate::telemetry::{Telemetry, TelemetrySpec, TelemetryTimeline};
 use drishti_mem::access::{Access, AccessKind};
 use drishti_mem::cache::PrivateCache;
@@ -76,6 +77,12 @@ struct CoreState {
     meas_start_retired: u64,
     meas_start_accesses: u64,
     meas_llc_misses: u64,
+    /// Sampled-mode accumulators: sums over *closed* detailed windows
+    /// (`meas_start_*` track the currently open window; `meas_llc_misses`
+    /// already accumulates incrementally across windows).
+    samp_instructions: u64,
+    samp_cycles: u64,
+    samp_accesses: u64,
     /// Recently issued L2 prefetches, for usefulness feedback.
     pf_ring: VecDeque<LineAddr>,
     /// In-flight prefetch fills: line → cycle at which the data arrives.
@@ -106,6 +113,8 @@ pub struct Engine {
     record_llc_stream: bool,
     accesses_per_core: u64,
     warmup_accesses: u64,
+    /// Interval-sampling schedule; off by default (full simulation).
+    sampling: SamplingSpec,
     /// Observability sink; `Telemetry::Off` (the default) costs one
     /// integer comparison per step and nothing else.
     telemetry: Telemetry,
@@ -114,11 +123,32 @@ pub struct Engine {
     steps: u64,
 }
 
-/// The measured-so-far result of one core: zero until its measurement
+/// The measured-so-far result of one core.
+///
+/// Full-simulation mode (`sampled == false`): zero until the measurement
 /// window opens, deltas from the window start after. The end-of-run value
 /// is bit-identical to the historical unconditional computation (a core
 /// that never started measuring has all-zero counters anyway).
-fn core_result(core: &CoreState) -> CoreResult {
+///
+/// Sampled mode: the sums over closed detailed windows plus the deltas of
+/// the currently open window, if any. These are *sampled* counts — scale
+/// by [`SamplingSpec::scale`] for full-run magnitudes; ratios (IPC, MPKI)
+/// need no scaling.
+fn core_result(core: &CoreState, sampled: bool) -> CoreResult {
+    if sampled {
+        let mut r = CoreResult {
+            instructions: core.samp_instructions,
+            cycles: core.samp_cycles,
+            accesses: core.samp_accesses,
+            llc_misses: core.meas_llc_misses,
+        };
+        if core.measuring {
+            r.instructions += core.retired - core.meas_start_retired;
+            r.cycles += core.cycle.saturating_sub(core.meas_start_cycle);
+            r.accesses += core.accesses - core.meas_start_accesses;
+        }
+        return r;
+    }
     if !core.measuring {
         return CoreResult::default();
     }
@@ -174,6 +204,9 @@ impl Engine {
                 meas_start_retired: 0,
                 meas_start_accesses: 0,
                 meas_llc_misses: 0,
+                samp_instructions: 0,
+                samp_cycles: 0,
+                samp_accesses: 0,
                 pf_ring: VecDeque::with_capacity(64),
                 inflight: std::collections::HashMap::new(),
             })
@@ -187,6 +220,7 @@ impl Engine {
             record_llc_stream,
             accesses_per_core,
             warmup_accesses,
+            sampling: SamplingSpec::off(),
             telemetry: Telemetry::Off,
             steps: 0,
             cfg,
@@ -197,6 +231,29 @@ impl Engine {
     /// [`Telemetry::Off`].
     pub fn set_telemetry(&mut self, spec: TelemetrySpec) {
         self.telemetry = spec.build();
+    }
+
+    /// Install an interval-sampling schedule before [`Engine::run`]. The
+    /// default is [`SamplingSpec::off`] (full simulation, bit-identical to
+    /// builds that predate sampling). `spec` must pass
+    /// [`SamplingSpec::validate`].
+    ///
+    /// Under sampling the whole span (warmup + measured accesses) is
+    /// scheduled periodically — the run-level warmup no longer gates a
+    /// single global measurement window; each period's warm phase plays
+    /// that role instead. The span length (records pulled per core) is
+    /// unchanged, so a sampled run walks the exact same trace.
+    pub fn set_sampling(&mut self, spec: SamplingSpec) {
+        debug_assert!(spec.validate().is_ok(), "invalid sampling spec");
+        self.sampling = spec;
+        if spec.enabled() {
+            // Measurement windows are opened by the schedule, not by the
+            // run-level warmup (`Engine::new` pre-arms `measuring` when
+            // warmup is zero).
+            for core in &mut self.cores {
+                core.measuring = false;
+            }
+        }
     }
 
     /// Take the collected timeline (if telemetry was enabled), leaving the
@@ -222,7 +279,9 @@ impl Engine {
     /// Close the current epoch: snapshot every core's measured-so-far
     /// result and hand the subsystems to the sampler (read-only).
     fn sample_epoch(&mut self) {
-        let per_core: Vec<CoreResult> = self.cores.iter().map(core_result).collect();
+        let sampled = self.sampling.enabled();
+        let per_core: Vec<CoreResult> =
+            self.cores.iter().map(|c| core_result(c, sampled)).collect();
         if let Telemetry::Epoch(sampler) = &mut self.telemetry {
             sampler.sample(self.steps, &per_core, &self.llc, &self.mesh, &self.dram);
         }
@@ -251,7 +310,8 @@ impl Engine {
         if epoch_len != 0 && !self.steps.is_multiple_of(epoch_len) {
             self.sample_epoch();
         }
-        self.cores.iter().map(core_result).collect()
+        let sampled = self.sampling.enabled();
+        self.cores.iter().map(|c| core_result(c, sampled)).collect()
     }
 
     /// The LLC (for stats and per-set counters).
@@ -275,6 +335,87 @@ impl Engine {
     }
 
     fn step(&mut self, c: usize) {
+        if self.sampling.enabled() {
+            self.step_sampled(c);
+        } else {
+            self.step_full(c);
+        }
+    }
+
+    /// Full simulation: every record walks the memory hierarchy; the
+    /// run-level warmup opens the single measurement window. Bit-identical
+    /// to the pre-sampling engine (golden tests pin it).
+    fn step_full(&mut self, c: usize) {
+        self.process_access(c);
+        let core = &mut self.cores[c];
+        if !core.measuring && core.accesses >= self.warmup_accesses {
+            core.measuring = true;
+            core.meas_start_cycle = core.cycle;
+            core.meas_start_retired = core.retired;
+            core.meas_start_accesses = core.accesses;
+        }
+        if core.accesses >= self.warmup_accesses + self.accesses_per_core {
+            core.finished = true;
+        }
+    }
+
+    /// Interval-sampled simulation: the schedule decides per record
+    /// whether to fast-forward (clock only), warm (full hierarchy,
+    /// uncounted) or measure (full hierarchy, counted). Window open/close
+    /// happens *before* the record is processed, so a window covers
+    /// exactly the detailed positions of its period.
+    fn step_sampled(&mut self, c: usize) {
+        let phase = self.sampling.phase_of(self.cores[c].accesses);
+        let core = &mut self.cores[c];
+        if phase == Phase::Detailed {
+            if !core.measuring {
+                core.measuring = true;
+                core.meas_start_cycle = core.cycle;
+                core.meas_start_retired = core.retired;
+                core.meas_start_accesses = core.accesses;
+            }
+        } else if core.measuring {
+            // Fold the closing window into the sampled accumulators
+            // (`meas_llc_misses` accumulates incrementally on its own).
+            core.samp_instructions += core.retired - core.meas_start_retired;
+            core.samp_cycles += core.cycle.saturating_sub(core.meas_start_cycle);
+            core.samp_accesses += core.accesses - core.meas_start_accesses;
+            core.measuring = false;
+        }
+        if phase == Phase::FastForward {
+            // Clock-only: retire the gap and drain completed loads, but
+            // skip the memory hierarchy entirely — that is the speedup.
+            let issue_width = self.cfg.core.issue_width;
+            let core = &mut self.cores[c];
+            let rec = core
+                .workload
+                .as_mut()
+                .expect("active core has a workload")
+                .next_record();
+            core.instr_carry += rec.instr_gap + 1;
+            core.cycle += u64::from(core.instr_carry / issue_width);
+            core.instr_carry %= issue_width;
+            core.retired += u64::from(rec.instr_gap) + 1;
+            while core
+                .outstanding
+                .front()
+                .is_some_and(|&done| done <= core.cycle)
+            {
+                core.outstanding.pop_front();
+            }
+            core.accesses += 1;
+        } else {
+            self.process_access(c);
+        }
+        let core = &mut self.cores[c];
+        if core.accesses >= self.warmup_accesses + self.accesses_per_core {
+            core.finished = true;
+        }
+    }
+
+    /// Process one record through the full memory hierarchy (shared by
+    /// both stepping modes; metric gating rides on `core.measuring`).
+    fn process_access(&mut self, c: usize) {
         let rec = {
             let core = &mut self.cores[c];
             let rec = core
@@ -313,15 +454,6 @@ impl Engine {
         }
 
         core.accesses += 1;
-        if !core.measuring && core.accesses >= self.warmup_accesses {
-            core.measuring = true;
-            core.meas_start_cycle = core.cycle;
-            core.meas_start_retired = core.retired;
-            core.meas_start_accesses = core.accesses;
-        }
-        if core.accesses >= self.warmup_accesses + self.accesses_per_core {
-            core.finished = true;
-        }
     }
 
     /// Walk the hierarchy for one demand access; returns the load-to-use
@@ -602,6 +734,42 @@ mod tests {
         e.run();
         assert!(!e.llc_stream.is_empty());
         assert!(e.llc_stream.iter().any(|a| a.kind.is_demand()));
+    }
+
+    #[test]
+    fn sampled_run_measures_exactly_the_detailed_positions() {
+        let mix = Mix::homogeneous(Benchmark::Mcf, 4, 1);
+        let spec = SamplingSpec::every(1_000, 200);
+        spec.validate().unwrap();
+        let mut e = engine_for(&mix, PolicyKind::Lru, 4_000, 1_000);
+        e.set_sampling(spec);
+        let res = e.run();
+        let span = 5_000; // warmup + accesses
+        for r in &res {
+            assert_eq!(r.accesses, spec.detailed_in(span));
+            assert!(r.instructions > 0 && r.cycles > 0);
+        }
+        // Determinism: a second sampled engine reproduces it bit-exactly.
+        let mut e2 = engine_for(&mix, PolicyKind::Lru, 4_000, 1_000);
+        e2.set_sampling(spec);
+        assert_eq!(res, e2.run());
+    }
+
+    #[test]
+    fn sampled_ipc_tracks_full_ipc() {
+        let mix = Mix::homogeneous(Benchmark::Gcc, 4, 1);
+        let mut full = engine_for(&mix, PolicyKind::Lru, 8_000, 2_000);
+        let full_ipc: f64 = full.run().iter().map(CoreResult::ipc).sum();
+        // Warm-heavy schedule: accuracy scales with the warm fraction
+        // (see `crate::sampling` docs on cold-start bias).
+        let mut sampled = engine_for(&mix, PolicyKind::Lru, 8_000, 2_000);
+        sampled.set_sampling(SamplingSpec::every(500, 400));
+        let samp_ipc: f64 = sampled.run().iter().map(CoreResult::ipc).sum();
+        let rel = (samp_ipc - full_ipc).abs() / full_ipc;
+        assert!(
+            rel < 0.25,
+            "sampled IPC {samp_ipc} vs full {full_ipc} (rel err {rel:.3})"
+        );
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`pcstats`] — the PC-to-slice concentration analysis of paper Fig 2;
 //! * [`runner`] — one-call experiment helpers (`run_mix`, alone-IPC
 //!   baselines, normalised speedups);
+//! * [`sampling`] — warmup/detailed interval sampling: fast-forward most
+//!   of the trace, warm the hierarchy before each measured window, and
+//!   extrapolate counts to full-run estimates;
 //! * [`sweep`] — the parallel sweep harness: a std-only work-stealing
 //!   pool over `(mix, policy, organisation)` cells with deterministic
 //!   aggregation, a shared trace cache, and JSON sweep reports;
@@ -41,6 +44,7 @@
 //!     accesses_per_core: 20_000,
 //!     warmup_accesses: 2_000,
 //!     record_llc_stream: false,
+//!     sampling: drishti_sim::sampling::SamplingSpec::off(),
 //!     telemetry: drishti_sim::telemetry::TelemetrySpec::off(),
 //! };
 //! let r = run_mix(&mix, PolicyKind::Lru, DrishtiConfig::baseline(4), &rc);
@@ -53,5 +57,6 @@ pub mod engine;
 pub mod metrics;
 pub mod pcstats;
 pub mod runner;
+pub mod sampling;
 pub mod sweep;
 pub mod telemetry;

@@ -10,6 +10,7 @@ use crate::config::SystemConfig;
 use crate::energy::EnergyBreakdown;
 use crate::engine::{CoreResult, Engine};
 use crate::metrics::{FaultSummary, MixMetrics};
+use crate::sampling::SamplingSpec;
 use crate::telemetry::{TelemetrySpec, TelemetryTimeline};
 use drishti_core::config::DrishtiConfig;
 use drishti_mem::access::Access;
@@ -33,6 +34,11 @@ pub struct RunConfig {
     pub warmup_accesses: u64,
     /// Capture the LLC-level demand stream (needed by oracle studies).
     pub record_llc_stream: bool,
+    /// Interval sampling (off by default; see [`crate::sampling`]). When
+    /// on, per-core counts in [`RunResult`] are *sampled* (detailed
+    /// windows only); ratios like IPC and weighted speedup are directly
+    /// comparable to a full run.
+    pub sampling: SamplingSpec,
     /// Epoch-sampled telemetry (off by default; see [`crate::telemetry`]).
     pub telemetry: TelemetrySpec,
 }
@@ -45,6 +51,7 @@ impl RunConfig {
             accesses_per_core: 60_000,
             warmup_accesses: 15_000,
             record_llc_stream: false,
+            sampling: SamplingSpec::off(),
             telemetry: TelemetrySpec::off(),
         }
     }
@@ -56,6 +63,7 @@ impl RunConfig {
             accesses_per_core: 400_000,
             warmup_accesses: 100_000,
             record_llc_stream: false,
+            sampling: SamplingSpec::off(),
             telemetry: TelemetrySpec::off(),
         }
     }
@@ -178,6 +186,7 @@ fn run_engine(
         rc.warmup_accesses,
         rc.record_llc_stream,
     );
+    engine.set_sampling(rc.sampling);
     engine.set_telemetry(rc.telemetry);
     let per_core = engine.run();
     let llc = *engine.llc().stats();
@@ -205,6 +214,29 @@ fn run_engine(
         llc_stream,
         telemetry,
     }
+}
+
+/// Run explicitly supplied workloads (`None` = idle core) under `policy`
+/// with organisation `drishti` — the entry point for externally sourced
+/// traces (e.g. [`drishti_trace::store::StreamingTrace`] boxes replaying
+/// on-disk files without materialising them in RAM).
+///
+/// # Panics
+///
+/// Panics if `workloads.len()` differs from the system's core count.
+pub fn run_with_workloads(
+    workloads: Vec<Option<Box<dyn WorkloadGen>>>,
+    policy: PolicyKind,
+    drishti: DrishtiConfig,
+    rc: &RunConfig,
+) -> RunResult {
+    assert_eq!(
+        workloads.len(),
+        rc.system.cores,
+        "one workload slot per core"
+    );
+    let pol = policy.build(&rc.system.llc, drishti);
+    run_engine(workloads, pol, rc)
 }
 
 /// Run `mix` under `policy` with organisation `drishti`.
@@ -332,6 +364,7 @@ mod tests {
             accesses_per_core: 4_000,
             warmup_accesses: 500,
             record_llc_stream: false,
+            sampling: SamplingSpec::off(),
             telemetry: TelemetrySpec::off(),
         }
     }

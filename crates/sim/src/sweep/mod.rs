@@ -246,6 +246,7 @@ pub fn run_sweep(jobs: &[SweepJob], workers: usize, cache: &Arc<TraceCache>) -> 
 mod tests {
     use super::*;
     use crate::config::SystemConfig;
+    use crate::sampling::SamplingSpec;
     use crate::telemetry::TelemetrySpec;
     use drishti_trace::presets::Benchmark;
 
@@ -255,6 +256,7 @@ mod tests {
             accesses_per_core: 2_000,
             warmup_accesses: 400,
             record_llc_stream: false,
+            sampling: SamplingSpec::off(),
             telemetry: TelemetrySpec::off(),
         }
     }

@@ -18,8 +18,10 @@
 //! [`pattern`] provides the primitive address patterns, [`synthetic`]
 //! composes them into weighted multi-PC workloads, [`presets`] names ~25
 //! benchmark-like configurations, [`mix`] builds the paper's
-//! homogeneous/heterogeneous multi-core mixes, and [`replay`] materialises
-//! traces once and shares them across concurrent sweep cells.
+//! homogeneous/heterogeneous multi-core mixes, [`replay`] materialises
+//! traces once and shares them across concurrent sweep cells, and
+//! [`store`] persists traces to disk (`drishti-trace/v1`) for streaming,
+//! bounded-memory replay.
 //!
 //! # Example
 //!
@@ -37,6 +39,7 @@ pub mod mix;
 pub mod pattern;
 pub mod presets;
 pub mod replay;
+pub mod store;
 pub mod synthetic;
 
 /// One record of a core's memory trace.

@@ -12,12 +12,29 @@
 //! deterministic function of `(benchmark, seed)`, so a replayed run equals
 //! a freshly generated one record for record (see the workspace-level
 //! `tests/sweep.rs` proof).
+//!
+//! # Two tiers
+//!
+//! The cache has an in-RAM tier and an optional on-disk tier. The RAM
+//! tier holds strong `Arc`s up to a configurable byte budget
+//! ([`TraceCache::with_budget`]); beyond it, the least-recently-used
+//! trace is evicted — spilled to a [`store`](crate::store) file first when
+//! a spill directory is configured ([`TraceCache::with_spill`]), so the
+//! next request re-reads it instead of regenerating. Entries also keep a
+//! [`Weak`] handle, so a trace still alive in running cells is re-shared
+//! without touching disk. Every tier transition is lossless (the codec
+//! round-trips bit-exactly), so **results are byte-identical at any
+//! budget** — the budget only moves where the bytes live. The pointer
+//! -equality contract survives capping: concurrent `get`s for the same
+//! key always resolve to one `Arc` while any copy of it is alive.
 
 use crate::presets::Benchmark;
+use crate::store::{read_trace, write_trace};
 use crate::{TraceRecord, WorkloadGen};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 
 /// A [`WorkloadGen`] that replays a shared, pre-materialised record
 /// stream.
@@ -75,7 +92,36 @@ impl WorkloadGen for ReplayWorkload {
     }
 }
 
-/// A concurrent, seed-keyed cache of materialised workload traces.
+/// Cache key: `(benchmark, seed, length)` pins a workload trace exactly.
+type TraceKey = (Benchmark, u64, u64);
+
+/// One cached trace across its tier lifecycle.
+#[derive(Debug)]
+struct Entry {
+    /// RAM tier: present while the entry is under budget.
+    strong: Option<Arc<Vec<TraceRecord>>>,
+    /// Outstanding-Arc tier: lets racing cells re-share an evicted trace
+    /// that some cell still replays, preserving pointer equality.
+    weak: Weak<Vec<TraceRecord>>,
+    /// Decoded size, counted against the budget while `strong` is held.
+    bytes: usize,
+    /// LRU stamp (cache-wide monotonic tick of the last `get`).
+    last_use: u64,
+    /// Disk tier: spill file location, once written.
+    spill: Option<PathBuf>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<TraceKey, Entry>,
+    /// Bytes held by strong entries (the RAM tier).
+    resident: usize,
+    /// Monotonic use counter driving LRU.
+    tick: u64,
+}
+
+/// A concurrent, seed-keyed, two-tier cache of materialised workload
+/// traces.
 ///
 /// Keys are `(benchmark, seed, length)`; values are `Arc<Vec<TraceRecord>>`
 /// shared by every cell that replays the same workload. Generation happens
@@ -83,36 +129,215 @@ impl WorkloadGen for ReplayWorkload {
 /// serialise; two racing misses on the *same* key both generate, but the
 /// first insertion wins and both callers receive the same `Arc` (pointer
 /// equality is part of the contract — it is what makes the cache a cache).
-#[derive(Debug, Default)]
+///
+/// The byte budget is a soft cap on the RAM tier: the trace being
+/// requested is never evicted on its own behalf, so a single trace larger
+/// than the whole budget still works (resident peaks at budget + one
+/// trace). Spill-file I/O failures degrade gracefully — the entry is
+/// evicted without a disk copy and the next miss regenerates it.
+#[derive(Debug)]
 pub struct TraceCache {
-    entries: Mutex<HashMap<TraceKey, Arc<Vec<TraceRecord>>>>,
+    inner: Mutex<Inner>,
+    /// RAM-tier byte budget (`usize::MAX` = unbounded).
+    budget: usize,
+    /// Where evicted traces spill; `None` disables the disk tier.
+    spill_dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    spills: AtomicU64,
+    disk_loads: AtomicU64,
 }
 
-/// Cache key: `(benchmark, seed, length)` pins a workload trace exactly.
-type TraceKey = (Benchmark, u64, u64);
+impl Default for TraceCache {
+    fn default() -> Self {
+        TraceCache::new()
+    }
+}
 
 impl TraceCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (RAM tier only — the behaviour every
+    /// existing call site expects).
     pub fn new() -> Self {
-        TraceCache::default()
+        TraceCache::with_budget(usize::MAX)
+    }
+
+    /// An empty cache whose RAM tier is capped at `budget_bytes` of
+    /// decoded trace data, evicting LRU entries past it (no disk tier:
+    /// evicted traces are regenerated on the next miss).
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        TraceCache {
+            inner: Mutex::new(Inner::default()),
+            budget: budget_bytes,
+            spill_dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
+            disk_loads: AtomicU64::new(0),
+        }
+    }
+
+    /// A capped cache that spills evicted traces to `drishti-trace/v1`
+    /// files under `dir` (created if missing) and reloads them from disk
+    /// instead of regenerating.
+    pub fn with_spill(budget_bytes: usize, dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut cache = TraceCache::with_budget(budget_bytes);
+        cache.spill_dir = Some(dir);
+        Ok(cache)
+    }
+
+    fn spill_path(&self, key: &TraceKey) -> Option<PathBuf> {
+        let (bench, seed, len) = key;
+        self.spill_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}-{seed}-{len}.drtr", bench.label())))
+    }
+
+    /// Evicts LRU strong entries until the RAM tier fits the budget,
+    /// never evicting `keep` (the trace being served). Spills to disk
+    /// when configured; a spill write failure just forfeits the disk copy.
+    fn enforce_budget(&self, inner: &mut Inner, keep: &TraceKey) {
+        while inner.resident > self.budget {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, e)| e.strong.is_some() && *k != keep)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k);
+            let Some(vkey) = victim else { break };
+            let path = self.spill_path(&vkey);
+            let entry = inner.entries.get_mut(&vkey).expect("victim exists");
+            let records = entry.strong.take().expect("victim is strong");
+            inner.resident -= entry.bytes;
+            if entry.spill.is_none() {
+                if let Some(path) = path {
+                    let (bench, seed, _) = vkey;
+                    if write_trace(&path, bench.label(), seed, &records).is_ok() {
+                        entry.spill = Some(path);
+                        self.spills.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Promotes `records` to the RAM tier for `key` and trims to budget.
+    fn admit(&self, inner: &mut Inner, key: TraceKey, records: &Arc<Vec<TraceRecord>>) {
+        inner.tick += 1;
+        let tick = inner.tick;
+        let bytes = records.len() * std::mem::size_of::<TraceRecord>();
+        let entry = inner.entries.entry(key).or_insert_with(|| Entry {
+            strong: None,
+            weak: Weak::new(),
+            bytes,
+            last_use: tick,
+            spill: None,
+        });
+        entry.last_use = tick;
+        if entry.strong.is_none() {
+            entry.strong = Some(Arc::clone(records));
+            entry.weak = Arc::downgrade(records);
+            inner.resident += entry.bytes;
+        }
+        self.enforce_budget(inner, &key);
     }
 
     /// The materialised trace of `bench` at `seed`, `len` records long.
-    /// Generated on first request, shared thereafter.
+    /// Generated on first request, shared thereafter; possibly reloaded
+    /// from the disk tier if it was spilled in between.
     pub fn get(&self, bench: Benchmark, seed: u64, len: u64) -> Arc<Vec<TraceRecord>> {
         let key = (bench, seed, len);
-        if let Some(hit) = self.entries.lock().expect("trace cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+        // Fast path under the lock: RAM tier, or an outstanding Arc.
+        let spill = {
+            let mut inner = self.inner.lock().expect("trace cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_use = tick;
+                if let Some(strong) = &entry.strong {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(strong);
+                }
+                if let Some(alive) = entry.weak.upgrade() {
+                    // Evicted but still replaying somewhere: re-admit.
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    entry.strong = Some(Arc::clone(&alive));
+                    let bytes = entry.bytes;
+                    inner.resident += bytes;
+                    self.enforce_budget(&mut inner, &key);
+                    return alive;
+                }
+                entry.spill.clone()
+            } else {
+                None
+            }
+        };
+        // Slow path without the lock: disk tier, else generate.
+        let records = spill
+            .as_ref()
+            .and_then(|path| match read_trace(path) {
+                Ok((_, recs)) if recs.len() as u64 == len => {
+                    self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                    Some(Arc::new(recs))
+                }
+                // Unreadable or stale spill: regenerate below.
+                _ => None,
+            })
+            .unwrap_or_else(|| {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Arc::new(bench.build(seed).collect(len as usize))
+            });
+        // First insertion wins: if a racer beat us back, take its copy so
+        // every caller shares one Arc.
+        let mut inner = self.inner.lock().expect("trace cache poisoned");
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            if let Some(strong) = &entry.strong {
+                return Arc::clone(strong);
+            }
+            if let Some(alive) = entry.weak.upgrade() {
+                entry.strong = Some(Arc::clone(&alive));
+                let bytes = entry.bytes;
+                inner.resident += bytes;
+                self.enforce_budget(&mut inner, &key);
+                return alive;
+            }
         }
-        // Generate without holding the lock; `or_insert` keeps the racer's
-        // copy if one beat us back, preserving pointer equality.
-        let generated = Arc::new(bench.build(seed).collect(len as usize));
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock().expect("trace cache poisoned");
-        Arc::clone(entries.entry(key).or_insert(generated))
+        self.admit(&mut inner, key, &records);
+        records
+    }
+
+    /// Preloads a trace (e.g. read from a `--trace-file`) so later `get`s
+    /// for its key share it without generating. First insertion wins: if
+    /// the key is already live, the existing `Arc` is returned instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty.
+    pub fn insert(
+        &self,
+        bench: Benchmark,
+        seed: u64,
+        records: Vec<TraceRecord>,
+    ) -> Arc<Vec<TraceRecord>> {
+        assert!(!records.is_empty(), "cannot cache an empty trace");
+        let key = (bench, seed, records.len() as u64);
+        let records = Arc::new(records);
+        let mut inner = self.inner.lock().expect("trace cache poisoned");
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            if let Some(strong) = &entry.strong {
+                return Arc::clone(strong);
+            }
+            if let Some(alive) = entry.weak.upgrade() {
+                entry.strong = Some(Arc::clone(&alive));
+                let bytes = entry.bytes;
+                inner.resident += bytes;
+                self.enforce_budget(&mut inner, &key);
+                return alive;
+            }
+        }
+        self.admit(&mut inner, key, &records);
+        records
     }
 
     /// A replaying [`WorkloadGen`] for `bench` at `seed`, backed by the
@@ -131,12 +356,42 @@ impl TraceCache {
     }
 
     /// `(hits, misses)` so far. A sweep of `C` cells over `M` distinct
-    /// workloads should report `C·cores − M` hits.
+    /// workloads should report `C·cores − M` hits (when nothing is
+    /// evicted; disk reloads count as neither).
     pub fn stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// `(spills, disk_loads)`: traces written to and re-read from the
+    /// disk tier.
+    pub fn tier_stats(&self) -> (u64, u64) {
+        (
+            self.spills.load(Ordering::Relaxed),
+            self.disk_loads.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Bytes currently held by the RAM tier. At most `budget` + the size
+    /// of the largest single trace (the soft-cap guarantee).
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().expect("trace cache poisoned").resident
+    }
+}
+
+impl Drop for TraceCache {
+    fn drop(&mut self) {
+        // Spill files are scratch state owned by this cache instance;
+        // best-effort cleanup, never fail a drop.
+        if let Ok(inner) = self.inner.get_mut() {
+            for entry in inner.entries.values() {
+                if let Some(path) = &entry.spill {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
     }
 }
 
@@ -191,5 +446,65 @@ mod tests {
     #[should_panic(expected = "empty trace")]
     fn empty_replay_rejected() {
         let _ = ReplayWorkload::new("x", Arc::new(Vec::new()));
+    }
+
+    #[test]
+    fn budget_evicts_lru_and_regenerates_identically() {
+        let rec = std::mem::size_of::<TraceRecord>();
+        // Room for two 100-record traces, not three.
+        let cache = TraceCache::with_budget(2 * 100 * rec);
+        let a = cache.get(Benchmark::Mcf, 1, 100);
+        let a_snapshot: Vec<_> = a.to_vec();
+        let _b = cache.get(Benchmark::Gcc, 1, 100);
+        drop(a); // no outstanding Arc → eviction really frees it
+        let _c = cache.get(Benchmark::Lbm, 1, 100);
+        assert!(cache.resident_bytes() <= 2 * 100 * rec);
+        // Mcf (LRU) was evicted; regeneration is bit-identical.
+        let a2 = cache.get(Benchmark::Mcf, 1, 100);
+        assert_eq!(*a2, a_snapshot);
+        assert_eq!(cache.stats().1, 4, "mcf regenerated after eviction");
+    }
+
+    #[test]
+    fn outstanding_arc_survives_eviction_pointer_equal() {
+        let rec = std::mem::size_of::<TraceRecord>();
+        let cache = TraceCache::with_budget(100 * rec);
+        let a = cache.get(Benchmark::Mcf, 1, 100);
+        let _b = cache.get(Benchmark::Gcc, 1, 100); // evicts mcf from RAM tier
+                                                    // The held Arc keeps the trace alive: a re-get re-shares it.
+        let a2 = cache.get(Benchmark::Mcf, 1, 100);
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(cache.stats().1, 2, "no regeneration while an Arc lives");
+    }
+
+    #[test]
+    fn spill_tier_round_trips() {
+        let rec = std::mem::size_of::<TraceRecord>();
+        let dir = std::env::temp_dir().join(format!("drishti-spill-test-{}", std::process::id()));
+        let cache = TraceCache::with_spill(100 * rec, &dir).unwrap();
+        let a_snapshot = cache.get(Benchmark::Mcf, 1, 100).to_vec();
+        drop(cache.get(Benchmark::Gcc, 1, 100)); // spills mcf…
+        drop(cache.get(Benchmark::Mcf, 1, 100)); // …gcc spills, mcf reloads
+        let a2 = cache.get(Benchmark::Mcf, 1, 100);
+        assert_eq!(*a2, a_snapshot, "disk round-trip is bit-identical");
+        let (spills, disk_loads) = cache.tier_stats();
+        assert!(spills >= 1, "eviction spilled to {}", dir.display());
+        assert!(disk_loads >= 1, "reload came from the disk tier");
+        drop(cache);
+        let _ = std::fs::remove_dir(&dir); // cache Drop removed the files
+    }
+
+    #[test]
+    fn insert_preloads_and_first_insert_wins() {
+        let cache = TraceCache::new();
+        let records: Vec<_> = Benchmark::Mcf.build(5).collect(50);
+        let a = cache.insert(Benchmark::Mcf, 5, records.clone());
+        // get() for the same key shares the preloaded copy, no generation.
+        let b = cache.get(Benchmark::Mcf, 5, 50);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().1, 0, "preload avoided generation");
+        // A second insert yields the existing Arc, not the new one.
+        let c = cache.insert(Benchmark::Mcf, 5, records);
+        assert!(Arc::ptr_eq(&a, &c));
     }
 }

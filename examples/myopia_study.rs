@@ -16,6 +16,7 @@ use drishti::core::fabric::FabricKind;
 use drishti::policies::factory::PolicyKind;
 use drishti::sim::config::SystemConfig;
 use drishti::sim::runner::{run_mix, RunConfig};
+use drishti::sim::sampling::SamplingSpec;
 use drishti::sim::telemetry::TelemetrySpec;
 use drishti::trace::mix::Mix;
 use drishti::trace::presets::Benchmark;
@@ -29,6 +30,7 @@ fn main() {
             accesses_per_core: 100_000,
             warmup_accesses: 25_000,
             record_llc_stream: false,
+            sampling: SamplingSpec::off(),
             telemetry: TelemetrySpec::off(),
         };
         let mut ideal = DrishtiConfig::global_view_only(cores);

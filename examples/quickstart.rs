@@ -10,6 +10,7 @@ use drishti::policies::factory::PolicyKind;
 use drishti::sim::config::SystemConfig;
 use drishti::sim::metrics::MixMetrics;
 use drishti::sim::runner::{alone_ipcs, mix_metrics, run_mix, RunConfig};
+use drishti::sim::sampling::SamplingSpec;
 use drishti::sim::telemetry::TelemetrySpec;
 use drishti::trace::mix::Mix;
 use drishti::trace::presets::Benchmark;
@@ -25,6 +26,7 @@ fn main() {
         accesses_per_core: 120_000,
         warmup_accesses: 30_000,
         record_llc_stream: false,
+        sampling: SamplingSpec::off(),
         telemetry: TelemetrySpec::off(),
     };
 

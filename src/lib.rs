@@ -42,6 +42,7 @@
 //!     accesses_per_core: 20_000,
 //!     warmup_accesses: 5_000,
 //!     record_llc_stream: false,
+//!     sampling: drishti::sim::sampling::SamplingSpec::off(),
 //!     telemetry: drishti::sim::telemetry::TelemetrySpec::off(),
 //! };
 //! let baseline = run_mix(&mix, PolicyKind::Mockingjay, DrishtiConfig::baseline(cores), &rc);

@@ -5,6 +5,7 @@ use drishti::core::config::DrishtiConfig;
 use drishti::policies::factory::PolicyKind;
 use drishti::sim::config::SystemConfig;
 use drishti::sim::runner::{run_mix, RunConfig};
+use drishti::sim::sampling::SamplingSpec;
 use drishti::sim::telemetry::TelemetrySpec;
 use drishti::trace::mix::Mix;
 use drishti::trace::presets::Benchmark;
@@ -15,6 +16,7 @@ fn rc(cores: usize, accesses: u64) -> RunConfig {
         accesses_per_core: accesses,
         warmup_accesses: accesses / 4,
         record_llc_stream: false,
+        sampling: SamplingSpec::off(),
         telemetry: TelemetrySpec::off(),
     }
 }

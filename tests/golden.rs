@@ -23,6 +23,7 @@ use drishti::core::config::DrishtiConfig;
 use drishti::policies::factory::PolicyKind;
 use drishti::sim::config::SystemConfig;
 use drishti::sim::runner::{alone_ipcs, mix_metrics, run_mix, RunConfig};
+use drishti::sim::sampling::SamplingSpec;
 use drishti::sim::telemetry::TelemetrySpec;
 use drishti::trace::mix::Mix;
 use drishti::trace::presets::Benchmark;
@@ -36,6 +37,7 @@ fn rc() -> RunConfig {
         accesses_per_core: 20_000,
         warmup_accesses: 5_000,
         record_llc_stream: false,
+        sampling: SamplingSpec::off(),
         telemetry: TelemetrySpec::off(),
     }
 }

@@ -10,6 +10,7 @@ use drishti::policies::opt::simulate_opt;
 use drishti::sim::config::SystemConfig;
 use drishti::sim::pcstats::pc_slice_concentration;
 use drishti::sim::runner::{run_mix, run_mix_with_policy, RunConfig};
+use drishti::sim::sampling::SamplingSpec;
 use drishti::sim::telemetry::TelemetrySpec;
 use drishti::trace::mix::Mix;
 use drishti::trace::presets::Benchmark;
@@ -20,6 +21,7 @@ fn rc(cores: usize, accesses: u64, record: bool) -> RunConfig {
         accesses_per_core: accesses,
         warmup_accesses: accesses / 4,
         record_llc_stream: record,
+        sampling: SamplingSpec::off(),
         telemetry: TelemetrySpec::off(),
     }
 }

@@ -17,6 +17,7 @@ use drishti::noc::faults::FaultConfig;
 use drishti::policies::factory::PolicyKind;
 use drishti::sim::config::SystemConfig;
 use drishti::sim::runner::{run_mix, RunConfig, RunResult};
+use drishti::sim::sampling::SamplingSpec;
 use drishti::sim::telemetry::TelemetrySpec;
 use drishti::trace::mix::Mix;
 use drishti::trace::presets::Benchmark;
@@ -35,6 +36,7 @@ fn faulty_run(faults: FaultConfig, policy: PolicyKind) -> RunResult {
         accesses_per_core: 4_000,
         warmup_accesses: 500,
         record_llc_stream: false,
+        sampling: SamplingSpec::off(),
         telemetry: TelemetrySpec::off(),
     };
     run_mix(&mix(), policy, drishti, &rc)
@@ -119,6 +121,7 @@ fn dram_outage_resteers_and_recovers() {
         accesses_per_core: 4_000,
         warmup_accesses: 500,
         record_llc_stream: false,
+        sampling: SamplingSpec::off(),
         telemetry: TelemetrySpec::off(),
     };
     let drishti = DrishtiConfig::drishti(CORES).with_faults(faults);

@@ -6,6 +6,7 @@ use drishti_core::config::DrishtiConfig;
 use drishti_policies::factory::PolicyKind;
 use drishti_sim::config::SystemConfig;
 use drishti_sim::runner::RunConfig;
+use drishti_sim::sampling::SamplingSpec;
 use drishti_sim::sweep::pool::{run_tasks, Task};
 use drishti_sim::sweep::report::SweepReport;
 use drishti_sim::sweep::{run_sweep, JobKind, SweepJob};
@@ -75,6 +76,7 @@ fn tiny_jobs(cores: usize) -> Vec<SweepJob> {
         accesses_per_core: 3_000,
         warmup_accesses: 600,
         record_llc_stream: false,
+        sampling: SamplingSpec::off(),
         telemetry: TelemetrySpec::off(),
     };
     let mix = Mix::homogeneous(Benchmark::Mcf, cores, 1);
