@@ -107,6 +107,41 @@ for replay in "$out/rr_replay_j1.json" "$out/rr_replay_j8.json"; do
 done
 echo "replayed reports byte-identical to the generated run at --jobs 1 and 8"
 
+# Fuzz-smoke gate: 64 seed-derived conformance cells (differential
+# RefCache shadow + metamorphic re-runs) with the pinned CI seed must run
+# clean; failures persist shrunk target/fuzz/*.drtr repro files for
+# upload. The gate then proves the harness detects real violations:
+# --inject-violation arms the hidden fill-miscount sabotage, which must
+# be caught, shrunk, persisted, and replayed bit-identically. (Runs in
+# --quick too — the fuzzer is fast and is the conformance safety net.)
+step "fuzz-smoke gate (drishti-fuzz, pinned seed)"
+cargo build -q --offline "${build_flags[@]}" -p drishti-sim --bin drishti-fuzz
+fuzz="target/$profile_dir/drishti-fuzz"
+"$fuzz" --cells 64 --steps 2000 --seed 0xd15c0 --out target/fuzz
+echo "64 cells clean"
+inject_out=target/fuzz-selftest
+rm -rf "$inject_out"
+if "$fuzz" --cells 2 --steps 2000 --seed 0xd15c0 --inject-violation \
+    --out "$inject_out" >/dev/null 2>&1; then
+  echo "FAIL: --inject-violation cells were not detected" >&2
+  exit 1
+fi
+repros=("$inject_out"/failure-*.drtr)
+if [[ ! -e "${repros[0]}" ]]; then
+  echo "FAIL: injected failures produced no .drtr repro files" >&2
+  exit 1
+fi
+# A reproducing replay exits 1 by design — that exact status is asserted.
+replay_status=0
+replay_out=$("$fuzz" --replay "${repros[0]}" --inject-violation) || replay_status=$?
+if [[ $replay_status -ne 1 ]] || ! grep -q "reproduced:" <<<"$replay_out"; then
+  echo "FAIL: persisted repro ${repros[0]} did not replay the violation" >&2
+  echo "$replay_out" >&2
+  exit 1
+fi
+rm -rf "$inject_out"
+echo "injected violation caught, shrunk, persisted and replayed"
+
 if [[ $quick -eq 0 ]]; then
   step "release-mode oracle/golden/telemetry tests"
   cargo test -q --offline --release --test oracle --test golden --test telemetry

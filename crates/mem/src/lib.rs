@@ -19,6 +19,8 @@
 //!   studies), write-back generation.
 //! * [`dram`] — DDR model ([`dram::Dram`]): channels, banks, open-page row
 //!   buffer, bank/bus occupancy, read/write energy accounting.
+//! * [`shadow`] — observation-only LLC hooks ([`shadow::LlcObserver`])
+//!   that conformance checkers use to shadow every lookup/fill event.
 //! * [`prefetch`] — the prefetcher framework plus seven prefetchers:
 //!   next-line, IP-stride (the baseline pair), and simplified SPP+PPF,
 //!   Bingo, IPCP, Berti and Gaze models for the paper's Fig 23 sweep.
@@ -40,6 +42,7 @@ pub mod dram;
 pub mod llc;
 pub mod policy;
 pub mod prefetch;
+pub mod shadow;
 
 /// Bytes per cache line across the hierarchy.
 pub const LINE_BYTES: u64 = 64;

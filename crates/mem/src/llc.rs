@@ -17,7 +17,8 @@
 //! paper's Fig 5 (MPKA per LLC set) and the Table 1 oracle-selection study.
 
 use crate::access::{Access, AccessKind};
-use crate::policy::{Decision, LlcLineState, LlcLoc, LlcPolicy};
+use crate::policy::{Decision, LlcLineState, LlcLoc, LlcPolicy, SetProbe};
+use crate::shadow::{FillOutcome, LlcObserver};
 use crate::LineAddr;
 use drishti_noc::slicehash::{SliceHasher, XorFoldHash};
 
@@ -186,6 +187,11 @@ pub struct SlicedLlc {
     set_counters: Vec<Vec<SetCounters>>,
     slice_counters: Vec<SliceCounters>,
     stats: LlcStats,
+    observer: Option<Box<dyn LlcObserver>>,
+    /// When set, the `n`-th installed fill (1-based) double-counts in its
+    /// slice's `fills` counter — a deliberate, hidden corruption used to
+    /// prove the conformance harness catches real violations.
+    miscount_fill: Option<u64>,
 }
 
 impl std::fmt::Debug for SlicedLlc {
@@ -234,7 +240,29 @@ impl SlicedLlc {
             hasher,
             policy,
             stats: LlcStats::default(),
+            observer: None,
+            miscount_fill: None,
         }
+    }
+
+    /// Install a shadow observer. Observation-only: results are
+    /// byte-identical with or without one.
+    pub fn set_observer(&mut self, obs: Box<dyn LlcObserver>) {
+        self.observer = Some(obs);
+    }
+
+    /// Remove and return the installed observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn LlcObserver>> {
+        self.observer.take()
+    }
+
+    /// Deliberately corrupt the slice `fills` counter at the `nth` installed
+    /// fill (1-based). Exists solely so the conformance harness can prove it
+    /// detects, shrinks and replays a real contract violation; never set in
+    /// normal operation.
+    #[doc(hidden)]
+    pub fn inject_fill_miscount(&mut self, nth: u64) {
+        self.miscount_fill = Some(nth);
     }
 
     /// The LLC geometry.
@@ -293,6 +321,9 @@ impl SlicedLlc {
             }
             let set_lines = &self.lines[slice][range];
             let extra = self.policy.on_hit(loc, way, set_lines, acc, cycle);
+            if let Some(obs) = &mut self.observer {
+                obs.on_lookup(acc, loc, Some(way), &self.slice_counters[slice]);
+            }
             LookupResult {
                 hit: true,
                 slice,
@@ -307,11 +338,24 @@ impl SlicedLlc {
                 AccessKind::Writeback => self.stats.writeback_misses += 1,
             }
             self.policy.on_miss(loc, acc, cycle);
+            if let Some(obs) = &mut self.observer {
+                obs.on_lookup(acc, loc, None, &self.slice_counters[slice]);
+            }
             LookupResult {
                 hit: false,
                 slice,
                 extra_latency: 0,
             }
+        }
+    }
+
+    /// Snapshot the policy's per-way metadata for `loc`, but only when an
+    /// observer is installed (probing is free when shadowing is off).
+    fn probe_for_observer(&self, loc: LlcLoc) -> Option<SetProbe> {
+        if self.observer.is_some() {
+            self.policy.probe().map(|p| p.probe_set(loc))
+        } else {
+            None
         }
     }
 
@@ -332,6 +376,16 @@ impl SlicedLlc {
         {
             if matches!(acc.kind, AccessKind::Store | AccessKind::Writeback) {
                 self.lines[slice][base + way].dirty = true;
+            }
+            let probe = self.probe_for_observer(loc);
+            if let Some(obs) = &mut self.observer {
+                obs.on_fill(
+                    acc,
+                    loc,
+                    FillOutcome::AlreadyResident { way },
+                    &self.slice_counters[slice],
+                    probe.as_ref(),
+                );
             }
             return FillResult {
                 writeback: None,
@@ -356,6 +410,16 @@ impl SlicedLlc {
                     Decision::Bypass => {
                         self.stats.bypasses += 1;
                         self.slice_counters[slice].bypasses += 1;
+                        let probe = self.probe_for_observer(loc);
+                        if let Some(obs) = &mut self.observer {
+                            obs.on_fill(
+                                acc,
+                                loc,
+                                FillOutcome::Bypassed,
+                                &self.slice_counters[slice],
+                                probe.as_ref(),
+                            );
+                        }
                         // The policy still sees the fill event as a bypass so
                         // it can train; we model that as no state change.
                         return FillResult {
@@ -389,11 +453,28 @@ impl SlicedLlc {
         };
         self.stats.fills += 1;
         self.slice_counters[slice].fills += 1;
+        if self.miscount_fill == Some(self.stats.fills) {
+            // Deliberate corruption (see `inject_fill_miscount`).
+            self.slice_counters[slice].fills += 1;
+        }
 
         let set_lines = &self.lines[slice][self.set_range(set)];
         let extra = self
             .policy
             .on_fill(loc, way, set_lines, acc, evicted.as_ref(), cycle);
+        let probe = self.probe_for_observer(loc);
+        if let Some(obs) = &mut self.observer {
+            obs.on_fill(
+                acc,
+                loc,
+                FillOutcome::Installed {
+                    way,
+                    evicted: evicted.as_ref(),
+                },
+                &self.slice_counters[slice],
+                probe.as_ref(),
+            );
+        }
         FillResult {
             writeback,
             extra_latency: extra,

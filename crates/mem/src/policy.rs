@@ -51,6 +51,74 @@ pub enum Decision {
     Bypass,
 }
 
+/// How to interpret the per-way metadata a policy exposes via
+/// [`PolicyProbe::probe_set`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// Values are recency stamps: nonzero values must be pairwise
+    /// distinct within a set (LRU-family clocks).
+    RecencyStamp,
+    /// Values are bounded counters (RRPV, ETR): every value must lie in
+    /// `min..=max`.
+    Bounded {
+        /// Smallest legal value.
+        min: i64,
+        /// Largest legal value.
+        max: i64,
+    },
+}
+
+/// A snapshot of one set's per-way replacement metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetProbe {
+    /// How to validate [`SetProbe::values`].
+    pub kind: ProbeKind,
+    /// One metadata value per way, widened to `i64`.
+    pub values: Vec<i64>,
+}
+
+impl SetProbe {
+    /// Check this snapshot against its own declared invariant. Returns a
+    /// human-readable violation description, or `None` if the snapshot is
+    /// well-formed.
+    pub fn check(&self) -> Option<String> {
+        match self.kind {
+            ProbeKind::Bounded { min, max } => {
+                for (way, &v) in self.values.iter().enumerate() {
+                    if v < min || v > max {
+                        return Some(format!("way {way} metadata {v} outside [{min}, {max}]"));
+                    }
+                }
+                None
+            }
+            ProbeKind::RecencyStamp => {
+                let mut seen = Vec::with_capacity(self.values.len());
+                for (way, &v) in self.values.iter().enumerate() {
+                    if v != 0 {
+                        if seen.contains(&v) {
+                            return Some(format!("way {way} duplicates recency stamp {v}"));
+                        }
+                        seen.push(v);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Narrow introspection surface a policy may expose for conformance
+/// checking: a read-only snapshot of one set's per-way metadata plus the
+/// invariant it must satisfy.
+///
+/// This deliberately reveals nothing about global predictor state — only
+/// the per-line replacement fields whose corruption the shadow checker
+/// could never infer from hit/miss behaviour alone.
+pub trait PolicyProbe {
+    /// Snapshot the per-way metadata of the set at `loc`.
+    fn probe_set(&self, loc: LlcLoc) -> SetProbe;
+}
+
 /// A replacement policy for the sliced LLC.
 ///
 /// Implementations are constructed with the LLC geometry (see
@@ -108,6 +176,14 @@ pub trait LlcPolicy: std::fmt::Debug {
     fn diagnostics(&self) -> Vec<(String, u64)> {
         Vec::new()
     }
+
+    /// The policy's [`PolicyProbe`] introspection surface, if it exposes
+    /// one. The container forwards probe snapshots to shadow observers on
+    /// every fill; policies without checkable per-way metadata return
+    /// `None` (the default).
+    fn probe(&self) -> Option<&dyn PolicyProbe> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +231,39 @@ mod tests {
         let l = LlcLineState::default();
         assert!(!l.valid);
         assert!(!l.dirty);
+    }
+
+    #[test]
+    fn default_probe_is_absent() {
+        let p: Box<dyn LlcPolicy> = Box::new(EvictZero);
+        assert!(p.probe().is_none());
+    }
+
+    #[test]
+    fn bounded_probe_flags_out_of_range() {
+        let ok = SetProbe {
+            kind: ProbeKind::Bounded { min: 0, max: 3 },
+            values: vec![0, 3, 1, 2],
+        };
+        assert!(ok.check().is_none());
+        let bad = SetProbe {
+            kind: ProbeKind::Bounded { min: 0, max: 3 },
+            values: vec![0, 4],
+        };
+        assert!(bad.check().unwrap().contains("outside"));
+    }
+
+    #[test]
+    fn recency_probe_flags_duplicates_but_allows_zero() {
+        let ok = SetProbe {
+            kind: ProbeKind::RecencyStamp,
+            values: vec![0, 0, 5, 9],
+        };
+        assert!(ok.check().is_none());
+        let bad = SetProbe {
+            kind: ProbeKind::RecencyStamp,
+            values: vec![7, 7],
+        };
+        assert!(bad.check().unwrap().contains("duplicates"));
     }
 }

@@ -1,0 +1,72 @@
+//! Shadow-observation hooks for differential checking of the sliced LLC.
+//!
+//! A conformance checker (the `RefCache` in `drishti_sim::conformance`)
+//! needs to see every container-level event — lookup outcome, fill
+//! outcome, victim identity — *as it happens*, together with the
+//! counter state after the event, so a contract violation can be pinned
+//! to an exact access index. [`LlcObserver`] is that tap: the container
+//! calls it after each lookup and each fill, on every return path.
+//!
+//! The hooks are strictly observation-only. The container never lets an
+//! observer influence a decision, and when no observer is installed the
+//! cost is a single `Option` branch per event — golden outputs are
+//! byte-identical with and without shadow checking.
+
+use crate::access::Access;
+use crate::llc::SliceCounters;
+use crate::policy::{LlcLineState, LlcLoc, SetProbe};
+use std::any::Any;
+
+/// What an LLC fill did, as reported to an observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillOutcome<'a> {
+    /// The line was installed in `way`; `evicted` is the displaced line if
+    /// the set was full (its pre-eviction state, dirty bit included).
+    Installed {
+        /// The way the line now occupies.
+        way: usize,
+        /// The line that was displaced, if any.
+        evicted: Option<&'a LlcLineState>,
+    },
+    /// The policy declined to cache the line; the set is unchanged.
+    Bypassed,
+    /// The line was already resident (racing fills); only the dirty bit
+    /// may have been refreshed.
+    AlreadyResident {
+        /// The way the line already occupied.
+        way: usize,
+    },
+}
+
+/// Observation tap on the sliced LLC, installed via
+/// [`crate::llc::SlicedLlc::set_observer`].
+///
+/// `counters` is the slice's [`SliceCounters`] *after* the event, so an
+/// observer can verify counter telescoping event-by-event. `probe` (fill
+/// only) is the policy's per-way metadata snapshot when the policy
+/// implements [`crate::policy::PolicyProbe`].
+pub trait LlcObserver: Any {
+    /// A lookup completed. `hit_way` is the resident way on a hit, `None`
+    /// on a miss.
+    fn on_lookup(
+        &mut self,
+        acc: &Access,
+        loc: LlcLoc,
+        hit_way: Option<usize>,
+        counters: &SliceCounters,
+    );
+
+    /// A fill completed with `outcome`.
+    fn on_fill(
+        &mut self,
+        acc: &Access,
+        loc: LlcLoc,
+        outcome: FillOutcome<'_>,
+        counters: &SliceCounters,
+        probe: Option<&SetProbe>,
+    );
+
+    /// Upcast for retrieving a concrete observer after a run (the
+    /// container only holds `Box<dyn LlcObserver>`).
+    fn as_any(&self) -> &dyn Any;
+}

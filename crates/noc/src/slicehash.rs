@@ -95,6 +95,46 @@ impl SliceHasher for ModuloHash {
     }
 }
 
+/// An inner slice hash with its outputs relabeled by a fixed permutation.
+///
+/// Used by the conformance harness's slice-permutation metamorphic
+/// relation: renaming slices is behaviour-preserving for any policy whose
+/// decisions do not depend on the slice *index* itself, so aggregate
+/// hit/miss counts must be invariant under this wrapper.
+#[derive(Debug)]
+pub struct PermutedHash<H: SliceHasher> {
+    inner: H,
+    perm: Vec<usize>,
+}
+
+impl<H: SliceHasher> PermutedHash<H> {
+    /// Wrap `inner`, relabeling its output `s` to `perm[s]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..perm.len()`.
+    pub fn new(inner: H, perm: Vec<usize>) -> Self {
+        let mut seen = vec![false; perm.len()];
+        for &p in &perm {
+            assert!(p < perm.len() && !seen[p], "not a permutation: {perm:?}");
+            seen[p] = true;
+        }
+        PermutedHash { inner, perm }
+    }
+}
+
+impl<H: SliceHasher> SliceHasher for PermutedHash<H> {
+    fn slice_of(&self, line_addr: u64, n_slices: usize) -> usize {
+        assert_eq!(
+            n_slices,
+            self.perm.len(),
+            "permutation sized for {} slices, asked for {n_slices}",
+            self.perm.len()
+        );
+        self.perm[self.inner.slice_of(line_addr, n_slices)]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +200,71 @@ mod tests {
     fn deterministic() {
         let h = XorFoldHash::new();
         assert_eq!(h.slice_of(0xabcdef, 32), h.slice_of(0xabcdef, 32));
+    }
+
+    #[test]
+    fn exhaustive_distribution_within_one_of_uniform() {
+        // Over ALL 2^16 line addresses every slice must land within ±1 of
+        // the uniform share. For power-of-two counts the XOR fold is a
+        // surjective GF(2)-linear map, so the split is exactly even; the
+        // ±1 bound is the contract refactors must keep.
+        let h = XorFoldHash::new();
+        for n in [2usize, 4, 8, 16] {
+            let mut counts = vec![0i64; n];
+            for a in 0..(1u64 << 16) {
+                counts[h.slice_of(a, n)] += 1;
+            }
+            let share = (1i64 << 16) / n as i64;
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(
+                    (c - share).abs() <= 1,
+                    "slice {s}/{n} got {c} of 2^16 addresses (uniform share {share})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_hash_values_for_known_addresses() {
+        // Exact regression pins: slice steering is part of every result in
+        // the repo, so a refactor that changes any of these values changes
+        // which slice serves which line and silently invalidates goldens.
+        let h = XorFoldHash::new();
+        let pins: [(u64, usize, usize, usize); 8] = [
+            (0x0, 0, 0, 1),
+            (0x1, 1, 1, 5),
+            (0xdead_beef, 6, 0, 1),
+            (0x1234_5678_9abc_def0, 5, 0, 2),
+            (0xffff_ffff_ffff_ffff, 6, 0, 2),
+            (0x0004_0000, 1, 4, 0),
+            (0xcafe_babe, 0, 3, 5),
+            (0x0fed_cba9_8765_4321, 0, 0, 2),
+        ];
+        for &(addr, s8, s16, s6) in &pins {
+            assert_eq!(h.slice_of(addr, 8), s8, "addr {addr:#x} @ 8 slices");
+            assert_eq!(h.slice_of(addr, 16), s16, "addr {addr:#x} @ 16 slices");
+            assert_eq!(h.slice_of(addr, 6), s6, "addr {addr:#x} @ 6 slices");
+        }
+    }
+
+    #[test]
+    fn permuted_hash_relabels_bijectively() {
+        let perm = vec![3usize, 0, 1, 2];
+        let h = PermutedHash::new(XorFoldHash::new(), perm.clone());
+        let base = XorFoldHash::new();
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..4096u64 {
+            let s = h.slice_of(a, 4);
+            assert_eq!(s, perm[base.slice_of(a, 4)]);
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 4, "permutation must stay surjective");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permuted_hash_rejects_non_permutations() {
+        let _ = PermutedHash::new(XorFoldHash::new(), vec![0, 0, 1]);
     }
 
     #[test]

@@ -15,7 +15,9 @@ use drishti_core::config::DrishtiConfig;
 use drishti_core::select::SetSelector;
 use drishti_mem::access::{Access, AccessKind};
 use drishti_mem::llc::LlcGeometry;
-use drishti_mem::policy::{Decision, LlcLineState, LlcLoc, LlcPolicy};
+use drishti_mem::policy::{
+    Decision, LlcLineState, LlcLoc, LlcPolicy, PolicyProbe, ProbeKind, SetProbe,
+};
 
 const PSEL_BITS: u32 = 10;
 const PSEL_MAX: i32 = (1 << PSEL_BITS) - 1;
@@ -77,7 +79,31 @@ impl Dip {
     }
 }
 
+impl PolicyProbe for Dip {
+    fn probe_set(&self, loc: LlcLoc) -> SetProbe {
+        // DIP's LRU-position insertion deliberately writes the duplicate
+        // stamp 1, so stamp distinctness does not hold here; stamps are
+        // still bounded by the monotone clock.
+        SetProbe {
+            kind: ProbeKind::Bounded {
+                min: 0,
+                max: self.clock as i64,
+            },
+            values: self
+                .stamp
+                .set(loc.slice, loc.set)
+                .iter()
+                .map(|&v| v as i64)
+                .collect(),
+        }
+    }
+}
+
 impl LlcPolicy for Dip {
+    fn probe(&self) -> Option<&dyn PolicyProbe> {
+        Some(self)
+    }
+
     fn name(&self) -> String {
         if self.dynamic {
             "d-dip".into()

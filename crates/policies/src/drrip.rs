@@ -15,7 +15,9 @@ use drishti_core::config::DrishtiConfig;
 use drishti_core::select::SetSelector;
 use drishti_mem::access::{Access, AccessKind};
 use drishti_mem::llc::LlcGeometry;
-use drishti_mem::policy::{Decision, LlcLineState, LlcLoc, LlcPolicy};
+use drishti_mem::policy::{
+    Decision, LlcLineState, LlcLoc, LlcPolicy, PolicyProbe, ProbeKind, SetProbe,
+};
 
 const MAX_RRPV: u8 = 3;
 const PSEL_MAX: i32 = 1023;
@@ -57,7 +59,28 @@ impl Drrip {
     }
 }
 
+impl PolicyProbe for Drrip {
+    fn probe_set(&self, loc: LlcLoc) -> SetProbe {
+        SetProbe {
+            kind: ProbeKind::Bounded {
+                min: 0,
+                max: MAX_RRPV as i64,
+            },
+            values: self
+                .rrpv
+                .set(loc.slice, loc.set)
+                .iter()
+                .map(|&v| v as i64)
+                .collect(),
+        }
+    }
+}
+
 impl LlcPolicy for Drrip {
+    fn probe(&self) -> Option<&dyn PolicyProbe> {
+        Some(self)
+    }
+
     fn name(&self) -> String {
         if self.dynamic {
             "d-drrip".into()

@@ -111,6 +111,13 @@ impl std::fmt::Display for PolicyKind {
     }
 }
 
+/// Every policy the factory can build, in the same stable order as
+/// [`PolicyKind::all`]. Property suites iterate this list so a policy added
+/// to the factory is covered automatically.
+pub fn all_policies() -> Vec<PolicyKind> {
+    PolicyKind::all().to_vec()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +149,59 @@ mod tests {
             if kind.is_prediction_based() {
                 assert_eq!(p.name(), format!("d-{}", kind.label()));
             }
+        }
+    }
+
+    #[test]
+    fn all_policies_agrees_with_factory() {
+        let listed = all_policies();
+        assert_eq!(listed, PolicyKind::all().to_vec());
+        for (i, a) in listed.iter().enumerate() {
+            for b in &listed[i + 1..] {
+                assert_ne!(a, b, "duplicate entry in all_policies()");
+                assert_ne!(a.label(), b.label(), "duplicate label");
+            }
+        }
+        // Compile-time canary: adding a PolicyKind variant fails this match
+        // until `all()` (and with it `all_policies()`) is updated in
+        // lockstep, so the property suites can never silently miss one.
+        let mut counted = 0;
+        for k in listed {
+            match k {
+                PolicyKind::Lru
+                | PolicyKind::Srrip
+                | PolicyKind::Dip
+                | PolicyKind::Drrip
+                | PolicyKind::Sdbp
+                | PolicyKind::ShipPp
+                | PolicyKind::Hawkeye
+                | PolicyKind::Mockingjay
+                | PolicyKind::Glider
+                | PolicyKind::Chrome => counted += 1,
+            }
+        }
+        assert_eq!(counted, PolicyKind::all().len());
+    }
+
+    #[test]
+    fn every_policy_exposes_a_probe() {
+        let geom = LlcGeometry {
+            slices: 2,
+            sets_per_slice: 64,
+            ways: 4,
+            latency: 20,
+        };
+        for kind in all_policies() {
+            let p = kind.build(&geom, DrishtiConfig::baseline(2));
+            let probe = p.probe().unwrap_or_else(|| {
+                panic!("{kind} exposes no PolicyProbe");
+            });
+            let snap = probe.probe_set(drishti_mem::policy::LlcLoc { slice: 0, set: 0 });
+            assert_eq!(snap.values.len(), geom.ways, "{kind} probe width");
+            assert!(
+                snap.check().is_none(),
+                "{kind} default state violates probe"
+            );
         }
     }
 

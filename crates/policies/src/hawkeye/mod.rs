@@ -23,7 +23,9 @@ use drishti_core::fabric::PredictorFabric;
 use drishti_core::select::SetSelector;
 use drishti_mem::access::{Access, AccessKind};
 use drishti_mem::llc::LlcGeometry;
-use drishti_mem::policy::{Decision, LlcLineState, LlcLoc, LlcPolicy};
+use drishti_mem::policy::{
+    Decision, LlcLineState, LlcLoc, LlcPolicy, PolicyProbe, ProbeKind, SetProbe,
+};
 use drishti_noc::NocStats;
 use optgen::OptGen;
 
@@ -252,7 +254,28 @@ impl Hawkeye {
     }
 }
 
+impl PolicyProbe for Hawkeye {
+    fn probe_set(&self, loc: LlcLoc) -> SetProbe {
+        SetProbe {
+            kind: ProbeKind::Bounded {
+                min: 0,
+                max: MAX_RRPV as i64,
+            },
+            values: self
+                .rrpv
+                .set(loc.slice, loc.set)
+                .iter()
+                .map(|&v| v as i64)
+                .collect(),
+        }
+    }
+}
+
 impl LlcPolicy for Hawkeye {
+    fn probe(&self) -> Option<&dyn PolicyProbe> {
+        Some(self)
+    }
+
     fn name(&self) -> String {
         self.label.clone()
     }

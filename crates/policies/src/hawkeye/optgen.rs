@@ -172,6 +172,69 @@ mod tests {
     }
 
     #[test]
+    fn exactly_matches_belady_on_short_windows() {
+        // On windows of at most 64 accesses every reuse interval fits
+        // OPTgen's 8×ways occupancy window, so the approximation collapses
+        // to true Belady MIN: hit counts must be *equal*, not just bounded.
+        let mut state = 0x0123_4567u64;
+        for ways in [1usize, 2, 4, 8] {
+            for alphabet in [2u64, ways as u64 * 2, ways as u64 * 3] {
+                for _ in 0..50 {
+                    let len = 16 + (state % 49) as usize; // 16..=64
+                    let trace: Vec<u64> = (0..len)
+                        .map(|_| {
+                            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            (state >> 33) % alphabet.max(2)
+                        })
+                        .collect();
+                    let og = optgen_hits(&trace, ways);
+                    let bel = belady_hits(&trace, ways);
+                    assert_eq!(
+                        og, bel,
+                        "ways {ways}, alphabet {alphabet}: optgen {og} != belady {bel} on {trace:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_matches_belady_exhaustively_on_tiny_traces() {
+        // Every length-8 trace over a 3-line alphabet, capacity 2: the
+        // complete enumeration (3^8 = 6561 traces) pins OPTgen to Belady
+        // with no sampling gaps.
+        for code in 0..6561u32 {
+            let mut c = code;
+            let trace: Vec<u64> = (0..8)
+                .map(|_| {
+                    let x = (c % 3) as u64;
+                    c /= 3;
+                    x
+                })
+                .collect();
+            let og = optgen_hits(&trace, 2);
+            let bel = belady_hits(&trace, 2);
+            assert_eq!(og, bel, "optgen {og} != belady {bel} on {trace:?}");
+        }
+    }
+
+    #[test]
+    fn pinned_hit_counts_on_known_windows() {
+        // Regression pins: exact hit counts for hand-checked windows.
+        // A,B,A,B,… capacity 2 → all hits after the two cold misses.
+        let ab: Vec<u64> = (0..64).map(|i| i % 2).collect();
+        assert_eq!(optgen_hits(&ab, 2), 62);
+        // Cyclic A,B,C capacity 2 → OPT pins two lines and serves two of
+        // every three reuses: 2/3 of the 57 reuses = 38 hits.
+        let abc: Vec<u64> = (0..60).map(|i| i % 3).collect();
+        assert_eq!(optgen_hits(&abc, 2), belady_hits(&abc, 2));
+        assert_eq!(optgen_hits(&abc, 2), 38);
+        // A scan (no reuse) hits nothing.
+        let scan: Vec<u64> = (0..64).collect();
+        assert_eq!(optgen_hits(&scan, 4), 0);
+    }
+
+    #[test]
     fn interval_longer_than_window_is_miss() {
         let mut g = OptGen::new(2, 8);
         for _ in 0..20 {

@@ -3,7 +3,9 @@
 use crate::common::PerLine;
 use drishti_mem::access::Access;
 use drishti_mem::llc::LlcGeometry;
-use drishti_mem::policy::{Decision, LlcLineState, LlcLoc, LlcPolicy};
+use drishti_mem::policy::{
+    Decision, LlcLineState, LlcLoc, LlcPolicy, PolicyProbe, ProbeKind, SetProbe,
+};
 
 /// Per-slice true LRU. Every figure in the paper normalises to this.
 #[derive(Debug)]
@@ -22,7 +24,25 @@ impl Lru {
     }
 }
 
+impl PolicyProbe for Lru {
+    fn probe_set(&self, loc: LlcLoc) -> SetProbe {
+        SetProbe {
+            kind: ProbeKind::RecencyStamp,
+            values: self
+                .stamp
+                .set(loc.slice, loc.set)
+                .iter()
+                .map(|&v| v as i64)
+                .collect(),
+        }
+    }
+}
+
 impl LlcPolicy for Lru {
+    fn probe(&self) -> Option<&dyn PolicyProbe> {
+        Some(self)
+    }
+
     fn name(&self) -> String {
         "lru".into()
     }

@@ -22,7 +22,9 @@ use drishti_core::fabric::PredictorFabric;
 use drishti_core::select::SetSelector;
 use drishti_mem::access::{Access, AccessKind};
 use drishti_mem::llc::LlcGeometry;
-use drishti_mem::policy::{Decision, LlcLineState, LlcLoc, LlcPolicy};
+use drishti_mem::policy::{
+    Decision, LlcLineState, LlcLoc, LlcPolicy, PolicyProbe, ProbeKind, SetProbe,
+};
 use drishti_noc::NocStats;
 
 /// Predictor index width: 2048 entries × 7 bits = 1.75 KB (Table 3).
@@ -332,7 +334,28 @@ impl Mockingjay {
     }
 }
 
+impl PolicyProbe for Mockingjay {
+    fn probe_set(&self, loc: LlcLoc) -> SetProbe {
+        SetProbe {
+            kind: ProbeKind::Bounded {
+                min: ETR_MIN as i64,
+                max: ETR_MAX as i64,
+            },
+            values: self
+                .etr
+                .set(loc.slice, loc.set)
+                .iter()
+                .map(|&v| v as i64)
+                .collect(),
+        }
+    }
+}
+
 impl LlcPolicy for Mockingjay {
+    fn probe(&self) -> Option<&dyn PolicyProbe> {
+        Some(self)
+    }
+
     fn name(&self) -> String {
         self.label.clone()
     }

@@ -19,7 +19,9 @@ use drishti_core::fabric::PredictorFabric;
 use drishti_core::select::SetSelector;
 use drishti_mem::access::{Access, AccessKind};
 use drishti_mem::llc::LlcGeometry;
-use drishti_mem::policy::{Decision, LlcLineState, LlcLoc, LlcPolicy};
+use drishti_mem::policy::{
+    Decision, LlcLineState, LlcLoc, LlcPolicy, PolicyProbe, ProbeKind, SetProbe,
+};
 use drishti_noc::NocStats;
 
 /// Three skewed tables of 2-bit counters.
@@ -209,7 +211,25 @@ impl Sdbp {
     }
 }
 
+impl PolicyProbe for Sdbp {
+    fn probe_set(&self, loc: LlcLoc) -> SetProbe {
+        SetProbe {
+            kind: ProbeKind::RecencyStamp,
+            values: self
+                .stamp
+                .set(loc.slice, loc.set)
+                .iter()
+                .map(|&v| v as i64)
+                .collect(),
+        }
+    }
+}
+
 impl LlcPolicy for Sdbp {
+    fn probe(&self) -> Option<&dyn PolicyProbe> {
+        Some(self)
+    }
+
     fn name(&self) -> String {
         self.label.clone()
     }

@@ -7,7 +7,9 @@
 use crate::common::PerLine;
 use drishti_mem::access::{Access, AccessKind};
 use drishti_mem::llc::LlcGeometry;
-use drishti_mem::policy::{Decision, LlcLineState, LlcLoc, LlcPolicy};
+use drishti_mem::policy::{
+    Decision, LlcLineState, LlcLoc, LlcPolicy, PolicyProbe, ProbeKind, SetProbe,
+};
 
 const MAX_RRPV: u8 = 3;
 
@@ -26,7 +28,28 @@ impl Srrip {
     }
 }
 
+impl PolicyProbe for Srrip {
+    fn probe_set(&self, loc: LlcLoc) -> SetProbe {
+        SetProbe {
+            kind: ProbeKind::Bounded {
+                min: 0,
+                max: MAX_RRPV as i64,
+            },
+            values: self
+                .rrpv
+                .set(loc.slice, loc.set)
+                .iter()
+                .map(|&v| v as i64)
+                .collect(),
+        }
+    }
+}
+
 impl LlcPolicy for Srrip {
+    fn probe(&self) -> Option<&dyn PolicyProbe> {
+        Some(self)
+    }
+
     fn name(&self) -> String {
         "srrip".into()
     }

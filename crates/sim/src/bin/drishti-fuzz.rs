@@ -1,0 +1,217 @@
+//! `drishti-fuzz`: the deterministic conformance fuzzer.
+//!
+//! ```text
+//! drishti-fuzz --cells 64 --steps 2000 --seed 0xd15c0
+//! drishti-fuzz --replay target/fuzz/failure-123.drtr
+//! ```
+//!
+//! Each cell derives a policy × organisation × geometry × trace entirely
+//! from `splitmix64(base_seed, cell_index)` and replays it against the
+//! production LLC with the `RefCache` differential shadow attached, then
+//! re-runs it under PC relabeling and slice-hash permutation (the
+//! metamorphic checker). A failing cell's trace is shrunk to a minimal
+//! repro and persisted as `<out>/failure-<seed>.drtr`; `--replay` loads
+//! such a file, re-derives the cell from the stored seed, and re-runs the
+//! stored records bit-identically.
+//!
+//! Exit status: 0 all cells clean (or a replay reproducing nothing),
+//! 1 failures found (persisted), 2 usage error.
+
+use drishti_sim::conformance::fuzz::{
+    persist_failure, replay_file, run_cell, splitmix64, CellOutcome, CellSpec,
+};
+use drishti_sim::sweep::pool::{run_tasks, Task};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: drishti-fuzz [--cells N] [--steps N] [--seed S] [--jobs N]
+       [--out DIR] [--replay PATH] [--inject-violation]
+  --cells N   number of fuzz cells to run (default 64)
+  --steps N   trace records per cell (default 2000)
+  --seed S    base seed; cell i uses splitmix64 draw i (default 0xd15c0)
+  --jobs N    worker threads (0 = one per CPU, default 0)
+  --out DIR   where failure repros go (default target/fuzz)
+  --replay PATH        re-run a persisted failure-<seed>.drtr file: the
+                       cell is re-derived from the stored seed and the
+                       stored records replayed bit-identically
+  --inject-violation   arm the hidden fill-miscount sabotage in every
+                       cell (harness self-test: all cells must fail,
+                       shrink, and persist)";
+
+struct CliArgs {
+    cells: u64,
+    steps: usize,
+    seed: u64,
+    jobs: usize,
+    out: PathBuf,
+    replay: Option<PathBuf>,
+    inject: bool,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            cells: 64,
+            steps: 2_000,
+            seed: 0xd15c0,
+            jobs: 0,
+            out: PathBuf::from("target/fuzz"),
+            replay: None,
+            inject: false,
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag} needs a number, got `{s}`"))
+}
+
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("--seed needs a (hex or decimal) number, got `{s}`"))
+}
+
+fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut cli = CliArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--cells" => cli.cells = parse_num("--cells", value("--cells")?)?,
+            "--steps" => cli.steps = parse_num("--steps", value("--steps")?)?,
+            "--seed" => cli.seed = parse_seed(value("--seed")?)?,
+            "--jobs" => cli.jobs = parse_num("--jobs", value("--jobs")?)?,
+            "--out" => cli.out = PathBuf::from(value("--out")?),
+            "--replay" => cli.replay = Some(PathBuf::from(value("--replay")?)),
+            "--inject-violation" => cli.inject = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if cli.replay.is_none() && cli.cells == 0 {
+        return Err("--cells must be positive".into());
+    }
+    if cli.replay.is_none() && cli.steps == 0 {
+        return Err("--steps must be positive".into());
+    }
+    Ok(cli)
+}
+
+fn run_replay(cli: &CliArgs) -> i32 {
+    let path = cli.replay.as_ref().expect("replay mode");
+    let report = match replay_file(path, cli.inject) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return 2;
+        }
+    };
+    println!(
+        "replayed {} records from {} (cell seed {:#x}: {})",
+        report.records.len(),
+        path.display(),
+        report.spec.seed,
+        report.spec.describe()
+    );
+    match &report.violation {
+        Some(v) => {
+            println!("reproduced: {v}");
+            1
+        }
+        None => {
+            println!(
+                "no violation reproduced{}",
+                if cli.inject {
+                    ""
+                } else {
+                    " (was the failure found with --inject-violation?)"
+                }
+            );
+            0
+        }
+    }
+}
+
+fn run_fuzz(cli: &CliArgs) -> i32 {
+    let mut state = cli.seed;
+    let specs: Vec<CellSpec> = (0..cli.cells)
+        .map(|_| CellSpec::derive(splitmix64(&mut state), cli.inject))
+        .collect();
+    let steps = cli.steps;
+    let tasks: Vec<Task<CellOutcome>> = specs
+        .iter()
+        .cloned()
+        .map(|spec| Box::new(move || run_cell(&spec, steps)) as Task<CellOutcome>)
+        .collect();
+    let workers = if cli.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cli.jobs
+    };
+    let outcomes = run_tasks(tasks, workers);
+
+    let mut failures = 0u64;
+    for (spec, outcome) in specs.iter().zip(outcomes) {
+        match outcome {
+            Ok(CellOutcome::Pass { .. }) => {}
+            Ok(CellOutcome::Fail(f)) => {
+                failures += 1;
+                let where_ = match persist_failure(&cli.out, &f) {
+                    Ok(p) => format!("repro: {}", p.display()),
+                    Err(e) => format!("repro NOT persisted: {e}"),
+                };
+                eprintln!(
+                    "FAIL cell seed {:#x} ({}): [{}] {} — shrunk {} -> {} records; {}",
+                    f.spec.seed,
+                    f.spec.describe(),
+                    f.checker,
+                    f.detail,
+                    f.original_len,
+                    f.shrunk.len(),
+                    where_
+                );
+            }
+            Err(panic_msg) => {
+                failures += 1;
+                eprintln!(
+                    "FAIL cell seed {:#x} ({}): panicked: {panic_msg}",
+                    spec.seed,
+                    spec.describe()
+                );
+            }
+        }
+    }
+    println!(
+        "{} cells x {} steps (base seed {:#x}): {} failed",
+        cli.cells, cli.steps, cli.seed, failures
+    );
+    i32::from(failures > 0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let code = if cli.replay.is_some() {
+        run_replay(&cli)
+    } else {
+        run_fuzz(&cli)
+    };
+    std::process::exit(code);
+}

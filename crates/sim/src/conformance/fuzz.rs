@@ -1,0 +1,498 @@
+//! The deterministic simulator fuzzer behind the `drishti-fuzz` binary.
+//!
+//! Every fuzz *cell* is derived entirely from one 64-bit seed via a
+//! splitmix64 stream: policy, organisation, LLC geometry and the short
+//! random trace all come from the seed, so the seed stored in a persisted
+//! `.drtr` failure file is a complete reproduction key.
+//!
+//! A cell replays its trace directly against a [`SlicedLlc`] with the
+//! [`RefCache`] shadow attached (the differential checker), then re-runs
+//! it under PC relabeling and slice-hash permutation (the metamorphic
+//! checker). On failure the trace is minimized with
+//! [`drishti_trace::shrink`] and written to `failure-<seed>.drtr`;
+//! [`replay_file`] re-derives the cell from the stored seed and re-runs
+//! the stored records, reproducing the violation bit-identically.
+
+use crate::conformance::metamorphic::{slice_oblivious, RELABEL_BITS};
+use crate::conformance::refcache::{RefCache, Violation};
+use drishti_core::config::DrishtiConfig;
+use drishti_mem::access::{Access, AccessKind};
+use drishti_mem::llc::{LlcGeometry, SlicedLlc};
+use drishti_noc::slicehash::{PermutedHash, SliceHasher, XorFoldHash};
+use drishti_policies::factory::{all_policies, PolicyKind};
+use drishti_trace::shrink::shrink;
+use drishti_trace::store::{read_trace, write_trace};
+use drishti_trace::transform::relabel_trace;
+use drishti_trace::TraceRecord;
+use std::path::{Path, PathBuf};
+
+/// splitmix64: advance `state` and return the next output.
+///
+/// The standard 64-bit seed expander — every cell parameter is one draw
+/// from this stream so cells are independent and fully seed-determined.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Everything a fuzz cell is, derived from its seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// The cell's seed (the complete reproduction key).
+    pub seed: u64,
+    /// Replacement policy under test.
+    pub policy: PolicyKind,
+    /// Whether the Drishti organisation is used (else baseline).
+    pub drishti_org: bool,
+    /// LLC geometry (small, to force evictions quickly).
+    pub geom: LlcGeometry,
+    /// When set, the container's hidden sabotage hook double-counts the
+    /// `n`-th installed fill — used to prove the harness catches real
+    /// violations end to end.
+    pub inject_fill_miscount: Option<u64>,
+}
+
+impl CellSpec {
+    /// Derive a cell from `seed`. With `inject`, a seed-derived fill
+    /// miscount is armed.
+    pub fn derive(seed: u64, inject: bool) -> Self {
+        let mut s = seed;
+        let policies = all_policies();
+        let policy = policies[(splitmix64(&mut s) as usize) % policies.len()];
+        let drishti_org = splitmix64(&mut s) & 1 == 1;
+        let slices = 1usize << (splitmix64(&mut s) % 3); // 1, 2, 4
+        let sets = 4usize << (splitmix64(&mut s) % 3); // 4, 8, 16
+        let ways = 1usize << (splitmix64(&mut s) % 4); // 1, 2, 4, 8
+        let inject_fill_miscount = inject.then(|| 1 + splitmix64(&mut s) % 16);
+        CellSpec {
+            seed,
+            policy,
+            drishti_org,
+            geom: LlcGeometry {
+                slices,
+                sets_per_slice: sets,
+                ways,
+                latency: 20,
+            },
+            inject_fill_miscount,
+        }
+    }
+
+    /// The cores driving this cell (= slices, as in the paper's systems).
+    pub fn cores(&self) -> usize {
+        self.geom.slices
+    }
+
+    fn config(&self) -> DrishtiConfig {
+        if self.drishti_org {
+            DrishtiConfig::drishti(self.cores())
+        } else {
+            DrishtiConfig::baseline(self.cores())
+        }
+    }
+
+    /// One-line human description, used in failure reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "policy={} org={} slices={} sets={} ways={}{}",
+            self.policy,
+            if self.drishti_org {
+                "drishti"
+            } else {
+                "baseline"
+            },
+            self.geom.slices,
+            self.geom.sets_per_slice,
+            self.geom.ways,
+            match self.inject_fill_miscount {
+                Some(n) => format!(" inject-fill-miscount={n}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// Generate the cell's random trace: `steps` records over a small PC pool
+/// and a line pool twice the LLC capacity (so evictions and bypasses are
+/// constantly exercised).
+///
+/// Core and access kind are encoded in high PC bits (bits 48+ and 44–45),
+/// above [`RELABEL_BITS`], so records stay self-describing under both
+/// shrinking and PC relabeling.
+pub fn gen_trace(spec: &CellSpec, steps: usize) -> Vec<TraceRecord> {
+    let mut s = spec.seed ^ 0x7261_6365; // distinct stream from CellSpec::derive
+    let lines = (spec.geom.slices * spec.geom.sets_per_slice * spec.geom.ways * 2) as u64;
+    let cores = spec.cores() as u64;
+    (0..steps)
+        .map(|_| {
+            let r = splitmix64(&mut s);
+            let core = r % cores;
+            let kind_tag = (r >> 8) % 8; // 0..5 load, 6 prefetch, 7 writeback
+            let pc_base = 0x400 + (r >> 16) % 16;
+            let is_store = (r >> 32) & 3 == 0; // 25% stores
+            TraceRecord {
+                instr_gap: ((r >> 40) % 8) as u32,
+                pc: (core << 48) | (kind_tag << 44) | pc_base,
+                line: (r >> 24) % lines,
+                is_store,
+            }
+        })
+        .collect()
+}
+
+/// Decode one trace record back into the LLC-level [`Access`] it encodes.
+pub fn decode_access(r: &TraceRecord, cores: usize) -> Access {
+    let core = ((r.pc >> 48) as usize) % cores.max(1);
+    let kind = match (r.pc >> 44) & 0xf {
+        7 => AccessKind::Writeback,
+        6 if !r.is_store => AccessKind::Prefetch,
+        _ if r.is_store => AccessKind::Store,
+        _ => AccessKind::Load,
+    };
+    Access {
+        core,
+        pc: if kind == AccessKind::Writeback {
+            0
+        } else {
+            r.pc
+        },
+        line: r.line,
+        kind,
+    }
+}
+
+/// Replay `trace` against a fresh LLC built from `spec`, with the
+/// [`RefCache`] shadow attached. Returns the first violation, if any.
+pub fn run_cell_trace(
+    spec: &CellSpec,
+    trace: &[TraceRecord],
+    hasher: Box<dyn SliceHasher>,
+) -> Option<Violation> {
+    let mut llc = SlicedLlc::with_hasher(
+        spec.geom,
+        spec.policy.build(&spec.geom, spec.config()),
+        hasher,
+    );
+    llc.set_observer(Box::new(RefCache::new(&spec.geom)));
+    if let Some(n) = spec.inject_fill_miscount {
+        llc.inject_fill_miscount(n);
+    }
+    for (i, r) in trace.iter().enumerate() {
+        let acc = decode_access(r, spec.cores());
+        if !llc.lookup(&acc, i as u64).hit {
+            llc.fill(&acc, i as u64);
+        }
+    }
+    llc.take_observer()
+        .expect("observer installed")
+        .as_any()
+        .downcast_ref::<RefCache>()
+        .expect("RefCache observer")
+        .violation()
+        .cloned()
+}
+
+fn aggregate_hit_miss(
+    spec: &CellSpec,
+    trace: &[TraceRecord],
+    hasher: Box<dyn SliceHasher>,
+) -> (u64, u64) {
+    let mut llc = SlicedLlc::with_hasher(
+        spec.geom,
+        spec.policy.build(&spec.geom, spec.config()),
+        hasher,
+    );
+    for (i, r) in trace.iter().enumerate() {
+        let acc = decode_access(r, spec.cores());
+        if !llc.lookup(&acc, i as u64).hit {
+            llc.fill(&acc, i as u64);
+        }
+    }
+    llc.slice_counters()
+        .iter()
+        .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses))
+}
+
+/// Outcome of one fuzz cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// All checks passed.
+    Pass {
+        /// The cell's spec (for reporting).
+        spec: CellSpec,
+    },
+    /// A check failed; the shrunk repro trace is attached.
+    Fail(Box<CellFailure>),
+}
+
+/// A failing cell, minimized and ready to persist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFailure {
+    /// The cell's spec.
+    pub spec: CellSpec,
+    /// Which checker failed: `"contract"`, `"pc-relabel"` or
+    /// `"slice-permutation"`.
+    pub checker: &'static str,
+    /// The violation (for contract failures) or a description.
+    pub detail: String,
+    /// The minimized failing trace.
+    pub shrunk: Vec<TraceRecord>,
+    /// Length of the original failing trace.
+    pub original_len: usize,
+}
+
+/// Run one fuzz cell end to end: differential check, metamorphic checks,
+/// and — on failure — shrink to a minimal repro.
+pub fn run_cell(spec: &CellSpec, steps: usize) -> CellOutcome {
+    let trace = gen_trace(spec, steps);
+
+    // Differential checker: RefCache shadow over the plain replay.
+    if let Some(v) = run_cell_trace(spec, &trace, Box::new(XorFoldHash::new())) {
+        let shrunk = shrink(&trace, |t| {
+            run_cell_trace(spec, t, Box::new(XorFoldHash::new())).is_some()
+        });
+        let v_shrunk = run_cell_trace(spec, &shrunk, Box::new(XorFoldHash::new()))
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| v.to_string());
+        return CellOutcome::Fail(Box::new(CellFailure {
+            spec: spec.clone(),
+            checker: "contract",
+            detail: v_shrunk,
+            shrunk,
+            original_len: trace.len(),
+        }));
+    }
+
+    // Metamorphic checker 1: PC relabeling. Contracts must hold; for
+    // PC-oblivious policies the aggregate hit/miss counts are invariant.
+    let relabeled = relabel_trace(&trace, spec.seed | 1, RELABEL_BITS);
+    if let Some(v) = run_cell_trace(spec, &relabeled, Box::new(XorFoldHash::new())) {
+        let shrunk = shrink(&trace, |t| {
+            run_cell_trace(
+                spec,
+                &relabel_trace(t, spec.seed | 1, RELABEL_BITS),
+                Box::new(XorFoldHash::new()),
+            )
+            .is_some()
+        });
+        return CellOutcome::Fail(Box::new(CellFailure {
+            spec: spec.clone(),
+            checker: "pc-relabel",
+            detail: v.to_string(),
+            shrunk,
+            original_len: trace.len(),
+        }));
+    }
+    if !spec.policy.is_prediction_based() {
+        let a = aggregate_hit_miss(spec, &trace, Box::new(XorFoldHash::new()));
+        let b = aggregate_hit_miss(spec, &relabeled, Box::new(XorFoldHash::new()));
+        if a != b {
+            return CellOutcome::Fail(Box::new(CellFailure {
+                spec: spec.clone(),
+                checker: "pc-relabel",
+                detail: format!(
+                    "aggregate (hits, misses) changed under relabeling: {a:?} vs {b:?}"
+                ),
+                shrunk: trace.clone(),
+                original_len: trace.len(),
+            }));
+        }
+    }
+
+    // Metamorphic checker 2: slice-hash permutation (seed-derived
+    // rotation). Contracts for everyone; exact totals when oblivious.
+    if spec.geom.slices > 1 {
+        let rot = 1 + (spec.seed as usize) % (spec.geom.slices - 1).max(1);
+        let perm: Vec<usize> = (0..spec.geom.slices)
+            .map(|s| (s + rot) % spec.geom.slices)
+            .collect();
+        let permuted: Box<dyn SliceHasher> =
+            Box::new(PermutedHash::new(XorFoldHash::new(), perm.clone()));
+        if let Some(v) = run_cell_trace(spec, &trace, permuted) {
+            let shrunk = shrink(&trace, |t| {
+                run_cell_trace(
+                    spec,
+                    t,
+                    Box::new(PermutedHash::new(XorFoldHash::new(), perm.clone())),
+                )
+                .is_some()
+            });
+            return CellOutcome::Fail(Box::new(CellFailure {
+                spec: spec.clone(),
+                checker: "slice-permutation",
+                detail: v.to_string(),
+                shrunk,
+                original_len: trace.len(),
+            }));
+        }
+        if slice_oblivious(spec.policy) {
+            let a = aggregate_hit_miss(spec, &trace, Box::new(XorFoldHash::new()));
+            let b = aggregate_hit_miss(
+                spec,
+                &trace,
+                Box::new(PermutedHash::new(XorFoldHash::new(), perm.clone())),
+            );
+            if a != b {
+                return CellOutcome::Fail(Box::new(CellFailure {
+                    spec: spec.clone(),
+                    checker: "slice-permutation",
+                    detail: format!(
+                        "aggregate (hits, misses) changed under slice permutation {perm:?}: \
+                         {a:?} vs {b:?}"
+                    ),
+                    shrunk: trace.clone(),
+                    original_len: trace.len(),
+                }));
+            }
+        }
+    }
+
+    CellOutcome::Pass { spec: spec.clone() }
+}
+
+/// Persist a failure's minimized trace as `failure-<seed>.drtr` in `dir`.
+///
+/// The trace-store header carries the cell seed, so the file alone (plus
+/// the `--inject-violation` flag if the run was sabotaged) reproduces the
+/// cell.
+pub fn persist_failure(dir: &Path, failure: &CellFailure) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("failure-{}.drtr", failure.spec.seed));
+    write_trace(&path, "fuzz-cell", failure.spec.seed, &failure.shrunk)
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Replay a persisted failure file: re-derive the cell from the stored
+/// seed, re-run the stored records, and report the violation (if it still
+/// reproduces).
+pub fn replay_file(path: &Path, inject: bool) -> Result<ReplayReport, String> {
+    let (meta, records) = read_trace(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let spec = CellSpec::derive(meta.seed, inject);
+    let violation = run_cell_trace(&spec, &records, Box::new(XorFoldHash::new()));
+    Ok(ReplayReport {
+        spec,
+        records,
+        violation,
+    })
+}
+
+/// Result of [`replay_file`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// The cell re-derived from the file's stored seed.
+    pub spec: CellSpec,
+    /// The records replayed.
+    pub records: Vec<TraceRecord>,
+    /// The violation the replay reproduced, if any.
+    pub violation: Option<Violation>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // Reference values for seed 1234567 from the canonical splitmix64.
+        let mut s = 1234567u64;
+        assert_eq!(splitmix64(&mut s), 6_457_827_717_110_365_317);
+        assert_eq!(splitmix64(&mut s), 3_203_168_211_198_807_973);
+    }
+
+    #[test]
+    fn cell_derivation_is_deterministic_and_seed_sensitive() {
+        let a = CellSpec::derive(42, false);
+        assert_eq!(a, CellSpec::derive(42, false));
+        let mut distinct = false;
+        for seed in 0..32 {
+            if CellSpec::derive(seed, false).policy != a.policy {
+                distinct = true;
+                break;
+            }
+        }
+        assert!(distinct, "seeds must reach different policies");
+    }
+
+    #[test]
+    fn trace_decodes_to_in_range_accesses() {
+        let spec = CellSpec::derive(7, false);
+        let trace = gen_trace(&spec, 500);
+        assert_eq!(trace.len(), 500);
+        let lines = (spec.geom.slices * spec.geom.sets_per_slice * spec.geom.ways * 2) as u64;
+        let mut kinds = std::collections::HashSet::new();
+        for r in &trace {
+            let acc = decode_access(r, spec.cores());
+            assert!(acc.core < spec.cores());
+            assert!(acc.line < lines);
+            kinds.insert(acc.kind);
+        }
+        assert!(kinds.len() >= 2, "kind mix expected, got {kinds:?}");
+    }
+
+    #[test]
+    fn clean_cells_pass() {
+        for seed in 0..8u64 {
+            let spec = CellSpec::derive(seed, false);
+            match run_cell(&spec, 800) {
+                CellOutcome::Pass { .. } => {}
+                CellOutcome::Fail(f) => {
+                    panic!(
+                        "seed {seed} ({}) failed: {} {}",
+                        spec.describe(),
+                        f.checker,
+                        f.detail
+                    )
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_cell_fails_shrinks_and_replays_bit_identically() {
+        let spec = CellSpec::derive(3, true);
+        let f = match run_cell(&spec, 2_000) {
+            CellOutcome::Fail(f) => f,
+            CellOutcome::Pass { .. } => panic!("sabotaged cell must fail"),
+        };
+        assert_eq!(f.checker, "contract");
+        assert!(
+            f.shrunk.len() < f.original_len,
+            "shrinker must reduce {} records (got {})",
+            f.original_len,
+            f.shrunk.len()
+        );
+
+        let dir = std::env::temp_dir().join("drishti-fuzz-test");
+        let path = persist_failure(&dir, &f).expect("persist");
+        let report = replay_file(&path, true).expect("replay");
+        assert_eq!(report.spec, spec);
+        assert_eq!(report.records, f.shrunk, "persisted records round-trip");
+        let direct = run_cell_trace(&spec, &f.shrunk, Box::new(XorFoldHash::new()));
+        assert_eq!(
+            report.violation, direct,
+            "replay from disk must reproduce the identical violation"
+        );
+        assert!(report.violation.is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_without_injection_passes() {
+        // The sabotage is not encoded in the trace file; replaying without
+        // the flag must come back clean (documented repro workflow).
+        let spec = CellSpec::derive(3, true);
+        let f = match run_cell(&spec, 2_000) {
+            CellOutcome::Fail(f) => f,
+            CellOutcome::Pass { .. } => panic!("sabotaged cell must fail"),
+        };
+        let dir = std::env::temp_dir().join("drishti-fuzz-test-clean");
+        let path = persist_failure(&dir, &f).expect("persist");
+        let report = replay_file(&path, false).expect("replay");
+        assert_eq!(report.violation, None);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,33 @@
+//! Policy-conformance checking: differential reference model,
+//! metamorphic relations, and the deterministic fuzzer.
+//!
+//! Replacement-policy bugs that *crash* are easy; the dangerous ones
+//! silently mis-account — a victim chosen outside the indexed set, a
+//! counter that drifts, a bypass on a half-empty set — and show up only
+//! as implausible end-to-end numbers. This module catches them at the
+//! exact access where they happen:
+//!
+//! - [`refcache`] — a minimal set-associative reference interpreter that
+//!   shadows any run via the observation-only [`drishti_mem::shadow`]
+//!   hooks and re-checks every lookup/fill event against first
+//!   principles (residency, victim membership, counter telescoping,
+//!   per-policy metadata invariants via
+//!   [`drishti_mem::policy::PolicyProbe`]).
+//! - [`metamorphic`] — four behaviour-preserving transforms (PC
+//!   relabeling, core-ID permutation, slice-hash permutation,
+//!   warmup-split) and the invariances a correct simulator must show
+//!   under each.
+//! - [`fuzz`] — seed-derived random cells (policy × organisation ×
+//!   geometry × trace) driven through both checkers, with greedy trace
+//!   shrinking and on-disk `.drtr` repro files. The `drishti-fuzz`
+//!   binary is a thin CLI over this module.
+//!
+//! See DESIGN.md §13 for the contract list and the soundness argument
+//! behind each relation.
+
+pub mod fuzz;
+pub mod metamorphic;
+pub mod refcache;
+
+pub use fuzz::{CellOutcome, CellSpec};
+pub use refcache::{RefCache, Violation};

@@ -1,0 +1,416 @@
+//! The reference interpreter: a minimal shadow of set-associative
+//! residency and counter accounting.
+//!
+//! [`RefCache`] implements [`LlcObserver`] and re-derives, from first
+//! principles, what every lookup/fill event *must* have done to a
+//! correct set-associative cache. It keeps its own copy of per-way
+//! residency (line + dirty bit) and its own [`SliceCounters`], and
+//! verifies on every event that the production container agrees. Because
+//! the check runs per event, the first divergence is pinned to an exact
+//! access index — which is what makes failing fuzz traces shrinkable.
+
+use drishti_mem::access::{Access, AccessKind};
+use drishti_mem::llc::{LlcGeometry, SliceCounters};
+use drishti_mem::policy::{LlcLoc, SetProbe};
+use drishti_mem::shadow::{FillOutcome, LlcObserver};
+use std::any::Any;
+
+/// One resident line in the shadow cache.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShadowLine {
+    line: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// A detected contract violation, pinned to the event where it fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// 0-based index of the observed event (lookups and fills both count).
+    pub event: u64,
+    /// Short name of the violated contract.
+    pub contract: &'static str,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event {}: [{}] {}",
+            self.event, self.contract, self.detail
+        )
+    }
+}
+
+/// Shadow checker for a [`drishti_mem::llc::SlicedLlc`] run.
+///
+/// Install with `set_observer` / `Engine::set_llc_observer` on a *fresh*
+/// container (the shadow starts empty and counters start at zero, exactly
+/// like the real ones). After the run, [`RefCache::violation`] reports the
+/// first contract breach, if any; checking stops at the first violation so
+/// the pinned event index stays meaningful.
+#[derive(Debug)]
+pub struct RefCache {
+    ways: usize,
+    /// `lines[slice][set * ways + way]`, mirroring the container layout.
+    lines: Vec<Vec<ShadowLine>>,
+    counters: Vec<SliceCounters>,
+    events: u64,
+    violation: Option<Violation>,
+}
+
+impl RefCache {
+    /// A shadow sized for `geom`, empty, all counters zero.
+    pub fn new(geom: &LlcGeometry) -> Self {
+        RefCache {
+            ways: geom.ways,
+            lines: vec![vec![ShadowLine::default(); geom.sets_per_slice * geom.ways]; geom.slices],
+            counters: vec![SliceCounters::default(); geom.slices],
+            events: 0,
+            violation: None,
+        }
+    }
+
+    /// The first contract violation observed, if any.
+    pub fn violation(&self) -> Option<&Violation> {
+        self.violation.as_ref()
+    }
+
+    /// Total lookup + fill events observed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn fail(&mut self, contract: &'static str, detail: String) {
+        if self.violation.is_none() {
+            self.violation = Some(Violation {
+                event: self.events,
+                contract,
+                detail,
+            });
+        }
+    }
+
+    fn way_index(&self, loc: LlcLoc, way: usize) -> usize {
+        loc.set * self.ways + way
+    }
+
+    /// Where `line` resides in the shadow set, if anywhere.
+    fn resident_way(&self, loc: LlcLoc, line: u64) -> Option<usize> {
+        (0..self.ways).find(|&w| {
+            let l = self.lines[loc.slice][self.way_index(loc, w)];
+            l.valid && l.line == line
+        })
+    }
+
+    fn set_is_full(&self, loc: LlcLoc) -> bool {
+        (0..self.ways).all(|w| self.lines[loc.slice][self.way_index(loc, w)].valid)
+    }
+
+    /// Counter telescoping: after every event the container's slice
+    /// counters must equal the shadow's independently maintained ones.
+    fn check_counters(&mut self, loc: LlcLoc, observed: &SliceCounters) {
+        let expected = self.counters[loc.slice];
+        if expected != *observed {
+            self.fail(
+                "counter-telescoping",
+                format!(
+                    "slice {} counters diverged: container {observed:?} vs shadow {expected:?}",
+                    loc.slice
+                ),
+            );
+        }
+    }
+
+    fn check_probe(&mut self, probe: Option<&SetProbe>) {
+        if let Some(p) = probe {
+            if p.values.len() != self.ways {
+                self.fail(
+                    "probe-width",
+                    format!("probe has {} values for {} ways", p.values.len(), self.ways),
+                );
+            } else if let Some(detail) = p.check() {
+                self.fail("probe-invariant", detail);
+            }
+        }
+    }
+}
+
+impl LlcObserver for RefCache {
+    fn on_lookup(
+        &mut self,
+        acc: &Access,
+        loc: LlcLoc,
+        hit_way: Option<usize>,
+        counters: &SliceCounters,
+    ) {
+        if self.violation.is_some() {
+            self.events += 1;
+            return;
+        }
+        match hit_way {
+            Some(way) => {
+                if way >= self.ways {
+                    self.fail("hit-way-range", format!("hit way {way} of {}", self.ways));
+                } else {
+                    let idx = self.way_index(loc, way);
+                    let shadow = self.lines[loc.slice][idx];
+                    if !shadow.valid || shadow.line != acc.line {
+                        self.fail(
+                            "hit-resident",
+                            format!(
+                                "hit on line {:#x} at way {way}, but shadow holds {:?}",
+                                acc.line, shadow
+                            ),
+                        );
+                    }
+                    if matches!(acc.kind, AccessKind::Store | AccessKind::Writeback) {
+                        self.lines[loc.slice][idx].dirty = true;
+                    }
+                }
+                self.counters[loc.slice].hits += 1;
+            }
+            None => {
+                if let Some(w) = self.resident_way(loc, acc.line) {
+                    self.fail(
+                        "miss-absent",
+                        format!("miss on line {:#x} resident in shadow way {w}", acc.line),
+                    );
+                }
+                self.counters[loc.slice].misses += 1;
+            }
+        }
+        self.check_counters(loc, counters);
+        self.events += 1;
+    }
+
+    fn on_fill(
+        &mut self,
+        acc: &Access,
+        loc: LlcLoc,
+        outcome: FillOutcome<'_>,
+        counters: &SliceCounters,
+        probe: Option<&SetProbe>,
+    ) {
+        if self.violation.is_some() {
+            self.events += 1;
+            return;
+        }
+        match outcome {
+            FillOutcome::Installed { way, evicted } => {
+                if way >= self.ways {
+                    self.fail("fill-way-range", format!("fill way {way} of {}", self.ways));
+                    self.events += 1;
+                    return;
+                }
+                if let Some(w) = self.resident_way(loc, acc.line) {
+                    self.fail(
+                        "fill-duplicate",
+                        format!(
+                            "install of line {:#x} into way {way} while shadow way {w} already \
+                             holds it",
+                            acc.line
+                        ),
+                    );
+                }
+                let idx = self.way_index(loc, way);
+                let shadow = self.lines[loc.slice][idx];
+                match evicted {
+                    Some(e) => {
+                        if !shadow.valid || shadow.line != e.line {
+                            self.fail(
+                                "victim-resident",
+                                format!(
+                                    "evicted line {:#x} from way {way}, but shadow holds {:?}",
+                                    e.line, shadow
+                                ),
+                            );
+                        } else if shadow.dirty != e.dirty {
+                            self.fail(
+                                "victim-dirty",
+                                format!(
+                                    "evicted line {:#x} reported dirty={}, shadow says {}",
+                                    e.line, e.dirty, shadow.dirty
+                                ),
+                            );
+                        }
+                        if e.dirty {
+                            self.counters[loc.slice].evictions_dirty += 1;
+                        } else {
+                            self.counters[loc.slice].evictions_clean += 1;
+                        }
+                    }
+                    None => {
+                        if shadow.valid {
+                            self.fail(
+                                "fill-overwrite",
+                                format!(
+                                    "install into way {way} without an eviction, but shadow \
+                                     holds line {:#x}",
+                                    shadow.line
+                                ),
+                            );
+                        }
+                    }
+                }
+                self.lines[loc.slice][idx] = ShadowLine {
+                    line: acc.line,
+                    valid: true,
+                    dirty: matches!(acc.kind, AccessKind::Store | AccessKind::Writeback),
+                };
+                self.counters[loc.slice].fills += 1;
+            }
+            FillOutcome::Bypassed => {
+                if self.resident_way(loc, acc.line).is_some() {
+                    self.fail(
+                        "bypass-on-miss",
+                        format!("bypass of line {:#x} that is resident in shadow", acc.line),
+                    );
+                }
+                if !self.set_is_full(loc) {
+                    self.fail(
+                        "bypass-full-set",
+                        format!(
+                            "bypass of line {:#x} while the shadow set still has empty ways",
+                            acc.line
+                        ),
+                    );
+                }
+                self.counters[loc.slice].bypasses += 1;
+            }
+            FillOutcome::AlreadyResident { way } => {
+                if way >= self.ways {
+                    self.fail(
+                        "refill-way-range",
+                        format!("refill way {way} of {}", self.ways),
+                    );
+                } else {
+                    let idx = self.way_index(loc, way);
+                    let shadow = self.lines[loc.slice][idx];
+                    if !shadow.valid || shadow.line != acc.line {
+                        self.fail(
+                            "refill-resident",
+                            format!(
+                                "already-resident fill of line {:#x} at way {way}, but shadow \
+                                 holds {:?}",
+                                acc.line, shadow
+                            ),
+                        );
+                    }
+                    if matches!(acc.kind, AccessKind::Store | AccessKind::Writeback) {
+                        self.lines[loc.slice][idx].dirty = true;
+                    }
+                }
+            }
+        }
+        self.check_counters(loc, counters);
+        self.check_probe(probe);
+        self.events += 1;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drishti_core::config::DrishtiConfig;
+    use drishti_mem::llc::SlicedLlc;
+    use drishti_noc::slicehash::ModuloHash;
+    use drishti_policies::factory::PolicyKind;
+
+    fn geom() -> LlcGeometry {
+        LlcGeometry {
+            slices: 2,
+            sets_per_slice: 4,
+            ways: 2,
+            latency: 20,
+        }
+    }
+
+    fn checked_llc(kind: PolicyKind) -> SlicedLlc {
+        let g = geom();
+        let mut llc = SlicedLlc::with_hasher(
+            g,
+            kind.build(&g, DrishtiConfig::baseline(2)),
+            Box::new(ModuloHash::new()),
+        );
+        llc.set_observer(Box::new(RefCache::new(&g)));
+        llc
+    }
+
+    fn violation_of(llc: &mut SlicedLlc) -> Option<Violation> {
+        let obs = llc.take_observer().expect("observer installed");
+        let rc = obs.as_any().downcast_ref::<RefCache>().expect("RefCache");
+        rc.violation().cloned()
+    }
+
+    #[test]
+    fn clean_lru_run_has_no_violation() {
+        let mut llc = checked_llc(PolicyKind::Lru);
+        for i in 0..5_000u64 {
+            let line = (i * 17 + i / 3) % 97;
+            let acc = if i % 4 == 0 {
+                Access::store(0, 0x400 + i % 8, line)
+            } else {
+                Access::load(0, 0x400 + i % 8, line)
+            };
+            if !llc.lookup(&acc, i).hit {
+                llc.fill(&acc, i);
+            }
+        }
+        assert_eq!(violation_of(&mut llc), None);
+    }
+
+    #[test]
+    fn injected_counter_corruption_is_caught_at_exact_event() {
+        let mut llc = checked_llc(PolicyKind::Lru);
+        llc.inject_fill_miscount(5);
+        let mut seen = None;
+        for i in 0..200u64 {
+            let acc = Access::load(0, 0x400, i); // all distinct: every access fills
+            if !llc.lookup(&acc, i).hit {
+                llc.fill(&acc, i);
+            }
+            if seen.is_none() {
+                if let Some(obs) = llc.take_observer() {
+                    let v = obs
+                        .as_any()
+                        .downcast_ref::<RefCache>()
+                        .unwrap()
+                        .violation()
+                        .cloned();
+                    if v.is_some() {
+                        seen = v;
+                        break;
+                    }
+                    llc.set_observer(obs);
+                }
+            }
+        }
+        let v = seen.expect("corruption must be detected");
+        assert_eq!(v.contract, "counter-telescoping");
+        // Fill #5 is the 5th fill event; each access is lookup+fill, so the
+        // violating fill is event index 9 (0-based).
+        assert_eq!(v.event, 9);
+    }
+
+    #[test]
+    fn events_are_counted() {
+        let mut llc = checked_llc(PolicyKind::Srrip);
+        for i in 0..10u64 {
+            let acc = Access::load(0, 0x400, i);
+            if !llc.lookup(&acc, i).hit {
+                llc.fill(&acc, i);
+            }
+        }
+        let obs = llc.take_observer().unwrap();
+        let rc = obs.as_any().downcast_ref::<RefCache>().unwrap();
+        assert_eq!(rc.events(), 20, "10 lookups + 10 fills");
+        assert!(rc.violation().is_none());
+    }
+}

@@ -121,6 +121,10 @@ pub struct Engine {
     /// Engine scheduling steps taken so far (only advanced while
     /// telemetry is enabled — epochs are its only consumer).
     steps: u64,
+    /// Whether the final partial telemetry epoch has been flushed —
+    /// guards against double-flushing when a paused run is resumed (or
+    /// [`Engine::run`] is called again after completion).
+    final_epoch_flushed: bool,
 }
 
 /// The measured-so-far result of one core.
@@ -223,8 +227,27 @@ impl Engine {
             sampling: SamplingSpec::off(),
             telemetry: Telemetry::Off,
             steps: 0,
+            final_epoch_flushed: false,
             cfg,
         }
+    }
+
+    /// Install an LLC shadow observer (conformance checking). Observation
+    /// only: results are byte-identical with or without one.
+    pub fn set_llc_observer(&mut self, obs: Box<dyn drishti_mem::shadow::LlcObserver>) {
+        self.llc.set_observer(obs);
+    }
+
+    /// Remove and return the LLC shadow observer, if any.
+    pub fn take_llc_observer(&mut self) -> Option<Box<dyn drishti_mem::shadow::LlcObserver>> {
+        self.llc.take_observer()
+    }
+
+    /// Forward of [`SlicedLlc::inject_fill_miscount`] — deliberate counter
+    /// corruption for conformance-harness self-tests only.
+    #[doc(hidden)]
+    pub fn inject_fill_miscount(&mut self, nth: u64) {
+        self.llc.inject_fill_miscount(nth);
     }
 
     /// Install a telemetry sink before [`Engine::run`]. The default is
@@ -291,13 +314,31 @@ impl Engine {
     /// records (after `warmup_accesses` of warm-up). Returns per-core
     /// results.
     pub fn run(&mut self) -> Vec<CoreResult> {
+        self.run_steps(u64::MAX);
+        self.results()
+    }
+
+    /// Advance at most `max_steps` scheduling steps (one step = one record
+    /// of one core). Returns `true` once no unfinished core remains.
+    ///
+    /// This is the engine's checkpointing primitive: a paused engine holds
+    /// its complete state in place, so `run_steps(n)` followed by
+    /// `run_steps(u64::MAX)` is bit-identical to a single uninterrupted
+    /// [`Engine::run`] — the warmup-split composability relation the
+    /// conformance harness asserts.
+    pub fn run_steps(&mut self, max_steps: u64) -> bool {
         let epoch_len = self.telemetry.epoch_steps(); // 0 = telemetry off
-                                                      // Advance the unfinished core with the minimum local clock.
-        while let Some(c) = (0..self.cores.len())
-            .filter(|&c| !self.cores[c].finished)
-            .min_by_key(|&c| self.cores[c].cycle)
-        {
+        let mut taken = 0u64;
+        // Advance the unfinished core with the minimum local clock.
+        while taken < max_steps {
+            let Some(c) = (0..self.cores.len())
+                .filter(|&c| !self.cores[c].finished)
+                .min_by_key(|&c| self.cores[c].cycle)
+            else {
+                break;
+            };
             self.step(c);
+            taken += 1;
             if epoch_len != 0 {
                 self.steps += 1;
                 if self.steps.is_multiple_of(epoch_len) {
@@ -305,11 +346,24 @@ impl Engine {
                 }
             }
         }
+        let done = self.cores.iter().all(|c| c.finished);
         // Flush the final partial epoch so epoch sums equal the aggregate
-        // counters (conservation).
-        if epoch_len != 0 && !self.steps.is_multiple_of(epoch_len) {
+        // counters (conservation) — exactly once, even if the engine is
+        // driven past completion again.
+        if done
+            && epoch_len != 0
+            && !self.steps.is_multiple_of(epoch_len)
+            && !self.final_epoch_flushed
+        {
             self.sample_epoch();
+            self.final_epoch_flushed = true;
         }
+        done
+    }
+
+    /// Per-core measured-so-far results (complete results after
+    /// [`Engine::run`] or once [`Engine::run_steps`] returns `true`).
+    pub fn results(&self) -> Vec<CoreResult> {
         let sampled = self.sampling.enabled();
         self.cores.iter().map(|c| core_result(c, sampled)).collect()
     }
@@ -718,6 +772,43 @@ mod tests {
             a_ipc >= t_ipc * 0.98,
             "alone {a_ipc} should not lose to together {t_ipc}"
         );
+    }
+
+    #[test]
+    fn paused_and_resumed_run_is_bit_identical() {
+        let mix = Mix::heterogeneous(&Benchmark::spec_and_gap(), 4, 7);
+        let mut a = engine_for(&mix, PolicyKind::Srrip, 3_000, 300);
+        let ra = a.run();
+        // Same workload, driven in awkward 997-step chunks.
+        let mut b = engine_for(&mix, PolicyKind::Srrip, 3_000, 300);
+        let mut chunks = 0;
+        while !b.run_steps(997) {
+            chunks += 1;
+            assert!(chunks < 1_000_000, "run_steps never completed");
+        }
+        assert!(chunks > 1, "run too short to exercise resumption");
+        assert_eq!(ra, b.results());
+        assert_eq!(a.llc().stats(), b.llc().stats());
+        assert_eq!(a.llc().slice_counters(), b.llc().slice_counters());
+    }
+
+    #[test]
+    fn resumed_run_flushes_final_epoch_exactly_once() {
+        let mix = Mix::homogeneous(Benchmark::Mcf, 2, 1);
+        let mut whole = engine_for(&mix, PolicyKind::Lru, 2_000, 200);
+        whole.set_telemetry(TelemetrySpec::sampling(700));
+        whole.run();
+        let t_whole = whole.take_timeline().unwrap();
+
+        let mut chunked = engine_for(&mix, PolicyKind::Lru, 2_000, 200);
+        chunked.set_telemetry(TelemetrySpec::sampling(700));
+        while !chunked.run_steps(311) {}
+        // Driving a finished engine further must not grow the timeline.
+        assert!(chunked.run_steps(311));
+        chunked.run();
+        let t_chunked = chunked.take_timeline().unwrap();
+        assert_eq!(t_whole.epochs.len(), t_chunked.epochs.len());
+        assert_eq!(t_whole.to_json_string(), t_chunked.to_json_string());
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!
 //! * [`config::SystemConfig`] — every knob the paper sweeps (core count,
 //!   LLC slice size, L2 size, DRAM channels, prefetchers);
+//! * [`conformance`] — the differential reference interpreter, the
+//!   metamorphic-relation executor, and the seed-derived fuzz cells the
+//!   `drishti-fuzz` binary drives;
 //! * [`engine::Engine`] — min-clock actor scheduling of the cores through
 //!   the shared memory system;
 //! * [`metrics`] — weighted speedup, harmonic speedup, maximum individual
@@ -52,6 +55,7 @@
 //! ```
 
 pub mod config;
+pub mod conformance;
 pub mod energy;
 pub mod engine;
 pub mod metrics;

@@ -137,13 +137,20 @@ pub struct JobFailure {
     pub id: usize,
     /// The failed job's label.
     pub label: String,
+    /// The failed job's seed — the reproduction key, so a panic report
+    /// alone is enough to re-run the cell.
+    pub seed: u64,
     /// The panic message.
     pub message: String,
 }
 
 impl std::fmt::Display for JobFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "cell {} ({}): {}", self.id, self.label, self.message)
+        write!(
+            f,
+            "cell {} ({}, seed {:#x}): {}",
+            self.id, self.label, self.seed, self.message
+        )
     }
 }
 
@@ -227,6 +234,7 @@ pub fn run_sweep(jobs: &[SweepJob], workers: usize, cache: &Arc<TraceCache>) -> 
             r.map_err(|message| JobFailure {
                 id,
                 label: labels[id].clone(),
+                seed: jobs[id].seed,
                 message,
             })
         })

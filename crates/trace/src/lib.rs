@@ -21,7 +21,9 @@
 //! homogeneous/heterogeneous multi-core mixes, [`replay`] materialises
 //! traces once and shares them across concurrent sweep cells, and
 //! [`store`] persists traces to disk (`drishti-trace/v1`) for streaming,
-//! bounded-memory replay.
+//! bounded-memory replay. [`shrink`] and [`transform`] serve the
+//! conformance fuzzer: greedy minimization of failing traces and
+//! behaviour-preserving transforms for metamorphic relations.
 //!
 //! # Example
 //!
@@ -39,8 +41,10 @@ pub mod mix;
 pub mod pattern;
 pub mod presets;
 pub mod replay;
+pub mod shrink;
 pub mod store;
 pub mod synthetic;
+pub mod transform;
 
 /// One record of a core's memory trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,144 @@
+//! Greedy trace shrinking for the conformance fuzzer.
+//!
+//! When a fuzz cell finds a contract violation, the raw failing trace is
+//! thousands of records long and useless for debugging. [`shrink`]
+//! minimizes it against a caller-supplied *oracle* (does this candidate
+//! trace still fail?) in two phases:
+//!
+//! 1. **Prefix truncation** — contract violations are detected at a
+//!    specific access, so everything after the first failing index is
+//!    dead weight. We binary-search the shortest failing prefix.
+//! 2. **Greedy chunk removal** (ddmin-style) — repeatedly try deleting
+//!    interior chunks, halving the chunk size until single records, and
+//!    keep any deletion that still fails.
+//!
+//! The oracle is called O(n log n) times in the worst case; fuzz traces
+//! are short (thousands of records) so this completes in milliseconds.
+
+use crate::TraceRecord;
+
+/// Minimize `trace` to a (locally) minimal subsequence for which
+/// `fails` still returns `true`.
+///
+/// Requires `fails(trace)` to be true on entry; returns the input
+/// unchanged (and makes no oracle calls beyond the initial check) if it
+/// is not, so a flaky oracle can never "shrink" a passing trace into a
+/// fabricated failure.
+pub fn shrink<F>(trace: &[TraceRecord], mut fails: F) -> Vec<TraceRecord>
+where
+    F: FnMut(&[TraceRecord]) -> bool,
+{
+    if trace.is_empty() || !fails(trace) {
+        return trace.to_vec();
+    }
+
+    // Phase 1: shortest failing prefix, by binary search. Failure is
+    // prefix-monotone for contract violations (once the violating access
+    // has happened, longer prefixes still contain it), which the oracle
+    // re-verifies at every probe — a non-monotone oracle just costs
+    // extra probes, never a wrong result.
+    let mut lo = 1usize; // shortest length not yet known to pass
+    let mut hi = trace.len(); // shortest length known to fail
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fails(&trace[..mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let mut current: Vec<TraceRecord> = trace[..hi].to_vec();
+    if !fails(&current) {
+        // Non-monotone oracle: fall back to the full trace as the prefix.
+        current = trace.to_vec();
+    }
+
+    // Phase 2: greedy interior deletion with geometrically shrinking
+    // chunks. The final record is pinned — it is the access where the
+    // violation fires, so deleting it can never keep the failure.
+    let mut chunk = current.len().saturating_sub(1) / 2;
+    while chunk >= 1 {
+        let mut start = 0;
+        while start + chunk < current.len() {
+            let mut candidate = Vec::with_capacity(current.len() - chunk);
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[start + chunk..]);
+            if fails(&candidate) {
+                current = candidate;
+            } else {
+                start += chunk;
+            }
+        }
+        chunk /= 2;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(line: u64) -> TraceRecord {
+        TraceRecord {
+            instr_gap: 1,
+            pc: 0x400,
+            line,
+            is_store: false,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_single_triggering_record() {
+        let trace: Vec<TraceRecord> = (0..1000).map(rec).collect();
+        // "Fails" iff line 637 is present.
+        let shrunk = shrink(&trace, |t| t.iter().any(|r| r.line == 637));
+        assert_eq!(shrunk.len(), 1);
+        assert_eq!(shrunk[0].line, 637);
+    }
+
+    #[test]
+    fn shrinks_conjunction_to_both_records() {
+        let trace: Vec<TraceRecord> = (0..500).map(rec).collect();
+        // Fails iff 100 appears before 400.
+        let shrunk = shrink(&trace, |t| {
+            let a = t.iter().position(|r| r.line == 100);
+            let b = t.iter().position(|r| r.line == 400);
+            matches!((a, b), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(
+            shrunk.iter().map(|r| r.line).collect::<Vec<_>>(),
+            vec![100, 400]
+        );
+    }
+
+    #[test]
+    fn passing_trace_is_returned_unchanged() {
+        let trace: Vec<TraceRecord> = (0..10).map(rec).collect();
+        let shrunk = shrink(&trace, |_| false);
+        assert_eq!(shrunk, trace);
+    }
+
+    #[test]
+    fn prefix_truncation_respects_violation_index() {
+        let trace: Vec<TraceRecord> = (0..256).map(rec).collect();
+        // Count-based failure: fails once ≥ 10 records are present —
+        // monotone in the prefix, minimal answer is exactly 10 records.
+        let shrunk = shrink(&trace, |t| t.len() >= 10);
+        assert_eq!(shrunk.len(), 10);
+    }
+
+    #[test]
+    fn empty_trace_is_a_no_op() {
+        assert!(shrink(&[], |_| true).is_empty());
+    }
+
+    #[test]
+    fn oracle_result_is_final_failing_state() {
+        // Whatever shrink returns must itself fail — the repro guarantee.
+        let trace: Vec<TraceRecord> = (0..333).map(rec).collect();
+        let oracle = |t: &[TraceRecord]| t.iter().filter(|r| r.line % 7 == 0).count() >= 3;
+        let shrunk = shrink(&trace, oracle);
+        assert!(oracle(&shrunk));
+        assert_eq!(shrunk.len(), 3);
+    }
+}

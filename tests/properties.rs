@@ -5,7 +5,7 @@ use drishti::core::dsc::{DscConfig, DynamicSampledCache};
 use drishti::mem::access::Access;
 use drishti::mem::llc::{LlcGeometry, SlicedLlc};
 use drishti::noc::slicehash::{SliceHasher, XorFoldHash};
-use drishti::policies::factory::PolicyKind;
+use drishti::policies::factory::{all_policies, PolicyKind};
 use drishti::policies::opt::{next_use_indices, simulate_opt};
 use drishti::sim::metrics::MixMetrics;
 use proptest::prelude::*;
@@ -47,7 +47,7 @@ proptest! {
             .map(|(i, &l)| Access::load(i % 2, 0x40 + (l % 7), l))
             .collect();
         let opt = simulate_opt(&trace, &small_geom());
-        for kind in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Hawkeye, PolicyKind::Mockingjay] {
+        for kind in all_policies() {
             let hits = run_policy(kind, &trace);
             prop_assert!(
                 hits <= opt.hits,
@@ -82,7 +82,7 @@ proptest! {
         ops in prop::collection::vec((0u64..200, 0usize..2, any::<bool>()), 100..400)
     ) {
         let geom = small_geom();
-        for kind in [PolicyKind::Lru, PolicyKind::Dip, PolicyKind::ShipPp, PolicyKind::Chrome] {
+        for kind in all_policies() {
             let mut llc = SlicedLlc::new(geom, kind.build(&geom, DrishtiConfig::drishti(2)));
             for (i, &(line, core, store)) in ops.iter().enumerate() {
                 let a = if store {
@@ -132,6 +132,18 @@ proptest! {
             prop_assert_eq!(sel.len(), 8, "duplicate sampled sets");
             prop_assert!(sel.iter().all(|&s| s < 64));
         }
+    }
+
+    /// Every policy the factory can build appears in `all_policies()`, so
+    /// the parametrized properties above really cover the whole roster.
+    #[test]
+    fn all_policies_is_the_factory_roster(_x in 0u8..1) {
+        let roster = all_policies();
+        prop_assert_eq!(roster.clone(), PolicyKind::all().to_vec());
+        let mut labels: Vec<&str> = roster.iter().map(|p| p.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        prop_assert_eq!(labels.len(), roster.len(), "duplicate policy labels");
     }
 
     /// Mix metrics are internally consistent for arbitrary IPC vectors.

@@ -70,6 +70,49 @@ fn pool_isolates_and_reports_a_panicking_task() {
     }
 }
 
+/// A cell that panics mid-sweep surfaces as a failed cell that names its
+/// seed (the reproduction key), while every surrounding cell completes.
+#[test]
+fn panicking_sweep_cell_fails_alone_and_names_its_seed() {
+    let cores = 2;
+    let mut jobs = tiny_jobs(cores);
+    // Sabotage the middle cell: a mix whose core count disagrees with the
+    // system triggers the runner's assertion — a genuine panic deep inside
+    // job execution, not a pre-validated error path.
+    let bad = 1;
+    if let JobKind::Run { mix, .. } = &mut jobs[bad].kind {
+        *mix = Mix::homogeneous(Benchmark::Mcf, cores + 1, 99);
+    } else {
+        panic!("job {bad} should be a Run cell");
+    }
+
+    let cache = Arc::new(TraceCache::new());
+    let out = run_sweep(&jobs, 2, &cache);
+
+    assert_eq!(out.outputs.len(), jobs.len());
+    for (id, r) in out.outputs.iter().enumerate() {
+        if id == bad {
+            let f = r.as_ref().unwrap_err();
+            assert_eq!(f.id, bad);
+            assert_eq!(f.seed, jobs[bad].seed, "failure must carry the cell seed");
+            assert_eq!(f.label, jobs[bad].label);
+            assert!(
+                f.message.contains("core mismatch"),
+                "panic message should surface, got: {}",
+                f.message
+            );
+            let shown = f.to_string();
+            assert!(
+                shown.contains(&format!("{:#x}", jobs[bad].seed)),
+                "display must name the seed, got: {shown}"
+            );
+        } else {
+            assert!(r.is_ok(), "cell {id} should be unaffected");
+        }
+    }
+    assert_eq!(out.failures().len(), 1);
+}
+
 fn tiny_jobs(cores: usize) -> Vec<SweepJob> {
     let rc = RunConfig {
         system: SystemConfig::paper_baseline(cores),
