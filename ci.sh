@@ -107,6 +107,44 @@ for replay in "$out/rr_replay_j1.json" "$out/rr_replay_j8.json"; do
 done
 echo "replayed reports byte-identical to the generated run at --jobs 1 and 8"
 
+# Crash-resume gate: SIGKILL a journaled sweep mid-flight, resume it with
+# --resume, and demand the final report is byte-identical to an
+# uninterrupted run's — and that the clean completion removed the
+# journal. If the victim finishes before the kill lands the gate degrades
+# to a no-op resume, which must still byte-match. (Runs in --quick too —
+# crash-resumability is a core contract of the sweep harness.)
+step "crash-resume gate (SIGKILL mid-sweep, --resume byte-identity)"
+fig13="target/$profile_dir/fig13_main_performance"
+resume_report="$out/resume_gate.json"
+resume_journal="$resume_report.journal"
+rm -f "$resume_report" "$resume_journal"
+"$fig13" "${gate_args[@]}" --jobs 8 --report "$out/resume_ref.json" >/dev/null
+"$fig13" "${gate_args[@]}" --jobs 8 --report "$resume_report" >/dev/null 2>&1 &
+victim=$!
+# Kill once at least one cell landed in the journal (28-byte header, then
+# one entry per completed cell); give up waiting after ~10s.
+for _ in $(seq 1 200); do
+  journal_bytes=$(wc -c < "$resume_journal" 2>/dev/null || echo 0)
+  [[ "$journal_bytes" -gt 28 ]] && break
+  kill -0 "$victim" 2>/dev/null || break
+  sleep 0.05
+done
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+if [[ -e "$resume_report" ]]; then
+  echo "note: sweep completed before SIGKILL; resuming a finished sweep instead"
+fi
+"$fig13" "${gate_args[@]}" --jobs 8 --report "$resume_report" --resume >/dev/null
+if ! diff -u "$out/resume_ref.json" "$resume_report"; then
+  echo "FAIL: resumed sweep report differs from the uninterrupted run" >&2
+  exit 1
+fi
+if [[ -e "$resume_journal" ]]; then
+  echo "FAIL: clean completion left $resume_journal behind" >&2
+  exit 1
+fi
+echo "killed sweep resumed to a byte-identical report; journal cleaned up"
+
 # Fuzz-smoke gate: 64 seed-derived conformance cells (differential
 # RefCache shadow + metamorphic re-runs) with the pinned CI seed must run
 # clean; failures persist shrunk target/fuzz/*.drtr repro files for

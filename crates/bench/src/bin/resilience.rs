@@ -17,7 +17,7 @@
 //! reproducible bit-for-bit at any `--jobs` width; the report lands in
 //! `target/sweep/resilience.json`.
 
-use drishti_bench::{f2, header, row, write_reports, ExpOpts};
+use drishti_bench::{f2, header, report_path, row, write_reports, ExpOpts};
 use drishti_core::config::DrishtiConfig;
 use drishti_noc::faults::FaultConfig;
 use drishti_policies::factory::PolicyKind;
@@ -25,7 +25,7 @@ use drishti_sim::config::SystemConfig;
 use drishti_sim::runner::RunConfig;
 use drishti_sim::sampling::SamplingSpec;
 use drishti_sim::sweep::report::{SweepReport, SweepTiming};
-use drishti_sim::sweep::{run_sweep, JobKind, SweepJob};
+use drishti_sim::sweep::{journal, run_sweep_resumable, JobKind, SweepJob};
 use drishti_sim::telemetry::TelemetrySpec;
 use drishti_trace::mix::Mix;
 use drishti_trace::presets::Benchmark;
@@ -108,7 +108,15 @@ fn main() {
     }
 
     let cache = Arc::new(TraceCache::new());
-    let outcome = run_sweep(&jobs, opts.jobs, &cache);
+    let journal_file = journal::journal_path(&report_path(&opts, "resilience"));
+    let outcome = run_sweep_resumable(&jobs, opts.jobs, &cache, &journal_file, opts.resume)
+        .unwrap_or_else(|err| {
+            eprintln!(
+                "error: cannot resume from {}: {err}",
+                journal_file.display()
+            );
+            std::process::exit(2);
+        });
     let timing = SweepTiming::from_outcome("resilience", &outcome);
     let failures = outcome.failures();
     if !failures.is_empty() {

@@ -36,7 +36,7 @@ use drishti_sim::metrics::{mean, MixMetrics};
 use drishti_sim::runner::{alone_ipcs, mix_metrics, run_mix, RunConfig, RunResult};
 use drishti_sim::sampling::SamplingSpec;
 use drishti_sim::sweep::report::{SweepReport, SweepTiming};
-use drishti_sim::sweep::{run_sweep, JobKind, JobOutput, SweepJob};
+use drishti_sim::sweep::{journal, run_sweep_resumable, JobKind, JobOutput, SweepJob};
 use drishti_sim::telemetry::TelemetrySpec;
 use drishti_trace::mix::Mix;
 use drishti_trace::replay::TraceCache;
@@ -44,7 +44,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 const OPTS_USAGE: &str = "usage: [--full] [--mixes N] [--cores a,b,c] [--accesses N] \
-[--jobs N] [--report PATH] [--telemetry] [--epoch N] \
+[--jobs N] [--report PATH] [--resume] [--telemetry] [--epoch N] \
 [--sample-interval N] [--sample-warmup N]";
 
 /// Command-line options shared by all experiment binaries.
@@ -62,6 +62,10 @@ pub struct ExpOpts {
     pub jobs: usize,
     /// Report destination override (default: `target/sweep/<name>.json`).
     pub report: Option<PathBuf>,
+    /// Resume an interrupted sweep from its `<report>.journal`: journaled
+    /// cells are loaded, only the unfinished remainder is simulated. The
+    /// final report is byte-identical either way.
+    pub resume: bool,
     /// Sample per-epoch telemetry timelines during every run.
     pub telemetry: bool,
     /// Telemetry epoch length in engine steps (0 = library default).
@@ -81,6 +85,7 @@ impl Default for ExpOpts {
             accesses: 80_000,
             jobs: 0,
             report: None,
+            resume: false,
             telemetry: false,
             epoch: 0,
             sample_interval: 0,
@@ -113,6 +118,11 @@ impl ExpOpts {
                 }
                 "--telemetry" => {
                     opts.telemetry = true;
+                    i += 1;
+                    continue;
+                }
+                "--resume" => {
+                    opts.resume = true;
                     i += 1;
                     continue;
                 }
@@ -398,7 +408,20 @@ pub fn sweep_groups(
     }
 
     let cache = Arc::new(TraceCache::new());
-    let outcome = run_sweep(&jobs, opts.jobs, &cache);
+    // Every sweep is journaled beside its report: completed cells land in
+    // `<report>.journal` as they finish, so a killed run can be picked up
+    // with `--resume`. The journal is removed again by [`write_reports`]
+    // on clean completion. A journal that exists but belongs to a
+    // different job set is a hard refusal (exit 2), not a silent re-run.
+    let journal_file = journal::journal_path(&report_path(opts, name));
+    let outcome = run_sweep_resumable(&jobs, opts.jobs, &cache, &journal_file, opts.resume)
+        .unwrap_or_else(|err| {
+            eprintln!(
+                "error: cannot resume from {}: {err}",
+                journal_file.display()
+            );
+            std::process::exit(2);
+        });
     let timing = SweepTiming::from_outcome(name, &outcome);
     let failures: Vec<_> = outcome.failures().into_iter().cloned().collect();
     if !failures.is_empty() {
@@ -523,19 +546,28 @@ fn enrich_cell(report: &mut SweepReport, id: usize, ws: f64, ws_improvement_pct:
         .push(("ws_improvement_pct".to_string(), ws_improvement_pct));
 }
 
+/// The report path a sweep named `name` will write to: `--report` or the
+/// default `target/sweep/<name>.json`. The completion journal lives
+/// beside it (`<report>.journal`).
+pub fn report_path(opts: &ExpOpts, name: &str) -> PathBuf {
+    opts.report
+        .clone()
+        .unwrap_or_else(|| drishti_sim::sweep::report::default_report_path(name))
+}
+
 /// Write `report` (and its timing sidecar) to `opts.report` or the
 /// default `target/sweep/<name>.json`, and announce both on stderr
-/// together with the timing line. Returns the report path.
+/// together with the timing line. A successfully written report marks
+/// clean completion, so the sweep's journal (now redundant) is removed.
+/// Returns the report path.
 pub fn write_reports(
     opts: &ExpOpts,
     report: &SweepReport,
     timing: &SweepTiming,
 ) -> std::io::Result<PathBuf> {
-    let path = opts
-        .report
-        .clone()
-        .unwrap_or_else(|| drishti_sim::sweep::report::default_report_path(&report.name));
+    let path = report_path(opts, &report.name);
     report.write(&path)?;
+    journal::remove_on_success(&path)?;
     // Timeline file names go in the host-dependent timing sidecar so the
     // main report stays byte-comparable with telemetry on or off.
     let mut timing = timing.clone();

@@ -83,6 +83,51 @@ enum Phase {
     Active { remaining: u64 },
 }
 
+impl drishti_noc::snap::Persist for Phase {
+    fn save(&self, w: &mut drishti_noc::snap::StateWriter) {
+        match *self {
+            Phase::Monitoring { remaining } => {
+                w.put_u8(0);
+                w.put_u64(remaining);
+            }
+            Phase::Active { remaining } => {
+                w.put_u8(1);
+                w.put_u64(remaining);
+            }
+        }
+    }
+    fn load(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        let tag = r.take_u8("dsc phase tag")?;
+        let remaining = r.take_u64("dsc phase remaining")?;
+        *self = match tag {
+            0 => Phase::Monitoring { remaining },
+            1 => Phase::Active { remaining },
+            other => {
+                return Err(drishti_noc::snap::SnapError::Invalid {
+                    what: "dsc phase tag",
+                    detail: format!("unknown variant {other}"),
+                })
+            }
+        };
+        Ok(())
+    }
+}
+
+// Mutable selector state only; `cfg` is rebuilt from configuration.
+drishti_noc::impl_persist_fields!(DynamicSampledCache {
+    counters,
+    phase,
+    slot_of,
+    sampled,
+    rng_state,
+    changed_slots,
+    reselections,
+    uniform_epochs,
+});
+
 /// Per-slice dynamic sampled-set selector.
 #[derive(Debug, Clone)]
 pub struct DynamicSampledCache {

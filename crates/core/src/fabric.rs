@@ -73,6 +73,16 @@ pub struct FabricCounters {
     pub retried_trainings: u64,
 }
 
+drishti_noc::impl_persist_fields!(FabricCounters {
+    train_accesses,
+    predict_accesses,
+    broadcast_messages,
+    dropped_predictions,
+    fallback_decisions,
+    dropped_trainings,
+    retried_trainings,
+});
+
 impl FabricCounters {
     /// Total predictor accesses (the quantity Fig 10 normalises per kilo
     /// instruction).
@@ -397,6 +407,26 @@ impl PredictorFabric {
     pub fn reset_stats(&mut self) {
         self.counters = FabricCounters::default();
         self.link.reset_stats();
+    }
+
+    /// Serialize the fabric's mutable state: counters plus the transport's
+    /// own state (link occupancy, stats, fault cursor). Organisation and
+    /// kind are configuration and excluded.
+    pub fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        use drishti_noc::snap::Persist;
+        self.counters.save(w);
+        self.link.save_state(w);
+    }
+
+    /// Restore state written by [`PredictorFabric::save_state`] into a
+    /// fabric built with the same configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::Persist;
+        self.counters.load(r)?;
+        self.link.load_state(r)
     }
 }
 

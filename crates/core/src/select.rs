@@ -28,6 +28,59 @@ pub enum SetSelector {
     Dynamic(DynamicSampledCache),
 }
 
+/// Placeholder value required by the snapshot codec's container impls
+/// (`Vec<SetSelector>`); never observed by policies, which always build
+/// real selectors from configuration before any restore.
+impl Default for SetSelector {
+    fn default() -> Self {
+        SetSelector::Fixed {
+            slot_of: Vec::new(),
+            sampled: Vec::new(),
+        }
+    }
+}
+
+impl drishti_noc::snap::Persist for SetSelector {
+    fn save(&self, w: &mut drishti_noc::snap::StateWriter) {
+        match self {
+            SetSelector::Fixed { slot_of, sampled } => {
+                w.put_u8(0);
+                slot_of.save(w);
+                sampled.save(w);
+            }
+            SetSelector::Dynamic(dsc) => {
+                w.put_u8(1);
+                dsc.save(w);
+            }
+        }
+    }
+    fn load(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::SnapError;
+        let tag = r.take_u8("set selector tag")?;
+        // The selector is rebuilt from configuration before restore, so the
+        // snapshot's variant must agree with the configured one — a mismatch
+        // means the snapshot came from a different configuration.
+        match (tag, &mut *self) {
+            (0, SetSelector::Fixed { slot_of, sampled }) => {
+                slot_of.load(r)?;
+                sampled.load(r)
+            }
+            (1, SetSelector::Dynamic(dsc)) => dsc.load(r),
+            (0 | 1, _) => Err(SnapError::Invalid {
+                what: "set selector tag",
+                detail: "snapshot selector kind does not match this configuration".into(),
+            }),
+            (other, _) => Err(SnapError::Invalid {
+                what: "set selector tag",
+                detail: format!("unknown variant {other}"),
+            }),
+        }
+    }
+}
+
 impl SetSelector {
     /// The conventional scheme: `n_sampled` sets chosen pseudo-randomly
     /// (deterministically from `seed`) out of `n_sets`.

@@ -18,6 +18,35 @@ pub enum AccessKind {
     Writeback,
 }
 
+impl drishti_noc::snap::Persist for AccessKind {
+    fn save(&self, w: &mut drishti_noc::snap::StateWriter) {
+        w.put_u8(match self {
+            AccessKind::Load => 0,
+            AccessKind::Store => 1,
+            AccessKind::Prefetch => 2,
+            AccessKind::Writeback => 3,
+        });
+    }
+    fn load(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        *self = match r.take_u8("access kind tag")? {
+            0 => AccessKind::Load,
+            1 => AccessKind::Store,
+            2 => AccessKind::Prefetch,
+            3 => AccessKind::Writeback,
+            other => {
+                return Err(drishti_noc::snap::SnapError::Invalid {
+                    what: "access kind tag",
+                    detail: format!("unknown variant {other}"),
+                })
+            }
+        };
+        Ok(())
+    }
+}
+
 impl AccessKind {
     /// Whether this request kind carries a meaningful PC signature.
     pub fn has_pc(self) -> bool {
@@ -43,6 +72,21 @@ pub struct Access {
     /// Request kind.
     pub kind: AccessKind,
 }
+
+/// Placeholder value required by the snapshot codec's container impls
+/// (`Vec<Access>`); overwritten field-by-field on load.
+impl Default for Access {
+    fn default() -> Self {
+        Access::load(0, 0, 0)
+    }
+}
+
+drishti_noc::impl_persist_fields!(Access {
+    core,
+    pc,
+    line,
+    kind
+});
 
 impl Access {
     /// Convenience constructor for a demand load.

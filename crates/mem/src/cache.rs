@@ -88,6 +88,13 @@ struct Line {
     meta: u64,
 }
 
+drishti_noc::impl_persist_fields!(Line {
+    tag,
+    valid,
+    dirty,
+    meta
+});
+
 /// Hit/miss and write-back statistics for one private cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -102,6 +109,14 @@ pub struct CacheStats {
     /// Fills performed.
     pub fills: u64,
 }
+
+drishti_noc::impl_persist_fields!(CacheStats {
+    accesses,
+    hits,
+    misses,
+    writebacks,
+    fills
+});
 
 impl CacheStats {
     /// Miss ratio in `[0, 1]` (0 if no accesses).
@@ -293,6 +308,10 @@ impl PrivateCache {
         self.sets.iter().flatten().filter(|l| l.valid).count()
     }
 }
+
+// The cache's mutable run-state: line array, replacement clock, stats.
+// Geometry comes from config on restore, not from the snapshot.
+drishti_noc::impl_persist_fields!(PrivateCache { sets, clock, stats });
 
 #[cfg(test)]
 mod tests {

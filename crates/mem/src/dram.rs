@@ -107,11 +107,15 @@ impl Occupancy {
     }
 }
 
+drishti_noc::impl_persist_fields!(Occupancy { debt, last });
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Bank {
     open_row: Option<u64>,
     busy: Occupancy,
 }
+
+drishti_noc::impl_persist_fields!(Bank { open_row, busy });
 
 /// Traffic and energy counters for the DRAM subsystem.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -134,6 +138,17 @@ pub struct DramStats {
     /// degraded-bandwidth penalties).
     pub fault_delay_cycles: u64,
 }
+
+drishti_noc::impl_persist_fields!(DramStats {
+    reads,
+    writes,
+    row_hits,
+    activations,
+    total_read_latency,
+    energy_pj,
+    resteered,
+    fault_delay_cycles,
+});
 
 impl DramStats {
     /// Mean read latency in cycles (0 if no reads).
@@ -371,6 +386,60 @@ impl Dram {
         self.stats = DramStats::default();
         self.chan_reads.fill(0);
         self.chan_writes.fill(0);
+    }
+
+    /// Serialize the controller's mutable state: banks, bus occupancy,
+    /// posted-write queues, per-channel counters, stats, and the fault
+    /// cursor. Configuration is excluded — the loader rebuilds it first.
+    pub fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        use drishti_noc::snap::Persist;
+        self.banks.save(w);
+        self.bus.save(w);
+        self.write_queues.save(w);
+        self.chan_reads.save(w);
+        self.chan_writes.save(w);
+        self.stats.save(w);
+        drishti_noc::faults::save_fault_cursor(&self.faults, w);
+    }
+
+    /// Restore state written by [`Dram::save_state`] into a DRAM subsystem
+    /// built with the same configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::{Persist, SnapError};
+        self.banks.load(r)?;
+        if self.banks.len() != self.cfg.channels
+            || self
+                .banks
+                .iter()
+                .any(|c| c.len() != self.cfg.banks_per_channel)
+        {
+            return Err(SnapError::Invalid {
+                what: "dram banks",
+                detail: format!(
+                    "{} channels x {} banks expected",
+                    self.cfg.channels, self.cfg.banks_per_channel
+                ),
+            });
+        }
+        self.bus.load(r)?;
+        self.write_queues.load(r)?;
+        self.chan_reads.load(r)?;
+        self.chan_writes.load(r)?;
+        if self.bus.len() != self.cfg.channels
+            || self.write_queues.len() != self.cfg.channels
+            || self.chan_reads.len() != self.cfg.channels
+            || self.chan_writes.len() != self.cfg.channels
+        {
+            return Err(SnapError::Invalid {
+                what: "dram channels",
+                detail: format!("{} channels expected", self.cfg.channels),
+            });
+        }
+        self.stats.load(r)?;
+        drishti_noc::faults::load_fault_cursor(&mut self.faults, r, "dram fault schedule")
     }
 }
 

@@ -101,6 +101,18 @@ pub struct LlcStats {
     pub fills: u64,
 }
 
+drishti_noc::impl_persist_fields!(LlcStats {
+    demand_accesses,
+    demand_misses,
+    prefetch_accesses,
+    prefetch_misses,
+    writeback_accesses,
+    writeback_misses,
+    dram_writebacks,
+    bypasses,
+    fills,
+});
+
 impl LlcStats {
     /// Total lookups across all request categories.
     pub fn total_accesses(&self) -> u64 {
@@ -134,6 +146,15 @@ pub struct SliceCounters {
     pub bypasses: u64,
 }
 
+drishti_noc::impl_persist_fields!(SliceCounters {
+    hits,
+    misses,
+    fills,
+    evictions_clean,
+    evictions_dirty,
+    bypasses,
+});
+
 /// Per-set instrumentation record.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SetCounters {
@@ -142,6 +163,8 @@ pub struct SetCounters {
     /// Lookups that missed in this set.
     pub misses: u64,
 }
+
+drishti_noc::impl_persist_fields!(SetCounters { accesses, misses });
 
 impl SetCounters {
     /// Misses per kilo-access for this set (the paper's MPKA metric, Fig 5).
@@ -504,6 +527,70 @@ impl SlicedLlc {
     /// Per-slice traffic and eviction counters (telemetry), indexed by slice.
     pub fn slice_counters(&self) -> &[SliceCounters] {
         &self.slice_counters
+    }
+
+    /// Serialize the LLC's mutable state: line arrays, per-set and per-slice
+    /// counters, aggregate stats, and the policy's predictor state. The
+    /// geometry, slice hasher, observer, and injected-corruption knobs are
+    /// configuration — the loader reconstructs those before restoring.
+    pub fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        use drishti_noc::snap::Persist;
+        self.lines.save(w);
+        self.set_counters.save(w);
+        self.slice_counters.save(w);
+        self.stats.save(w);
+        self.policy.save_state(w);
+    }
+
+    /// Restore state written by [`SlicedLlc::save_state`] into an LLC built
+    /// with the same geometry and policy configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::{Persist, SnapError};
+        self.lines.load(r)?;
+        if self.lines.len() != self.geom.slices
+            || self
+                .lines
+                .iter()
+                .any(|s| s.len() != self.geom.sets_per_slice * self.geom.ways)
+        {
+            return Err(SnapError::Invalid {
+                what: "llc lines",
+                detail: format!(
+                    "snapshot line array does not match geometry \
+                     ({} slices x {} lines expected)",
+                    self.geom.slices,
+                    self.geom.sets_per_slice * self.geom.ways
+                ),
+            });
+        }
+        self.set_counters.load(r)?;
+        if self.set_counters.len() != self.geom.slices
+            || self
+                .set_counters
+                .iter()
+                .any(|s| s.len() != self.geom.sets_per_slice)
+        {
+            return Err(SnapError::Invalid {
+                what: "llc set counters",
+                detail: format!(
+                    "snapshot set counters do not match geometry \
+                     ({} slices x {} sets expected)",
+                    self.geom.slices, self.geom.sets_per_slice
+                ),
+            });
+        }
+        self.slice_counters.load(r)?;
+        if self.slice_counters.len() != self.geom.slices {
+            return Err(SnapError::Invalid {
+                what: "llc slice counters",
+                detail: format!("{} slices expected", self.geom.slices),
+            });
+        }
+        self.stats.load(r)?;
+        self.policy.load_state(r)
     }
 
     /// Number of valid lines currently resident in one slice.

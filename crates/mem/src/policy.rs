@@ -41,6 +41,14 @@ pub struct LlcLineState {
     pub signature: u64,
 }
 
+drishti_noc::impl_persist_fields!(LlcLineState {
+    line,
+    valid,
+    dirty,
+    core,
+    signature
+});
+
 /// A victim decision for a fill into a full set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Decision {
@@ -183,6 +191,21 @@ pub trait LlcPolicy: std::fmt::Debug {
     /// `None` (the default).
     fn probe(&self) -> Option<&dyn PolicyProbe> {
         None
+    }
+
+    /// Serialize the policy's mutable predictor/replacement state for a
+    /// checkpoint. Memoryless policies keep the no-op default; the loader
+    /// reconstructs the policy object from configuration before calling
+    /// [`LlcPolicy::load_state`], so only run-state belongs here.
+    fn save_state(&self, _w: &mut drishti_noc::snap::StateWriter) {}
+
+    /// Restore state written by [`LlcPolicy::save_state`] into a freshly
+    /// constructed policy of the same configuration.
+    fn load_state(
+        &mut self,
+        _r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        Ok(())
     }
 }
 

@@ -49,6 +49,19 @@ pub trait Prefetcher: std::fmt::Debug + Send {
     fn on_feedback(&mut self, line: LineAddr, useful: bool) {
         let _ = (line, useful);
     }
+
+    /// Serialize the prefetcher's training state for a checkpoint. Stateless
+    /// prefetchers keep the no-op default; the loader rebuilds the object
+    /// from [`PrefetcherKind`] before calling [`Prefetcher::load_state`].
+    fn save_state(&self, _w: &mut drishti_noc::snap::StateWriter) {}
+
+    /// Restore state written by [`Prefetcher::save_state`].
+    fn load_state(
+        &mut self,
+        _r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        Ok(())
+    }
 }
 
 /// The prefetcher configurations the experiments select between.
@@ -126,9 +139,22 @@ impl NextLine {
     }
 }
 
+drishti_noc::impl_persist_fields!(NextLine { last });
+
 impl Prefetcher for NextLine {
     fn name(&self) -> &'static str {
         "next-line"
+    }
+
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        drishti_noc::snap::Persist::save(self, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        drishti_noc::snap::Persist::load(self, r)
     }
 
     fn on_access(&mut self, pc: u64, line: LineAddr, _hit: bool, out: &mut Vec<PrefetchRequest>) {
@@ -160,6 +186,13 @@ struct IpStrideEntry {
     confidence: u8,
 }
 
+drishti_noc::impl_persist_fields!(IpStrideEntry {
+    tag,
+    last_line,
+    stride,
+    confidence
+});
+
 const IP_STRIDE_TABLE: usize = 1024;
 const IP_STRIDE_CONF_MAX: u8 = 3;
 const IP_STRIDE_CONF_THRESHOLD: u8 = 2;
@@ -183,6 +216,17 @@ impl Default for IpStride {
 impl Prefetcher for IpStride {
     fn name(&self) -> &'static str {
         "ip-stride"
+    }
+
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        drishti_noc::snap::Persist::save(&self.entries, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        drishti_noc::snap::Persist::load(&mut self.entries, r)
     }
 
     fn on_access(&mut self, pc: u64, line: LineAddr, _hit: bool, out: &mut Vec<PrefetchRequest>) {

@@ -48,6 +48,18 @@ impl Default for IpEntry {
     }
 }
 
+drishti_noc::impl_persist_fields!(DeltaStat {
+    delta,
+    hits,
+    opportunities
+});
+drishti_noc::impl_persist_fields!(IpEntry {
+    tag,
+    recent,
+    recent_len,
+    deltas
+});
+
 /// Simplified Berti.
 #[derive(Debug)]
 pub struct Berti {
@@ -72,6 +84,17 @@ impl Default for Berti {
 impl Prefetcher for Berti {
     fn name(&self) -> &'static str {
         "berti"
+    }
+
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        drishti_noc::snap::Persist::save(&self.ips, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        drishti_noc::snap::Persist::load(&mut self.ips, r)
     }
 
     fn on_access(&mut self, pc: u64, line: LineAddr, _hit: bool, out: &mut Vec<PrefetchRequest>) {

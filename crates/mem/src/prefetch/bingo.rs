@@ -18,7 +18,7 @@ pub const REGION_LINES: u64 = 32;
 const ACCUMULATION_CAPACITY: usize = 64;
 const HISTORY_CAPACITY: usize = 4096;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct RegionTracker {
     region: u64,
     trigger_pc: u64,
@@ -26,6 +26,14 @@ struct RegionTracker {
     footprint: u32,
     age: u64,
 }
+
+drishti_noc::impl_persist_fields!(RegionTracker {
+    region,
+    trigger_pc,
+    trigger_offset,
+    footprint,
+    age
+});
 
 /// Simplified Bingo.
 #[derive(Debug)]
@@ -77,9 +85,27 @@ impl Default for Bingo {
     }
 }
 
+drishti_noc::impl_persist_fields!(Bingo {
+    tracking,
+    long_history,
+    short_history,
+    clock
+});
+
 impl Prefetcher for Bingo {
     fn name(&self) -> &'static str {
         "bingo"
+    }
+
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        drishti_noc::snap::Persist::save(self, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        drishti_noc::snap::Persist::load(self, r)
     }
 
     fn on_access(&mut self, pc: u64, line: LineAddr, _hit: bool, out: &mut Vec<PrefetchRequest>) {

@@ -24,13 +24,20 @@ const MAX_PATTERN: usize = 16;
 const DENSE_THRESHOLD: usize = 12;
 const STREAM_DEGREE: u64 = 4;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct Tracker {
     region: u64,
     pc: u64,
     order: Vec<u8>,
     age: u64,
 }
+
+drishti_noc::impl_persist_fields!(Tracker {
+    region,
+    pc,
+    order,
+    age
+});
 
 /// Simplified Gaze.
 #[derive(Debug)]
@@ -75,9 +82,26 @@ impl Default for Gaze {
     }
 }
 
+drishti_noc::impl_persist_fields!(Gaze {
+    trackers,
+    history,
+    clock
+});
+
 impl Prefetcher for Gaze {
     fn name(&self) -> &'static str {
         "gaze"
+    }
+
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        drishti_noc::snap::Persist::save(self, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        drishti_noc::snap::Persist::load(self, r)
     }
 
     fn on_access(&mut self, pc: u64, line: LineAddr, _hit: bool, out: &mut Vec<PrefetchRequest>) {

@@ -43,6 +43,20 @@ struct Region {
     age: u64,
 }
 
+drishti_noc::impl_persist_fields!(IpEntry {
+    tag,
+    last_line,
+    stride,
+    cs_conf,
+    signature
+});
+drishti_noc::impl_persist_fields!(CplxEntry { delta, conf });
+drishti_noc::impl_persist_fields!(Region {
+    region,
+    footprint,
+    age
+});
+
 /// Simplified IPCP.
 #[derive(Debug)]
 pub struct Ipcp {
@@ -97,9 +111,28 @@ impl Default for Ipcp {
     }
 }
 
+drishti_noc::impl_persist_fields!(Ipcp {
+    ips,
+    cplx,
+    regions,
+    clock,
+    stream_dir
+});
+
 impl Prefetcher for Ipcp {
     fn name(&self) -> &'static str {
         "ipcp"
+    }
+
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        drishti_noc::snap::Persist::save(self, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        drishti_noc::snap::Persist::load(self, r)
     }
 
     fn on_access(&mut self, pc: u64, line: LineAddr, _hit: bool, out: &mut Vec<PrefetchRequest>) {

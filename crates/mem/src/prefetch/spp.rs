@@ -50,13 +50,22 @@ struct PatternEntry {
     slots: [DeltaSlot; DELTAS_PER_SIG],
 }
 
+drishti_noc::impl_persist_fields!(PageEntry {
+    page,
+    last_offset,
+    signature,
+    valid
+});
+drishti_noc::impl_persist_fields!(DeltaSlot { delta, confidence });
+drishti_noc::impl_persist_fields!(PatternEntry { total, slots });
+
 /// Simplified SPP with perceptron prefetch filtering.
 #[derive(Debug)]
 pub struct SppPpf {
     pages: Vec<PageEntry>,
     patterns: Vec<PatternEntry>,
     /// Perceptron weight tables, one per feature.
-    weights: Vec<[i16; PERCEPTRON_TABLE]>,
+    weights: Vec<Vec<i16>>,
     /// Ring of recently issued prefetches and their feature indices, so
     /// usefulness feedback can train the perceptron.
     issued: Vec<(LineAddr, [usize; PERCEPTRON_FEATURES])>,
@@ -69,7 +78,7 @@ impl SppPpf {
         SppPpf {
             pages: vec![PageEntry::default(); PAGE_TABLE],
             patterns: vec![PatternEntry::default(); PATTERN_TABLE],
-            weights: vec![[0; PERCEPTRON_TABLE]; PERCEPTRON_FEATURES],
+            weights: vec![vec![0; PERCEPTRON_TABLE]; PERCEPTRON_FEATURES],
             issued: vec![(u64::MAX, [0; PERCEPTRON_FEATURES]); 256],
             issued_next: 0,
         }
@@ -129,9 +138,28 @@ impl Default for SppPpf {
     }
 }
 
+drishti_noc::impl_persist_fields!(SppPpf {
+    pages,
+    patterns,
+    weights,
+    issued,
+    issued_next
+});
+
 impl Prefetcher for SppPpf {
     fn name(&self) -> &'static str {
         "spp+ppf"
+    }
+
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        drishti_noc::snap::Persist::save(self, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        drishti_noc::snap::Persist::load(self, r)
     }
 
     fn on_access(&mut self, pc: u64, line: LineAddr, _hit: bool, out: &mut Vec<PrefetchRequest>) {

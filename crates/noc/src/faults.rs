@@ -207,6 +207,18 @@ impl FaultSchedule {
         &self.cfg
     }
 
+    /// The per-schedule decision counter — the schedule's only mutable
+    /// run-state (everything else is a pure function of config + salt).
+    /// Checkpoints persist exactly this cursor.
+    pub fn cursor(&self) -> u64 {
+        self.counter
+    }
+
+    /// Restore the decision counter saved by [`FaultSchedule::cursor`].
+    pub fn set_cursor(&mut self, counter: u64) {
+        self.counter = counter;
+    }
+
     #[inline]
     fn draw(&mut self, from: usize, to: usize, cycle: u64) -> u64 {
         self.counter = self.counter.wrapping_add(1);
@@ -272,6 +284,41 @@ impl FaultSchedule {
             .map(|w| w.start.saturating_add(w.len))
             .max()
             .unwrap_or(cycle)
+    }
+}
+
+/// Persist the mutable cursor of an optional fault schedule: presence tag
+/// plus the counter. Presence is config-derived, so a mismatch between the
+/// snapshot and the rebuilt component means the checkpoint belongs to a
+/// different configuration — reported as a typed error, never patched over.
+pub fn save_fault_cursor(faults: &Option<FaultSchedule>, w: &mut crate::snap::StateWriter) {
+    crate::snap::Persist::save(&faults.as_ref().map(|f| f.cursor()), w);
+}
+
+/// Restore a cursor saved by [`save_fault_cursor`] into an
+/// already-configured optional schedule. `what` names the owning component
+/// in error messages.
+pub fn load_fault_cursor(
+    faults: &mut Option<FaultSchedule>,
+    r: &mut crate::snap::StateReader<'_>,
+    what: &'static str,
+) -> Result<(), crate::snap::SnapError> {
+    let mut cursor: Option<u64> = None;
+    crate::snap::Persist::load(&mut cursor, r)?;
+    match (faults.as_mut(), cursor) {
+        (Some(f), Some(c)) => {
+            f.set_cursor(c);
+            Ok(())
+        }
+        (None, None) => Ok(()),
+        (have, _) => Err(crate::snap::SnapError::Invalid {
+            what,
+            detail: format!(
+                "fault schedule {} in the snapshot but {} in this configuration",
+                if have.is_none() { "present" } else { "absent" },
+                if have.is_none() { "absent" } else { "present" },
+            ),
+        }),
     }
 }
 

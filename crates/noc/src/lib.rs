@@ -41,6 +41,7 @@ pub mod link;
 pub mod mesh;
 pub mod nocstar;
 pub mod slicehash;
+pub mod snap;
 
 /// Identifier of a mesh tile (each tile hosts a core, its private caches,
 /// one LLC slice and — with Drishti — that core's reuse predictor).
@@ -93,6 +94,18 @@ pub struct NocStats {
     /// retransmission penalties).
     pub fault_delay_cycles: u64,
 }
+
+crate::impl_persist_fields!(NocStats {
+    messages,
+    flits,
+    hop_traversals,
+    total_latency,
+    contention_cycles,
+    energy_pj,
+    dropped,
+    retries,
+    fault_delay_cycles,
+});
 
 impl NocStats {
     /// Mean end-to-end latency per message, in cycles (0 if no traffic).

@@ -19,6 +19,7 @@
 use crate::faults::{FaultConfig, FaultDomain, FaultSchedule};
 use crate::mesh::{Mesh, MeshConfig, ADDRESS_PACKET_FLITS};
 use crate::nocstar::{Nocstar, NocstarConfig, NocstarPath};
+use crate::snap::{Persist, SnapError};
 use crate::{Delivery, NocStats, NodeId};
 
 /// A transport that carries slice↔predictor messages.
@@ -59,6 +60,16 @@ pub trait PredictorLink: std::fmt::Debug {
 
     /// Human-readable fabric name (for experiment output).
     fn name(&self) -> &'static str;
+
+    /// Serialise the link's mutable run-state for a checkpoint. Stateless
+    /// links (the default) write nothing.
+    fn save_state(&self, _w: &mut crate::snap::StateWriter) {}
+
+    /// Restore state saved by [`PredictorLink::save_state`] into an
+    /// identically-configured link.
+    fn load_state(&mut self, _r: &mut crate::snap::StateReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// Zero-cost link: predictor co-located with the requesting slice.
@@ -174,6 +185,18 @@ impl PredictorLink for MeshLink {
     fn name(&self) -> &'static str {
         "mesh"
     }
+
+    fn save_state(&self, w: &mut crate::snap::StateWriter) {
+        self.mesh.save_state(w);
+        self.fault_stats.save(w);
+        crate::faults::save_fault_cursor(&self.faults, w);
+    }
+
+    fn load_state(&mut self, r: &mut crate::snap::StateReader<'_>) -> Result<(), SnapError> {
+        self.mesh.load_state(r)?;
+        self.fault_stats.load(r)?;
+        crate::faults::load_fault_cursor(&mut self.faults, r, "mesh link fault schedule")
+    }
 }
 
 /// Predictor messages ride the NOCSTAR side-band fabric (Drishti default).
@@ -233,6 +256,14 @@ impl PredictorLink for NocstarLink {
 
     fn name(&self) -> &'static str {
         "nocstar"
+    }
+
+    fn save_state(&self, w: &mut crate::snap::StateWriter) {
+        self.fabric.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut crate::snap::StateReader<'_>) -> Result<(), SnapError> {
+        self.fabric.load_state(r)
     }
 }
 
@@ -310,6 +341,16 @@ impl PredictorLink for FixedLatencyLink {
 
     fn name(&self) -> &'static str {
         "fixed"
+    }
+
+    fn save_state(&self, w: &mut crate::snap::StateWriter) {
+        self.stats.save(w);
+        crate::faults::save_fault_cursor(&self.faults, w);
+    }
+
+    fn load_state(&mut self, r: &mut crate::snap::StateReader<'_>) -> Result<(), SnapError> {
+        self.stats.load(r)?;
+        crate::faults::load_fault_cursor(&mut self.faults, r, "fixed link fault schedule")
     }
 }
 

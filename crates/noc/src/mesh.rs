@@ -14,6 +14,7 @@
 //! lets us simulate billions of events.
 
 use crate::faults::{FaultConfig, FaultDomain, FaultSchedule};
+use crate::snap::SnapError;
 use crate::{NocStats, NodeId};
 
 /// Flits in a data (cache-line-carrying) packet, per paper Table 4.
@@ -95,6 +96,8 @@ struct LinkState {
     /// Total flits ever pushed through this link (telemetry).
     flits: u64,
 }
+
+crate::impl_persist_fields!(LinkState { debt, last, flits });
 
 impl LinkState {
     #[inline]
@@ -288,6 +291,35 @@ impl Mesh {
     /// Reset statistics (link occupancy is kept).
     pub fn reset_stats(&mut self) {
         self.stats = NocStats::default();
+    }
+
+    /// Serialise the mesh's mutable run-state (link backlogs, stats, fault
+    /// cursor). The configuration is not written; restore rebuilds the
+    /// mesh from config first, then loads these bytes into it.
+    pub fn save_state(&self, w: &mut crate::snap::StateWriter) {
+        use crate::snap::Persist;
+        self.links.save(w);
+        self.stats.save(w);
+        crate::faults::save_fault_cursor(&self.faults, w);
+    }
+
+    /// Restore state saved by [`Mesh::save_state`] into an
+    /// identically-configured mesh.
+    pub fn load_state(&mut self, r: &mut crate::snap::StateReader<'_>) -> Result<(), SnapError> {
+        use crate::snap::Persist;
+        self.links.load(r)?;
+        if self.links.len() != self.cfg.nodes() {
+            return Err(SnapError::Invalid {
+                what: "mesh links",
+                detail: format!(
+                    "snapshot holds {} nodes, configuration has {}",
+                    self.links.len(),
+                    self.cfg.nodes()
+                ),
+            });
+        }
+        self.stats.load(r)?;
+        crate::faults::load_fault_cursor(&mut self.faults, r, "mesh fault schedule")
     }
 }
 

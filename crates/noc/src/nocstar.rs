@@ -20,6 +20,7 @@
 //!   20 pJ control wires, paper §4.1.4).
 
 use crate::faults::{FaultConfig, FaultDomain, FaultSchedule};
+use crate::snap::SnapError;
 use crate::{Delivery, NocStats, NodeId};
 
 /// Which of NOCSTAR's two dedicated links a message uses.
@@ -76,6 +77,8 @@ struct Arbiter {
     free_at: u64,
     horizon: u64,
 }
+
+crate::impl_persist_fields!(Arbiter { free_at, horizon });
 
 impl Arbiter {
     /// Reserve the next free arbitration slot and return how many cycles
@@ -216,6 +219,35 @@ impl Nocstar {
     /// Reset statistics, keeping arbiter state.
     pub fn reset_stats(&mut self) {
         self.stats = NocStats::default();
+    }
+
+    /// Serialise the fabric's mutable run-state (arbiter backlogs, stats,
+    /// fault cursor); configuration is rebuilt on restore, not written.
+    pub fn save_state(&self, w: &mut crate::snap::StateWriter) {
+        use crate::snap::Persist;
+        self.arbiters.save(w);
+        self.stats.save(w);
+        crate::faults::save_fault_cursor(&self.faults, w);
+    }
+
+    /// Restore state saved by [`Nocstar::save_state`] into an
+    /// identically-configured fabric.
+    pub fn load_state(&mut self, r: &mut crate::snap::StateReader<'_>) -> Result<(), SnapError> {
+        use crate::snap::Persist;
+        let nodes = self.arbiters[0].len();
+        self.arbiters.load(r)?;
+        if self.arbiters[0].len() != nodes || self.arbiters[1].len() != nodes {
+            return Err(SnapError::Invalid {
+                what: "nocstar arbiters",
+                detail: format!(
+                    "snapshot holds {}/{} arbiters, configuration has {nodes}",
+                    self.arbiters[0].len(),
+                    self.arbiters[1].len()
+                ),
+            });
+        }
+        self.stats.load(r)?;
+        crate::faults::load_fault_cursor(&mut self.faults, r, "nocstar fault schedule")
     }
 }
 

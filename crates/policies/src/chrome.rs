@@ -73,6 +73,13 @@ struct Provenance {
     rewarded: bool,
 }
 
+drishti_noc::impl_persist_fields!(Provenance {
+    state,
+    action,
+    core,
+    rewarded,
+});
+
 /// The CHROME-like RL replacement policy.
 #[derive(Debug)]
 pub struct Chrome {
@@ -195,6 +202,46 @@ impl PolicyProbe for Chrome {
 impl LlcPolicy for Chrome {
     fn probe(&self) -> Option<&dyn PolicyProbe> {
         Some(self)
+    }
+
+    // `label` is config-derived and excluded; the fabric serializes through
+    // its own hooks. The ε-greedy RNG stream is captured so resumed runs
+    // replay the exact exploration sequence.
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        use drishti_noc::snap::Persist;
+        self.rrpv.save(w);
+        self.prov.save(w);
+        self.selectors.save(w);
+        self.q.save(w);
+        self.fabric.save_state(w);
+        self.bypassed.save(w);
+        self.bypassed_next.save(w);
+        self.rng.save(w);
+        self.decisions.save(w);
+        self.explorations.save(w);
+        self.rewards_pos.save(w);
+        self.rewards_neg.save(w);
+        self.pressure.save(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::Persist;
+        self.rrpv.load(r)?;
+        self.prov.load(r)?;
+        self.selectors.load(r)?;
+        self.q.load(r)?;
+        self.fabric.load_state(r)?;
+        self.bypassed.load(r)?;
+        self.bypassed_next.load(r)?;
+        self.rng.load(r)?;
+        self.decisions.load(r)?;
+        self.explorations.load(r)?;
+        self.rewards_pos.load(r)?;
+        self.rewards_neg.load(r)?;
+        self.pressure.load(r)
     }
 
     fn name(&self) -> String {

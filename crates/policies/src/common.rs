@@ -44,6 +44,20 @@ impl<T: Clone + Default> PerLine<T> {
     }
 }
 
+impl<T: drishti_noc::snap::Persist + Default> drishti_noc::snap::Persist for PerLine<T> {
+    fn save(&self, w: &mut drishti_noc::snap::StateWriter) {
+        // `ways` is geometry, re-derived at construction; only the data
+        // array is run-state.
+        drishti_noc::snap::Persist::save(&self.data, w);
+    }
+    fn load(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        drishti_noc::snap::Persist::load(&mut self.data, r)
+    }
+}
+
 /// Index a predictor table with `bits` index bits from a PC signature and
 /// the requesting core. The core is folded in because baseline Mockingjay's
 /// per-slice predictors are "indexed with a hash of PC and core ID"

@@ -79,6 +79,17 @@ impl Dip {
     }
 }
 
+// `dynamic` is serialized for uniformity even though it is derivable from
+// the rebuilt selectors.
+drishti_noc::impl_persist_fields!(Dip {
+    stamp,
+    clock,
+    selectors,
+    psel,
+    bip_tick,
+    dynamic,
+});
+
 impl PolicyProbe for Dip {
     fn probe_set(&self, loc: LlcLoc) -> SetProbe {
         // DIP's LRU-position insertion deliberately writes the duplicate
@@ -102,6 +113,17 @@ impl PolicyProbe for Dip {
 impl LlcPolicy for Dip {
     fn probe(&self) -> Option<&dyn PolicyProbe> {
         Some(self)
+    }
+
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        drishti_noc::snap::Persist::save(self, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        drishti_noc::snap::Persist::load(self, r)
     }
 
     fn name(&self) -> String {

@@ -59,6 +59,14 @@ impl Drrip {
     }
 }
 
+drishti_noc::impl_persist_fields!(Drrip {
+    rrpv,
+    selectors,
+    psel,
+    brrip_tick,
+    dynamic,
+});
+
 impl PolicyProbe for Drrip {
     fn probe_set(&self, loc: LlcLoc) -> SetProbe {
         SetProbe {
@@ -79,6 +87,17 @@ impl PolicyProbe for Drrip {
 impl LlcPolicy for Drrip {
     fn probe(&self) -> Option<&dyn PolicyProbe> {
         Some(self)
+    }
+
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        drishti_noc::snap::Persist::save(self, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        drishti_noc::snap::Persist::load(self, r)
     }
 
     fn name(&self) -> String {

@@ -54,11 +54,22 @@ struct SamplerEntry {
     last: u64,
 }
 
-#[derive(Debug, Clone)]
+drishti_noc::impl_persist_fields!(SamplerEntry {
+    valid,
+    tag,
+    signature,
+    core,
+    features,
+    last,
+});
+
+#[derive(Debug, Clone, Default)]
 struct SampledSet {
     entries: Vec<SamplerEntry>,
     optgen: OptGen,
 }
+
+drishti_noc::impl_persist_fields!(SampledSet { entries, optgen });
 
 impl SampledSet {
     fn new(ways: usize) -> Self {
@@ -269,6 +280,33 @@ impl PolicyProbe for Glider {
 impl LlcPolicy for Glider {
     fn probe(&self) -> Option<&dyn PolicyProbe> {
         Some(self)
+    }
+
+    // `label` is config-derived and excluded; the fabric serializes through
+    // its own hooks (its link is a trait object).
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        use drishti_noc::snap::Persist;
+        self.rrpv.save(w);
+        self.selectors.save(w);
+        self.samplers.save(w);
+        self.isvm.save(w);
+        self.pchr.save(w);
+        self.fabric.save_state(w);
+        self.trainings.save(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::Persist;
+        self.rrpv.load(r)?;
+        self.selectors.load(r)?;
+        self.samplers.load(r)?;
+        self.isvm.load(r)?;
+        self.pchr.load(r)?;
+        self.fabric.load_state(r)?;
+        self.trainings.load(r)
     }
 
     fn name(&self) -> String {

@@ -55,12 +55,22 @@ struct SamplerEntry {
     last: u64,
 }
 
+drishti_noc::impl_persist_fields!(SamplerEntry {
+    valid,
+    tag,
+    signature,
+    core,
+    last,
+});
+
 /// State of one sampled set: its reuse history and OPT emulator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct SampledSet {
     entries: Vec<SamplerEntry>,
     optgen: OptGen,
 }
+
+drishti_noc::impl_persist_fields!(SampledSet { entries, optgen });
 
 impl SampledSet {
     fn new(ways: usize) -> Self {
@@ -85,6 +95,14 @@ struct HawkeyeDiag {
     fills_friendly: u64,
     fills_averse: u64,
 }
+
+drishti_noc::impl_persist_fields!(HawkeyeDiag {
+    opt_hits,
+    opt_misses,
+    detrains,
+    fills_friendly,
+    fills_averse,
+});
 
 /// The Hawkeye replacement policy (and D-Hawkeye when built with a Drishti
 /// configuration).
@@ -274,6 +292,33 @@ impl PolicyProbe for Hawkeye {
 impl LlcPolicy for Hawkeye {
     fn probe(&self) -> Option<&dyn PolicyProbe> {
         Some(self)
+    }
+
+    // `label` is config-derived and excluded; the fabric serializes through
+    // its own hooks (its link is a trait object).
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        use drishti_noc::snap::Persist;
+        self.rrpv.save(w);
+        self.selectors.save(w);
+        self.samplers.save(w);
+        self.predictors.save(w);
+        self.fabric.save_state(w);
+        self.diag.save(w);
+        self.rrip_histogram.save(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::Persist;
+        self.rrpv.load(r)?;
+        self.selectors.load(r)?;
+        self.samplers.load(r)?;
+        self.predictors.load(r)?;
+        self.fabric.load_state(r)?;
+        self.diag.load(r)?;
+        self.rrip_histogram.load(r)
     }
 
     fn name(&self) -> String {

@@ -16,6 +16,27 @@ pub struct OptGen {
     time: u64,
 }
 
+/// Placeholder value required by the snapshot codec's container impls
+/// (`Vec<SampledSet>`); never used for decisions — samplers are rebuilt
+/// from configuration before any restore.
+impl Default for OptGen {
+    fn default() -> Self {
+        OptGen {
+            occupancy: Vec::new(),
+            capacity: 0,
+            time: 0,
+        }
+    }
+}
+
+// `capacity` is geometry-derived but serialized for uniformity; restoring
+// it over the rebuilt value is a no-op under a matching configuration.
+drishti_noc::impl_persist_fields!(OptGen {
+    occupancy,
+    capacity,
+    time,
+});
+
 impl OptGen {
     /// Create an OPTgen instance for a set of `ways` capacity with a
     /// history window of `window` quanta (Hawkeye uses `8 × ways`).

@@ -24,6 +24,8 @@ impl Lru {
     }
 }
 
+drishti_noc::impl_persist_fields!(Lru { stamp, clock });
+
 impl PolicyProbe for Lru {
     fn probe_set(&self, loc: LlcLoc) -> SetProbe {
         SetProbe {
@@ -41,6 +43,17 @@ impl PolicyProbe for Lru {
 impl LlcPolicy for Lru {
     fn probe(&self) -> Option<&dyn PolicyProbe> {
         Some(self)
+    }
+
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        drishti_noc::snap::Persist::save(self, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        drishti_noc::snap::Persist::load(self, r)
     }
 
     fn name(&self) -> String {

@@ -75,11 +75,21 @@ struct SamplerEntry {
     stamp: u64,
 }
 
-#[derive(Debug, Clone)]
+drishti_noc::impl_persist_fields!(SamplerEntry {
+    valid,
+    tag,
+    signature,
+    core,
+    stamp,
+});
+
+#[derive(Debug, Clone, Default)]
 struct SampledSet {
     entries: Vec<SamplerEntry>,
     clock: u64,
 }
+
+drishti_noc::impl_persist_fields!(SampledSet { entries, clock });
 
 impl SampledSet {
     fn new(ways: usize) -> Self {
@@ -102,6 +112,13 @@ struct MockingjayDiag {
     bypasses: u64,
     fills: u64,
 }
+
+drishti_noc::impl_persist_fields!(MockingjayDiag {
+    sampler_hits,
+    sampler_evictions,
+    bypasses,
+    fills,
+});
 
 /// The Mockingjay replacement policy (and D-Mockingjay when built with a
 /// Drishti configuration).
@@ -354,6 +371,40 @@ impl PolicyProbe for Mockingjay {
 impl LlcPolicy for Mockingjay {
     fn probe(&self) -> Option<&dyn PolicyProbe> {
         Some(self)
+    }
+
+    // `label` is config-derived and `etr_log` an instrumentation side
+    // channel (Rc handle, re-armed by the caller if wanted) — both
+    // excluded; the fabric serializes through its own hooks.
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        use drishti_noc::snap::Persist;
+        self.etr.save(w);
+        self.pred.save(w);
+        self.set_clock.save(w);
+        self.selectors.save(w);
+        self.samplers.save(w);
+        self.predictors.save(w);
+        self.fabric.save_state(w);
+        self.pending.save(w);
+        self.diag.save(w);
+        self.pred_histogram.save(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::Persist;
+        self.etr.load(r)?;
+        self.pred.load(r)?;
+        self.set_clock.load(r)?;
+        self.selectors.load(r)?;
+        self.samplers.load(r)?;
+        self.predictors.load(r)?;
+        self.fabric.load_state(r)?;
+        self.pending.load(r)?;
+        self.diag.load(r)?;
+        self.pred_histogram.load(r)
     }
 
     fn name(&self) -> String {

@@ -47,6 +47,15 @@ struct SamplerEntry {
     referenced: bool,
 }
 
+drishti_noc::impl_persist_fields!(SamplerEntry {
+    valid,
+    tag,
+    signature,
+    core,
+    lru,
+    referenced,
+});
+
 #[derive(Debug)]
 pub struct Sdbp {
     label: String,
@@ -228,6 +237,39 @@ impl PolicyProbe for Sdbp {
 impl LlcPolicy for Sdbp {
     fn probe(&self) -> Option<&dyn PolicyProbe> {
         Some(self)
+    }
+
+    // `label` is config-derived and excluded; the fabric serializes through
+    // its own hooks (its link is a trait object).
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        use drishti_noc::snap::Persist;
+        self.stamp.save(w);
+        self.dead.save(w);
+        self.clock.save(w);
+        self.selectors.save(w);
+        self.samplers.save(w);
+        self.tables.save(w);
+        self.fabric.save_state(w);
+        self.dead_trainings.save(w);
+        self.live_trainings.save(w);
+        self.dead_fills.save(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::Persist;
+        self.stamp.load(r)?;
+        self.dead.load(r)?;
+        self.clock.load(r)?;
+        self.selectors.load(r)?;
+        self.samplers.load(r)?;
+        self.tables.load(r)?;
+        self.fabric.load_state(r)?;
+        self.dead_trainings.load(r)?;
+        self.live_trainings.load(r)?;
+        self.dead_fills.load(r)
     }
 
     fn name(&self) -> String {

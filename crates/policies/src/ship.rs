@@ -116,6 +116,33 @@ impl LlcPolicy for ShipPp {
         Some(self)
     }
 
+    // `label` is config-derived and excluded; the fabric serializes through
+    // its own hooks (its link is a trait object).
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        use drishti_noc::snap::Persist;
+        self.rrpv.save(w);
+        self.outcome.save(w);
+        self.selectors.save(w);
+        self.shct.save(w);
+        self.fabric.save_state(w);
+        self.trains_up.save(w);
+        self.trains_down.save(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::Persist;
+        self.rrpv.load(r)?;
+        self.outcome.load(r)?;
+        self.selectors.load(r)?;
+        self.shct.load(r)?;
+        self.fabric.load_state(r)?;
+        self.trains_up.load(r)?;
+        self.trains_down.load(r)
+    }
+
     fn name(&self) -> String {
         self.label.clone()
     }

@@ -28,6 +28,8 @@ impl Srrip {
     }
 }
 
+drishti_noc::impl_persist_fields!(Srrip { rrpv });
+
 impl PolicyProbe for Srrip {
     fn probe_set(&self, loc: LlcLoc) -> SetProbe {
         SetProbe {
@@ -48,6 +50,17 @@ impl PolicyProbe for Srrip {
 impl LlcPolicy for Srrip {
     fn probe(&self) -> Option<&dyn PolicyProbe> {
         Some(self)
+    }
+
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        drishti_noc::snap::Persist::save(self, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        drishti_noc::snap::Persist::load(self, r)
     }
 
     fn name(&self) -> String {

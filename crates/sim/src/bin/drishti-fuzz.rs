@@ -108,8 +108,16 @@ fn run_replay(cli: &CliArgs) -> i32 {
     let path = cli.replay.as_ref().expect("replay mode");
     let report = match replay_file(path, cli.inject) {
         Ok(r) => r,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(e) => {
+            // A repro that cannot be read is a usage-level problem, not a
+            // reproduced failure: name the file, say what is wrong with it,
+            // and point at the deterministic way to get it back.
+            eprintln!("error: cannot replay {}: {e}", path.display());
+            eprintln!(
+                "  failure repros are regenerated deterministically: re-run \
+                 drishti-fuzz with the original --seed (and --inject-violation \
+                 if the run was sabotaged) to rewrite this file"
+            );
             return 2;
         }
     };

@@ -29,10 +29,10 @@ use drishti_core::config::DrishtiConfig;
 use drishti_noc::faults::{FaultConfig, OutageWindow};
 use drishti_policies::factory::PolicyKind;
 use drishti_sim::config::SystemConfig;
-use drishti_sim::runner::{run_mix, run_with_workloads, RunConfig};
+use drishti_sim::runner::{run_with_workloads_checkpointed, RunCkpt, RunConfig};
 use drishti_sim::sampling::SamplingSpec;
 use drishti_sim::sweep::report::{SweepReport, SweepTiming};
-use drishti_sim::sweep::{run_sweep, JobKind, SweepJob};
+use drishti_sim::sweep::{journal, run_sweep, run_sweep_resumable, JobKind, SweepJob};
 use drishti_sim::telemetry::{TelemetrySpec, DEFAULT_EPOCH_STEPS};
 use drishti_trace::mix::Mix;
 use drishti_trace::presets::Benchmark;
@@ -44,7 +44,8 @@ use std::sync::Arc;
 
 const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P[,P...]] [--org O[,O...]] [--mix M]
        [--accesses N] [--warmup N] [--l2-kib K] [--llc-mib M] [--channels C]
-       [--jobs N] [--report PATH]
+       [--jobs N] [--report PATH] [--resume]
+       [--save PATH] [--restore PATH] [--checkpoint-every N]
        [--record PREFIX | --trace-file PREFIX] [--trace-cache-mib N]
        [--sample-interval N] [--sample-warmup N]
        [--telemetry] [--epoch N] [--check-invariants]
@@ -56,6 +57,13 @@ const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P[,P...]] [--org O
   sweeps: comma-separated --policy/--org lists run every combination as a
   parallel sweep on --jobs workers (0 = one per CPU); --report writes the
   deterministic JSON report (plus a .timing.json sidecar) to PATH.
+  crash recovery: sweeps with --report journal completed cells to
+  PATH.journal; after a crash, re-running with --resume simulates only the
+  unfinished cells and produces a byte-identical report. Single runs take
+  --save PATH to write a drishti-ckpt/v1 engine checkpoint at completion
+  (with --checkpoint-every N, also every N engine steps, atomically), and
+  --restore PATH to continue a checkpointed run; a restored run's results
+  are bit-identical to an uninterrupted one.
   traces: --record writes each core's stream to PREFIX.coreNN.drtr
   (drishti-trace/v1) before running; --trace-file replays such files
   instead of generating (must match the mix's benchmarks/seeds and hold
@@ -89,6 +97,10 @@ struct CliArgs {
     channels: Option<usize>,
     jobs: usize,
     report: Option<PathBuf>,
+    resume: bool,
+    save: Option<PathBuf>,
+    restore: Option<PathBuf>,
+    checkpoint_every: u64,
     record: Option<PathBuf>,
     trace_file: Option<PathBuf>,
     trace_cache_mib: usize,
@@ -142,6 +154,10 @@ impl Default for CliArgs {
             channels: None,
             jobs: 0,
             report: None,
+            resume: false,
+            save: None,
+            restore: None,
+            checkpoint_every: 0,
             record: None,
             trace_file: None,
             trace_cache_mib: 0,
@@ -222,6 +238,11 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 i += 1;
                 continue;
             }
+            "--resume" => {
+                cli.resume = true;
+                i += 1;
+                continue;
+            }
             _ => {}
         }
         let val = args
@@ -244,6 +265,9 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--channels" => cli.channels = Some(parse_num(flag, val)?),
             "--jobs" => cli.jobs = parse_num(flag, val)?,
             "--report" => cli.report = Some(PathBuf::from(val)),
+            "--save" => cli.save = Some(PathBuf::from(val)),
+            "--restore" => cli.restore = Some(PathBuf::from(val)),
+            "--checkpoint-every" => cli.checkpoint_every = parse_num(flag, val)?,
             "--record" => cli.record = Some(PathBuf::from(val)),
             "--trace-file" => cli.trace_file = Some(PathBuf::from(val)),
             "--trace-cache-mib" => cli.trace_cache_mib = parse_num(flag, val)?,
@@ -291,6 +315,24 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     }
     if cli.record.is_some() && cli.trace_file.is_some() {
         return Err("--record and --trace-file are mutually exclusive".to_string());
+    }
+    let sweep_mode = cli.policies.len() > 1 || cli.orgs.len() > 1 || cli.report.is_some();
+    if cli.checkpoint_every > 0 && cli.save.is_none() {
+        return Err(
+            "--checkpoint-every needs --save PATH as the checkpoint destination".to_string(),
+        );
+    }
+    if sweep_mode && (cli.save.is_some() || cli.restore.is_some()) {
+        return Err(
+            "--save/--restore checkpoint a single run; for sweeps use --report with --resume"
+                .to_string(),
+        );
+    }
+    if cli.resume && cli.report.is_none() {
+        return Err("--resume needs --report PATH (the journal lives at PATH.journal)".to_string());
+    }
+    if cli.restore.is_some() && cli.sampling_spec().enabled() {
+        return Err("--restore does not support sampled runs; drop --sample-interval".to_string());
     }
     cli.sampling_spec().validate()?;
     if cli.channels == Some(0) {
@@ -519,13 +561,29 @@ fn run_single(cli: &CliArgs) -> Result<(), String> {
         record_traces(cli, &mix, &TraceCache::new())?;
     }
     let t = std::time::Instant::now();
-    let r = if cli.trace_file.is_some() {
+    let ckpt = RunCkpt {
+        restore: cli.restore.as_deref(),
+        save: cli.save.as_deref(),
+        every: cli.checkpoint_every,
+    };
+    if let Some(path) = ckpt.restore {
+        println!("restoring checkpoint: {}", path.display());
+    }
+    let workloads = if cli.trace_file.is_some() {
         let workloads = open_streaming_workloads(cli, &mix)?;
         println!("replaying {} on-disk traces (streaming)", mix.cores());
-        run_with_workloads(workloads, policy, drishti, &rc)
+        workloads
     } else {
-        run_mix(&mix, policy, drishti, &rc)
+        mix.build()
+            .into_iter()
+            .map(|w| Some(Box::new(w) as Box<dyn drishti_trace::WorkloadGen>))
+            .collect()
     };
+    let r = run_with_workloads_checkpointed(workloads, policy, drishti, &rc, &ckpt)
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = ckpt.save {
+        println!("checkpoint written: {}", path.display());
+    }
     println!("\nsimulated in {:.1?}\n", t.elapsed());
 
     println!("policy reported: {}", r.policy);
@@ -654,7 +712,17 @@ fn run_sweep_cli(cli: &CliArgs) -> Result<i32, String> {
         preload_trace_files(cli, &mix, &cache)?;
         println!("preloaded {} on-disk traces", mix.cores());
     }
-    let outcome = run_sweep(&jobs, cli.jobs, &cache);
+    // Sweeps with a report destination are journaled beside it so a
+    // killed run can continue with --resume; report-less sweeps have no
+    // stable place for a journal and run unjournaled.
+    let outcome = match &cli.report {
+        Some(path) => {
+            let journal_file = journal::journal_path(path);
+            run_sweep_resumable(&jobs, cli.jobs, &cache, &journal_file, cli.resume)
+                .map_err(|e| format!("cannot resume from {}: {e}", journal_file.display()))?
+        }
+        None => run_sweep(&jobs, cli.jobs, &cache),
+    };
     let mut timing = SweepTiming::from_outcome("drishti-sim", &outcome);
 
     println!(
@@ -712,8 +780,15 @@ fn run_sweep_cli(cli: &CliArgs) -> Result<i32, String> {
 
     let failures = outcome.failures();
     if !failures.is_empty() {
+        // The journal (if any) is deliberately kept: completed cells can
+        // be reused with --resume after the failure is fixed.
         eprintln!("error: {} sweep cell(s) failed", failures.len());
         return Ok(1);
+    }
+    if let Some(path) = &cli.report {
+        // Clean completion: the report supersedes the journal.
+        journal::remove_on_success(path)
+            .map_err(|e| format!("removing journal beside {}: {e}", path.display()))?;
     }
     Ok(0)
 }

@@ -369,8 +369,16 @@ pub fn persist_failure(dir: &Path, failure: &CellFailure) -> Result<PathBuf, Str
 /// Replay a persisted failure file: re-derive the cell from the stored
 /// seed, re-run the stored records, and report the violation (if it still
 /// reproduces).
-pub fn replay_file(path: &Path, inject: bool) -> Result<ReplayReport, String> {
-    let (meta, records) = read_trace(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+///
+/// A missing or corrupt file surfaces as the store's typed
+/// [`StoreError`](drishti_trace::store::StoreError) so callers can attach
+/// their own recovery guidance (the CLI tells the user to re-run the
+/// original fuzz seed, which regenerates the repro deterministically).
+pub fn replay_file(
+    path: &Path,
+    inject: bool,
+) -> Result<ReplayReport, drishti_trace::store::StoreError> {
+    let (meta, records) = read_trace(path)?;
     let spec = CellSpec::derive(meta.seed, inject);
     let violation = run_cell_trace(&spec, &records, Box::new(XorFoldHash::new()));
     Ok(ReplayReport {

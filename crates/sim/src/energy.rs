@@ -28,6 +28,13 @@ pub struct EnergyBreakdown {
     pub fabric_pj: u64,
 }
 
+drishti_noc::impl_persist_fields!(EnergyBreakdown {
+    llc_pj,
+    noc_pj,
+    dram_pj,
+    fabric_pj,
+});
+
 impl EnergyBreakdown {
     /// Compute the breakdown from subsystem statistics.
     pub fn from_stats(

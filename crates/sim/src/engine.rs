@@ -40,6 +40,13 @@ pub struct CoreResult {
     pub llc_misses: u64,
 }
 
+drishti_noc::impl_persist_fields!(CoreResult {
+    instructions,
+    cycles,
+    accesses,
+    llc_misses,
+});
+
 impl CoreResult {
     /// Instructions per cycle (0 when no cycles elapsed).
     pub fn ipc(&self) -> f64 {
@@ -89,6 +96,79 @@ struct CoreState {
     /// A demand access that lands on a still-in-flight prefetched line
     /// waits for the remainder (prefetch *timeliness*).
     inflight: std::collections::HashMap<LineAddr, u64>,
+}
+
+impl CoreState {
+    /// Serialize everything but the workload, which is rebuilt from the mix
+    /// and re-positioned by [`WorkloadGen::skip_records`] on restore (a
+    /// presence flag guards against restoring into a different core map).
+    fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        use drishti_noc::snap::Persist;
+        self.workload.is_some().save(w);
+        self.l1.save(w);
+        self.l2.save(w);
+        self.l1_pf.save_state(w);
+        self.l2_pf.save_state(w);
+        self.cycle.save(w);
+        self.instr_carry.save(w);
+        self.retired.save(w);
+        self.accesses.save(w);
+        self.outstanding.save(w);
+        self.finished.save(w);
+        self.measuring.save(w);
+        self.meas_start_cycle.save(w);
+        self.meas_start_retired.save(w);
+        self.meas_start_accesses.save(w);
+        self.meas_llc_misses.save(w);
+        self.samp_instructions.save(w);
+        self.samp_cycles.save(w);
+        self.samp_accesses.save(w);
+        self.pf_ring.save(w);
+        self.inflight.save(w);
+    }
+
+    /// Restore state written by [`CoreState::save_state`]. Every scheduling
+    /// step pulls exactly one record and bumps `accesses` by one, so the
+    /// freshly rebuilt workload is re-positioned by skipping `accesses`
+    /// records.
+    fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::{Persist, SnapError};
+        let mut has_workload = false;
+        has_workload.load(r)?;
+        if has_workload != self.workload.is_some() {
+            return Err(SnapError::Invalid {
+                what: "core workload presence",
+                detail: "snapshot core activity does not match this configuration".into(),
+            });
+        }
+        self.l1.load(r)?;
+        self.l2.load(r)?;
+        self.l1_pf.load_state(r)?;
+        self.l2_pf.load_state(r)?;
+        self.cycle.load(r)?;
+        self.instr_carry.load(r)?;
+        self.retired.load(r)?;
+        self.accesses.load(r)?;
+        self.outstanding.load(r)?;
+        self.finished.load(r)?;
+        self.measuring.load(r)?;
+        self.meas_start_cycle.load(r)?;
+        self.meas_start_retired.load(r)?;
+        self.meas_start_accesses.load(r)?;
+        self.meas_llc_misses.load(r)?;
+        self.samp_instructions.load(r)?;
+        self.samp_cycles.load(r)?;
+        self.samp_accesses.load(r)?;
+        self.pf_ring.load(r)?;
+        self.inflight.load(r)?;
+        if let Some(wl) = &mut self.workload {
+            wl.skip_records(self.accesses);
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for CoreState {
@@ -361,6 +441,23 @@ impl Engine {
         done
     }
 
+    /// Whether every active core has pulled at least the warm-up record
+    /// budget — the earliest point at which a warm-state checkpoint is
+    /// shareable between cells of the same configuration.
+    pub fn warmed(&self) -> bool {
+        self.cores
+            .iter()
+            .all(|c| c.finished || c.accesses >= self.warmup_accesses)
+    }
+
+    /// Advance in fixed-size chunks until [`Engine::warmed`] (or the run
+    /// completes). The chunk size is a constant, so every engine of the
+    /// same configuration stops at the exact same scheduling step — the
+    /// property that makes the resulting checkpoint shareable.
+    pub fn run_to_warm(&mut self) {
+        while !self.warmed() && !self.run_steps(1024) {}
+    }
+
     /// Per-core measured-so-far results (complete results after
     /// [`Engine::run`] or once [`Engine::run_steps`] returns `true`).
     pub fn results(&self) -> Vec<CoreResult> {
@@ -386,6 +483,129 @@ impl Engine {
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// A stable textual description of everything that must agree between
+    /// the engine a snapshot was taken from and the engine restoring it:
+    /// system configuration, policy, access budgets, stream recording,
+    /// sampling schedule and telemetry epoch length. The checkpoint
+    /// container hashes this string and refuses restores whose hash
+    /// differs (state arrays would silently misalign otherwise).
+    pub fn config_descriptor(&self) -> String {
+        format!(
+            "{:?}|policy={}|accesses={}|warmup={}|stream={}|sampling={:?}|epoch={}",
+            self.cfg,
+            self.llc.policy().name(),
+            self.accesses_per_core,
+            self.warmup_accesses,
+            self.record_llc_stream,
+            self.sampling,
+            self.telemetry.epoch_steps(),
+        )
+    }
+
+    // Per-subsystem snapshot hooks, one per checkpoint section. The
+    // container layer (`crate::ckpt`) names and checksums each section
+    // independently so corruption reports say *which* subsystem is bad.
+    // Configuration (`cfg`, sampling schedule, access budgets) is never
+    // serialized: restore targets an engine rebuilt from the same
+    // configuration, and the container refuses mismatched config hashes.
+
+    /// Serialize every core's architectural and accounting state.
+    pub fn save_cores(&self, w: &mut drishti_noc::snap::StateWriter) {
+        use drishti_noc::snap::Persist;
+        self.cores.len().save(w);
+        for core in &self.cores {
+            core.save_state(w);
+        }
+    }
+
+    /// Restore state written by [`Engine::save_cores`]; re-positions each
+    /// core's freshly rebuilt workload.
+    pub fn load_cores(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::{Persist, SnapError};
+        let mut n = 0usize;
+        n.load(r)?;
+        if n != self.cores.len() {
+            return Err(SnapError::Invalid {
+                what: "core count",
+                detail: format!(
+                    "snapshot has {n} cores, this system has {}",
+                    self.cores.len()
+                ),
+            });
+        }
+        for core in &mut self.cores {
+            core.load_state(r)?;
+        }
+        Ok(())
+    }
+
+    /// Serialize the sliced LLC (tags, metadata, counters, policy tables).
+    pub fn save_llc(&self, w: &mut drishti_noc::snap::StateWriter) {
+        self.llc.save_state(w);
+    }
+
+    /// Restore state written by [`Engine::save_llc`].
+    pub fn load_llc(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        self.llc.load_state(r)
+    }
+
+    /// Serialize the DRAM subsystem (bank/bus occupancy, stats, faults).
+    pub fn save_dram(&self, w: &mut drishti_noc::snap::StateWriter) {
+        self.dram.save_state(w);
+    }
+
+    /// Restore state written by [`Engine::save_dram`].
+    pub fn load_dram(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        self.dram.load_state(r)
+    }
+
+    /// Serialize the demand mesh (link occupancy, stats, faults).
+    pub fn save_mesh(&self, w: &mut drishti_noc::snap::StateWriter) {
+        self.mesh.save_state(w);
+    }
+
+    /// Restore state written by [`Engine::save_mesh`].
+    pub fn load_mesh(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        self.mesh.load_state(r)
+    }
+
+    /// Serialize engine-level simulation state: the step counter, the
+    /// final-epoch-flush guard, the captured LLC demand stream, and the
+    /// telemetry sink's collected epochs.
+    pub fn save_sim_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        use drishti_noc::snap::Persist;
+        self.steps.save(w);
+        self.final_epoch_flushed.save(w);
+        self.llc_stream.save(w);
+        self.telemetry.save_state(w);
+    }
+
+    /// Restore state written by [`Engine::save_sim_state`]. The telemetry
+    /// sink must already be configured (via [`Engine::set_telemetry`]) the
+    /// same way as when the snapshot was taken.
+    pub fn load_sim_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::Persist;
+        self.steps.load(r)?;
+        self.final_epoch_flushed.load(r)?;
+        self.llc_stream.load(r)?;
+        self.telemetry.load_state(r)
     }
 
     fn step(&mut self, c: usize) {

@@ -8,6 +8,9 @@
 //! parallelism (see DESIGN.md §3 for the substitution argument versus
 //! ChampSim).
 //!
+//! * [`ckpt`] — the `drishti-ckpt/v1` checkpoint container: complete
+//!   engine state on disk with per-section checksums, for bit-identical
+//!   crash resume (DESIGN.md §14);
 //! * [`config::SystemConfig`] — every knob the paper sweeps (core count,
 //!   LLC slice size, L2 size, DRAM channels, prefetchers);
 //! * [`conformance`] — the differential reference interpreter, the
@@ -54,6 +57,7 @@
 //! assert!(r.total_ipc() > 0.0);
 //! ```
 
+pub mod ckpt;
 pub mod config;
 pub mod conformance;
 pub mod energy;

@@ -21,16 +21,21 @@
 //!    ([`report::SweepTiming`]) goes to a `*.timing.json` sidecar so the
 //!    main report stays byte-comparable across hosts and worker counts.
 
+pub mod journal;
 pub mod json;
 pub mod pool;
 pub mod report;
 
-use crate::runner::{alone_ipcs_cached, run_mix_cached, RunConfig, RunResult};
+use crate::runner::{
+    alone_ipcs_cached, run_mix_cached, run_mix_cached_warm, RunConfig, RunResult, WarmCache,
+};
 use drishti_core::config::DrishtiConfig;
 use drishti_policies::factory::PolicyKind;
 use drishti_trace::mix::Mix;
 use drishti_trace::replay::TraceCache;
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// What one sweep cell simulates.
@@ -88,6 +93,23 @@ impl SweepJob {
             JobKind::Run {
                 mix, policy, org, ..
             } => JobOutput::Run(Box::new(run_mix_cached(&mix, policy, org, &self.rc, cache))),
+            JobKind::AloneIpcs { mix } => {
+                JobOutput::AloneIpcs(alone_ipcs_cached(&mix, &self.rc, cache))
+            }
+        }
+    }
+
+    /// Like [`SweepJob::execute`], but full-run cells route through the
+    /// sweep's shared [`WarmCache`] so cells with identical warm phases
+    /// restore one post-warmup checkpoint instead of re-warming. Alone
+    /// cells are many tiny single-core runs and are not worth warming.
+    fn execute_warm(self, cache: &TraceCache, warm: &WarmCache) -> JobOutput {
+        match self.kind {
+            JobKind::Run {
+                mix, policy, org, ..
+            } => JobOutput::Run(Box::new(run_mix_cached_warm(
+                &mix, policy, org, &self.rc, cache, warm,
+            ))),
             JobKind::AloneIpcs { mix } => {
                 JobOutput::AloneIpcs(alone_ipcs_cached(&mix, &self.rc, cache))
             }
@@ -166,6 +188,17 @@ pub struct SweepOutcome {
     pub wall: Duration,
     /// Trace-cache `(hits, misses)` accumulated by the batch.
     pub cache_stats: (u64, u64),
+    /// Cells taken from a completion journal instead of simulated
+    /// (always 0 for a plain, non-resumable sweep).
+    pub resumed_cells: usize,
+    /// Journal append failures. Nonzero means journaling degraded to
+    /// plain execution partway through: results are still complete and
+    /// correct, but a crash after the failure would re-run more cells.
+    pub ckpt_write_failures: u64,
+    /// Warm-checkpoint cache `(hits, misses)` — cells that restored a
+    /// shared post-warmup snapshot vs. cells that ran their own warm
+    /// phase. Always `(0, 0)` for a plain sweep.
+    pub warm_stats: (u64, u64),
 }
 
 impl SweepOutcome {
@@ -247,7 +280,141 @@ pub fn run_sweep(jobs: &[SweepJob], workers: usize, cache: &Arc<TraceCache>) -> 
             cache_after.0 - cache_before.0,
             cache_after.1 - cache_before.1,
         ),
+        resumed_cells: 0,
+        ckpt_write_failures: 0,
+        warm_stats: (0, 0),
     }
+}
+
+/// [`run_sweep`] with crash resumability: completed cells are appended to
+/// the journal at `journal_file` as they finish, and when `resume` is set
+/// and the journal exists, its cells are loaded instead of re-simulated.
+/// The merged outcome is bit-identical to an uninterrupted run — resumed
+/// or fresh, a cell's output depends only on its own job description.
+///
+/// Full-run cells additionally share a [`WarmCache`], restoring one
+/// post-warmup engine checkpoint per identical warm phase (see
+/// DESIGN.md §14).
+///
+/// Journal I/O failures never fail the sweep: a journal that cannot be
+/// created or appended to degrades to plain execution, counted in
+/// [`SweepOutcome::ckpt_write_failures`]. Only a *present but unusable*
+/// journal under `resume` (foreign job set, bad header) is a hard error —
+/// silently re-running everything would hide exactly the state the user
+/// asked to keep.
+///
+/// # Panics
+///
+/// Panics if job ids are not dense `0..jobs.len()`.
+pub fn run_sweep_resumable(
+    jobs: &[SweepJob],
+    workers: usize,
+    cache: &Arc<TraceCache>,
+    journal_file: &Path,
+    resume: bool,
+) -> Result<SweepOutcome, journal::JournalError> {
+    for (i, j) in jobs.iter().enumerate() {
+        assert_eq!(i, j.id, "job ids must be dense and ordered");
+    }
+    let workers = if workers == 0 {
+        auto_workers()
+    } else {
+        workers
+    };
+    let hash = journal::jobs_hash(jobs);
+    let count = jobs.len() as u64;
+
+    let mut early_write_failures = 0u64;
+    let (entries, writer) = if resume && journal_file.exists() {
+        let entries = journal::read_journal(journal_file, hash, count)?;
+        match journal::JournalWriter::open_append(journal_file, hash, count) {
+            Ok(w) => (entries, Some(w)),
+            Err(_) => {
+                early_write_failures += 1;
+                (entries, None)
+            }
+        }
+    } else {
+        match journal::JournalWriter::create(journal_file, hash, count) {
+            Ok(w) => (Vec::new(), Some(w)),
+            Err(_) => {
+                early_write_failures += 1;
+                (Vec::new(), None)
+            }
+        }
+    };
+
+    let mut done: Vec<Option<JobOutput>> = (0..jobs.len()).map(|_| None).collect();
+    for (id, output) in entries {
+        done[id] = Some(output); // duplicates keep the latest entry
+    }
+    let resumed_cells = done.iter().filter(|d| d.is_some()).count();
+    let pending: Vec<usize> = (0..jobs.len()).filter(|&id| done[id].is_none()).collect();
+
+    let warm = Arc::new(WarmCache::new());
+    let writer = Arc::new(Mutex::new(writer));
+    let write_failures = Arc::new(AtomicU64::new(early_write_failures));
+    let cache_before = cache.stats();
+
+    let start = Instant::now();
+    let tasks: Vec<pool::Task<JobOutput>> = pending
+        .iter()
+        .map(|&id| {
+            let job = jobs[id].clone();
+            let cache = Arc::clone(cache);
+            let warm = Arc::clone(&warm);
+            let writer = Arc::clone(&writer);
+            let write_failures = Arc::clone(&write_failures);
+            Box::new(move || {
+                let output = job.execute_warm(&cache, &warm);
+                // Journal only *completed* cells: a panicking cell never
+                // reaches this append, so resume re-runs it.
+                let mut guard = writer.lock().unwrap_or_else(|p| p.into_inner());
+                if let Some(w) = guard.as_mut() {
+                    if w.append(id, &output).is_err() {
+                        // Degrade to journal-less execution: the sweep's
+                        // results do not depend on the journal.
+                        write_failures.fetch_add(1, Ordering::Relaxed);
+                        *guard = None;
+                    }
+                }
+                drop(guard);
+                output
+            }) as pool::Task<JobOutput>
+        })
+        .collect();
+    let raw = pool::run_tasks(tasks, workers);
+    let wall = start.elapsed();
+    let cache_after = cache.stats();
+
+    let mut outputs: Vec<Option<Result<JobOutput, JobFailure>>> =
+        done.into_iter().map(|d| d.map(Ok)).collect();
+    for (slot, result) in pending.iter().zip(raw) {
+        let id = *slot;
+        outputs[id] = Some(result.map_err(|message| JobFailure {
+            id,
+            label: jobs[id].label.clone(),
+            seed: jobs[id].seed,
+            message,
+        }));
+    }
+    let outputs = outputs
+        .into_iter()
+        .map(|o| o.expect("every cell is either resumed or scheduled"))
+        .collect();
+
+    Ok(SweepOutcome {
+        outputs,
+        workers,
+        wall,
+        cache_stats: (
+            cache_after.0 - cache_before.0,
+            cache_after.1 - cache_before.1,
+        ),
+        resumed_cells,
+        ckpt_write_failures: write_failures.load(Ordering::Relaxed),
+        warm_stats: warm.stats(),
+    })
 }
 
 #[cfg(test)]
@@ -348,5 +515,130 @@ mod tests {
         jobs[2].id = 9;
         let cache = Arc::new(TraceCache::new());
         let _ = run_sweep(&jobs, 1, &cache);
+    }
+
+    fn tmp_journal(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("drishti-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn output_fingerprints(out: &SweepOutcome) -> Vec<String> {
+        out.outputs
+            .iter()
+            .map(|o| format!("{:?}", o.as_ref().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn resumable_sweep_matches_plain_sweep() {
+        let path = tmp_journal("plain_vs_resumable.journal");
+        let jobs = tiny_jobs();
+        let plain = run_sweep(&jobs, 2, &Arc::new(TraceCache::new()));
+        let resumable =
+            run_sweep_resumable(&jobs, 2, &Arc::new(TraceCache::new()), &path, false).unwrap();
+        assert_eq!(resumable.resumed_cells, 0);
+        assert_eq!(resumable.ckpt_write_failures, 0);
+        assert_eq!(output_fingerprints(&plain), output_fingerprints(&resumable));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_reruns_only_unjournaled_cells_bit_identically() {
+        let path = tmp_journal("partial_resume.journal");
+        let jobs = tiny_jobs();
+        let cache = Arc::new(TraceCache::new());
+        let full = run_sweep_resumable(&jobs, 1, &cache, &path, false).unwrap();
+        assert!(full.failures().is_empty());
+
+        // Simulate a crash after two cells: rebuild the journal with only
+        // the first two completed entries.
+        let hash = journal::jobs_hash(&jobs);
+        let entries = journal::read_journal(&path, hash, jobs.len() as u64).unwrap();
+        assert_eq!(entries.len(), jobs.len());
+        let mut w = journal::JournalWriter::create(&path, hash, jobs.len() as u64).unwrap();
+        for (id, output) in entries.iter().take(2) {
+            w.append(*id, output).unwrap();
+        }
+        drop(w);
+
+        let resumed = run_sweep_resumable(&jobs, 1, &cache, &path, true).unwrap();
+        assert_eq!(resumed.resumed_cells, 2);
+        assert_eq!(output_fingerprints(&full), output_fingerprints(&resumed));
+        // The re-run third cell was journaled again: the journal is whole.
+        assert_eq!(
+            journal::read_journal(&path, hash, jobs.len() as u64)
+                .unwrap()
+                .len(),
+            jobs.len()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn warm_cache_shares_identical_warm_phases_bit_identically() {
+        let path = tmp_journal("warm_share.journal");
+        let mix = Mix::homogeneous(Benchmark::Gcc, 4, 1);
+        // Two cells with identical (mix, policy, org, rc): the second must
+        // restore the first's post-warmup checkpoint, not re-warm.
+        let jobs: Vec<SweepJob> = (0..2)
+            .map(|id| SweepJob {
+                id,
+                label: format!("dup-{id}/srrip/baseline"),
+                seed: SweepJob::derive_seed(id),
+                rc: tiny_rc(4),
+                kind: JobKind::Run {
+                    mix: mix.clone(),
+                    policy: PolicyKind::Srrip,
+                    org: DrishtiConfig::baseline(4),
+                    org_label: "baseline".to_string(),
+                },
+            })
+            .collect();
+        let out =
+            run_sweep_resumable(&jobs, 1, &Arc::new(TraceCache::new()), &path, false).unwrap();
+        assert_eq!(
+            out.warm_stats,
+            (1, 1),
+            "second cell must hit the warm cache"
+        );
+        let fp = output_fingerprints(&out);
+        assert_eq!(
+            fp[0], fp[1],
+            "warm restore must be bit-identical to warming"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn panicked_cell_fails_the_resumable_sweep_and_is_not_journaled() {
+        let path = tmp_journal("panic_cell.journal");
+        let mut jobs = tiny_jobs();
+        // Core-count mismatch between mix and system panics inside the run.
+        if let JobKind::Run { mix, .. } = &mut jobs[2].kind {
+            *mix = Mix::homogeneous(Benchmark::Gcc, 2, 1);
+        }
+        let out =
+            run_sweep_resumable(&jobs, 2, &Arc::new(TraceCache::new()), &path, false).unwrap();
+        assert_eq!(out.failures().len(), 1);
+        assert_eq!(out.failures()[0].id, 2);
+        // The failed cell must not be in the journal; the good cells are.
+        let entries =
+            journal::read_journal(&path, journal::jobs_hash(&jobs), jobs.len() as u64).unwrap();
+        let ids: Vec<usize> = entries.iter().map(|(id, _)| *id).collect();
+        assert!(!ids.contains(&2));
+        assert_eq!(ids.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_journal_is_refused_under_resume() {
+        let path = tmp_journal("foreign.journal");
+        let jobs = tiny_jobs();
+        journal::JournalWriter::create(&path, 0xdead_beef, jobs.len() as u64).unwrap();
+        let err =
+            run_sweep_resumable(&jobs, 1, &Arc::new(TraceCache::new()), &path, true).unwrap_err();
+        assert!(matches!(err, journal::JournalError::JobSetMismatch { .. }));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -254,6 +254,14 @@ pub struct SweepTiming {
     /// only), empty when telemetry was off. Listed here — not in the main
     /// report — so the byte-determinism contract is unaffected.
     pub timeline_files: Vec<String>,
+    /// Cells loaded from a completion journal under `--resume` instead of
+    /// simulated. Host-history-dependent, hence sidecar-only.
+    pub resumed_cells: usize,
+    /// Journal append failures (journaling degraded to plain execution).
+    pub ckpt_write_failures: u64,
+    /// Warm-checkpoint cache hits: cells that restored a shared
+    /// post-warmup snapshot instead of re-warming.
+    pub warm_hits: u64,
 }
 
 impl SweepTiming {
@@ -269,6 +277,9 @@ impl SweepTiming {
             cache_hits: outcome.cache_stats.0,
             cache_misses: outcome.cache_stats.1,
             timeline_files: Vec::new(),
+            resumed_cells: outcome.resumed_cells,
+            ckpt_write_failures: outcome.ckpt_write_failures,
+            warm_hits: outcome.warm_stats.0,
         }
     }
 
@@ -298,6 +309,18 @@ impl SweepTiming {
             .push("cells_per_sec", Json::Num(self.cells_per_sec))
             .push("trace_cache_hits", Json::UInt(self.cache_hits))
             .push("trace_cache_misses", Json::UInt(self.cache_misses));
+        // Resume/checkpoint counters appear only when nonzero, like the
+        // timeline list, so pre-existing sidecar consumers see no change
+        // on plain sweeps.
+        if self.resumed_cells > 0 {
+            root.push("resumed_cells", Json::UInt(self.resumed_cells as u64));
+        }
+        if self.ckpt_write_failures > 0 {
+            root.push("ckpt_write_failures", Json::UInt(self.ckpt_write_failures));
+        }
+        if self.warm_hits > 0 {
+            root.push("warm_ckpt_hits", Json::UInt(self.warm_hits));
+        }
         if !self.timeline_files.is_empty() {
             root.push(
                 "timelines",
@@ -322,7 +345,7 @@ impl SweepTiming {
 
     /// One human-readable line, for the experiment binaries' stderr.
     pub fn line(&self) -> String {
-        format!(
+        let mut line = format!(
             "sweep {}: {} cells on {} worker(s) in {:.0} ms ({:.2} cells/s, trace cache {}/{} hits)",
             self.name,
             self.cells,
@@ -331,7 +354,17 @@ impl SweepTiming {
             self.cells_per_sec,
             self.cache_hits,
             self.cache_hits + self.cache_misses
-        )
+        );
+        if self.resumed_cells > 0 {
+            line.push_str(&format!(", {} resumed from journal", self.resumed_cells));
+        }
+        if self.ckpt_write_failures > 0 {
+            line.push_str(&format!(
+                ", journaling degraded after {} write failure(s)",
+                self.ckpt_write_failures
+            ));
+        }
+        line
     }
 }
 
@@ -454,6 +487,9 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             timeline_files: Vec::new(),
+            resumed_cells: 0,
+            ckpt_write_failures: 0,
+            warm_hits: 0,
         };
         assert!(!t.to_json_string().contains("timelines"));
         t.attach_timelines(&r, &default_report_path("unit"));
@@ -465,7 +501,7 @@ mod tests {
 
     #[test]
     fn timing_line_mentions_workers_and_rate() {
-        let t = SweepTiming {
+        let mut t = SweepTiming {
             name: "x".to_string(),
             workers: 8,
             cells: 16,
@@ -475,10 +511,28 @@ mod tests {
             cache_hits: 60,
             cache_misses: 4,
             timeline_files: Vec::new(),
+            resumed_cells: 0,
+            ckpt_write_failures: 0,
+            warm_hits: 0,
         };
         let line = t.line();
         assert!(line.contains("8 worker(s)"));
         assert!(line.contains("16.00 cells/s"));
         assert!(t.to_json_string().contains("\"wall_ms\": 1000"));
+        assert!(!line.contains("resumed"));
+        let json = t.to_json_string();
+        assert!(!json.contains("resumed_cells"));
+        assert!(!json.contains("ckpt_write_failures"));
+        assert!(!json.contains("warm_ckpt_hits"));
+
+        t.resumed_cells = 5;
+        t.ckpt_write_failures = 1;
+        t.warm_hits = 3;
+        assert!(t.line().contains("5 resumed from journal"));
+        assert!(t.line().contains("1 write failure(s)"));
+        let json = t.to_json_string();
+        assert!(json.contains("\"resumed_cells\": 5"));
+        assert!(json.contains("\"ckpt_write_failures\": 1"));
+        assert!(json.contains("\"warm_ckpt_hits\": 3"));
     }
 }

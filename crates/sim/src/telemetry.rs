@@ -142,6 +142,13 @@ pub struct CoreEpoch {
     pub llc_misses: u64,
 }
 
+drishti_noc::impl_persist_fields!(CoreEpoch {
+    instructions,
+    cycles,
+    accesses,
+    llc_misses,
+});
+
 impl CoreEpoch {
     /// Instructions per cycle within the epoch (0 when no cycles elapsed).
     pub fn ipc(&self) -> f64 {
@@ -183,6 +190,16 @@ pub struct SliceEpoch {
     pub occupancy: u64,
 }
 
+drishti_noc::impl_persist_fields!(SliceEpoch {
+    hits,
+    misses,
+    fills,
+    evictions_clean,
+    evictions_dirty,
+    bypasses,
+    occupancy,
+});
+
 /// NoC activity during one epoch.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NocEpoch {
@@ -196,6 +213,13 @@ pub struct NocEpoch {
     /// (E, W, N, S).
     pub link_flits: Vec<u64>,
 }
+
+drishti_noc::impl_persist_fields!(NocEpoch {
+    messages,
+    flits,
+    retries,
+    link_flits,
+});
 
 /// One DRAM channel's activity during one epoch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -211,8 +235,15 @@ pub struct DramChannelEpoch {
     pub bus_backlog: u64,
 }
 
+drishti_noc::impl_persist_fields!(DramChannelEpoch {
+    reads,
+    writes,
+    queue_depth,
+    bus_backlog,
+});
+
 /// Everything sampled at one epoch boundary.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EpochRecord {
     /// Zero-based epoch index.
     pub index: u64,
@@ -232,6 +263,16 @@ pub struct EpochRecord {
     pub dram: Vec<DramChannelEpoch>,
 }
 
+drishti_noc::impl_persist_fields!(EpochRecord {
+    index,
+    end_step,
+    per_core,
+    slices,
+    predictor,
+    noc,
+    dram,
+});
+
 /// Counter snapshot an [`EpochSampler`] diffs against. Starts all-zero, so
 /// epoch sums equal the end-of-run aggregates.
 #[derive(Debug, Default)]
@@ -246,6 +287,18 @@ struct Snapshot {
     chan_reads: Vec<u64>,
     chan_writes: Vec<u64>,
 }
+
+drishti_noc::impl_persist_fields!(Snapshot {
+    per_core,
+    slices,
+    diagnostics,
+    noc_messages,
+    noc_flits,
+    noc_retries,
+    link_flits,
+    chan_reads,
+    chan_writes,
+});
 
 /// The active telemetry collector: diffs counters against the previous
 /// epoch and accumulates [`EpochRecord`]s.
@@ -391,6 +444,61 @@ impl EpochSampler {
     pub fn into_epochs(self) -> (TelemetrySpec, Vec<EpochRecord>) {
         (self.spec, self.epochs)
     }
+
+    /// Serialize the collected epochs and diff snapshot (the spec is
+    /// configuration, re-supplied by [`TelemetrySpec::build`]).
+    pub fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        use drishti_noc::snap::Persist;
+        self.prev.save(w);
+        self.epochs.save(w);
+    }
+
+    /// Restore the collected epochs and diff snapshot.
+    pub fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::Persist;
+        self.prev.load(r)?;
+        self.epochs.load(r)
+    }
+}
+
+impl Telemetry {
+    /// Serialize the sink's collected state (a tag plus the sampler's
+    /// contents when sampling is on).
+    pub fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
+        match self {
+            Telemetry::Off => w.put_u8(0),
+            Telemetry::Epoch(s) => {
+                w.put_u8(1);
+                s.save_state(w);
+            }
+        }
+    }
+
+    /// Restore the sink's collected state. The sink must already be built
+    /// from the same [`TelemetrySpec`] as the snapshot's — a variant
+    /// mismatch means the snapshot came from a different configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut drishti_noc::snap::StateReader<'_>,
+    ) -> Result<(), drishti_noc::snap::SnapError> {
+        use drishti_noc::snap::SnapError;
+        let tag = r.take_u8("telemetry tag")?;
+        match (tag, &mut *self) {
+            (0, Telemetry::Off) => Ok(()),
+            (1, Telemetry::Epoch(s)) => s.load_state(r),
+            (0 | 1, _) => Err(SnapError::Invalid {
+                what: "telemetry tag",
+                detail: "snapshot telemetry mode does not match this configuration".into(),
+            }),
+            (other, _) => Err(SnapError::Invalid {
+                what: "telemetry tag",
+                detail: format!("unknown variant {other}"),
+            }),
+        }
+    }
 }
 
 /// Verify the cheap monotonic-counter invariants that tie the subsystem
@@ -495,7 +603,7 @@ pub fn check_invariants(llc: &SlicedLlc, dram: &Dram) -> Vec<String> {
 }
 
 /// A complete collected timeline, ready for JSON export.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetryTimeline {
     /// Name reported by the policy that ran.
     pub policy: String,
@@ -512,6 +620,16 @@ pub struct TelemetryTimeline {
     /// The sampled epochs, in order.
     pub epochs: Vec<EpochRecord>,
 }
+
+drishti_noc::impl_persist_fields!(TelemetryTimeline {
+    policy,
+    epoch_steps,
+    check_invariants,
+    cores,
+    slices,
+    channels,
+    epochs,
+});
 
 impl TelemetryTimeline {
     /// The timeline as a JSON value in the `drishti-telemetry/v1` schema.

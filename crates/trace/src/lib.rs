@@ -71,6 +71,18 @@ pub trait WorkloadGen: std::fmt::Debug + Send {
     fn collect(&mut self, n: usize) -> Vec<TraceRecord> {
         (0..n).map(|_| self.next_record()).collect()
     }
+
+    /// Advance the generator past `n` records without yielding them, as if
+    /// [`WorkloadGen::next_record`] had been called `n` times. Used to
+    /// restore a generator's position from a checkpoint: generators are
+    /// deterministic, so rebuild-then-skip reproduces the exact stream.
+    /// Implementations with random access (on-disk traces) may override
+    /// this with a seek.
+    fn skip_records(&mut self, n: u64) {
+        for _ in 0..n {
+            self.next_record();
+        }
+    }
 }
 
 /// A small, fast, seedable PRNG (xorshift64*), used by every generator so

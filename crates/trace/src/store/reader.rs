@@ -248,6 +248,26 @@ impl WorkloadGen for StreamingTrace {
         self.cursor += 1;
         r
     }
+
+    /// Seek past `n` records via frame arithmetic rather than replay: the
+    /// stream wraps every `meta.records`, so only `n % records` matters,
+    /// and whole frames before the target are skipped without decoding
+    /// their deltas one record at a time.
+    fn skip_records(&mut self, n: u64) {
+        let mut remaining = n % self.meta.records;
+        // Restart from frame 0; the per-frame delta reset makes any frame
+        // boundary an exact re-entry point.
+        self.reader
+            .seek(SeekFrom::Start(self.first_frame))
+            .unwrap_or_else(|e| panic!("trace {} rewind failed: {e}", self.path.display()));
+        self.next_frame = 0;
+        self.load_next_frame();
+        while remaining >= self.frame.len() as u64 {
+            remaining -= self.frame.len() as u64;
+            self.load_next_frame();
+        }
+        self.cursor = remaining as usize;
+    }
 }
 
 /// One-shot convenience: validates and materialises a whole trace file.

@@ -230,6 +230,37 @@ fn streaming_replay_matches_generation_and_wraps() {
     }
 }
 
+/// Checkpoint restore repositions on-disk workloads with
+/// `skip_records`: after skipping `n`, the stream yields exactly what a
+/// fresh reader yields after `n` `next_record` calls — including skips
+/// that land mid-frame, on a frame boundary, and past the wrap point.
+#[test]
+fn skip_records_repositions_bit_exactly() {
+    let file = TempTrace::new("skip");
+    let records = Benchmark::Gcc.build(13).collect(1_000);
+    let mut w = TraceWriter::with_frame_len(&file.0, "gcc", 13, 256).unwrap();
+    for &r in &records {
+        w.push(r).unwrap();
+    }
+    w.finish().unwrap();
+    // Mid-frame, exact frame boundary, last record, and wrapped skips.
+    for skip in [0u64, 7, 256, 300, 999, 1_000, 1_003, 2_511] {
+        let mut skipped = StreamingTrace::open(&file.0).unwrap();
+        skipped.skip_records(skip);
+        let mut stepped = StreamingTrace::open(&file.0).unwrap();
+        for _ in 0..skip {
+            stepped.next_record();
+        }
+        for i in 0..600 {
+            assert_eq!(
+                skipped.next_record(),
+                stepped.next_record(),
+                "skip {skip}, record {i}"
+            );
+        }
+    }
+}
+
 /// The acceptance criterion of ISSUE 4: on a trace at least 10× a small
 /// byte budget, the streaming reader's resident trace data never exceeds
 /// that budget while replaying the whole file — one decoded frame plus
