@@ -51,7 +51,12 @@ else
 fi
 cargo build -q --offline "${build_flags[@]}" -p drishti-bench --bin fig13_main_performance
 gate_args=(--mixes 2 --cores 4 --accesses 10000)
-out=target/sweep
+# Gate outputs land in a per-invocation temp dir under target/ so
+# concurrent ci.sh runs cannot clobber each other's reports; it is removed
+# on success and left behind on failure for artifact upload (CI globs
+# target/ci-gate.*).
+mkdir -p target
+out=$(mktemp -d target/ci-gate.XXXXXX)
 "target/$profile_dir/fig13_main_performance" "${gate_args[@]}" \
   --jobs 1 --report "$out/determinism_j1.json" >/dev/null
 "target/$profile_dir/fig13_main_performance" "${gate_args[@]}" \
@@ -185,4 +190,23 @@ if [[ $quick -eq 0 ]]; then
   cargo test -q --offline --release --test oracle --test golden --test telemetry
 fi
 
+# Perf snapshot: run the pinned drishti-perf matrix in --quick mode and
+# compare against the newest committed BENCH_*.json. Report-only — a >10%
+# regression prints a warning but never fails CI (shared runners are too
+# noisy for a hard throughput gate; the committed baselines track the
+# trajectory instead). Skipped under ci.sh --quick.
+if [[ $quick -eq 0 ]]; then
+  step "perf snapshot (drishti-perf --quick, report-only)"
+  cargo build -q --offline --release -p drishti-bench --bin drishti-perf
+  perf_args=(--quick --out "$out/perf_snapshot.json")
+  newest_bench=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+  if [[ -n "$newest_bench" ]]; then
+    perf_args+=(--compare "$newest_bench")
+  else
+    echo "note: no committed BENCH_*.json baseline; reporting without comparison"
+  fi
+  target/release/drishti-perf "${perf_args[@]}"
+fi
+
+rm -rf "$out"
 step "OK"

@@ -79,9 +79,60 @@ fn bench_streaming_vs_generation(c: &mut Criterion) {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Probe/fill throughput of the struct-of-arrays `SlicedLlc` (DESIGN.md
+/// §15): a paper-geometry LLC driven by an mcf-like demand stream, the
+/// exact loop the SoA rework targets. Tracked alongside `drishti-perf` so
+/// container-level regressions are visible without a full engine run.
+fn bench_soa_probe(c: &mut Criterion) {
+    use drishti_core::config::DrishtiConfig;
+    use drishti_mem::access::Access;
+    use drishti_mem::llc::{LlcGeometry, SlicedLlc};
+    use drishti_policies::factory::PolicyKind;
+
+    const ACCESSES: usize = 50_000;
+    let cores = 4;
+    let geom = LlcGeometry::per_core_2mb(cores);
+    let stream: Vec<Access> = {
+        let mut gen = Benchmark::Mcf.build(7);
+        (0..ACCESSES)
+            .map(|i| {
+                let r = gen.next_record();
+                if r.is_store {
+                    Access::store(i % cores, r.pc, r.line)
+                } else {
+                    Access::load(i % cores, r.pc, r.line)
+                }
+            })
+            .collect()
+    };
+
+    let mut group = c.benchmark_group("llc_soa_probe");
+    group.sample_size(10);
+    for policy in [PolicyKind::Lru, PolicyKind::Mockingjay] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let mut llc =
+                        SlicedLlc::new(geom, policy.build(&geom, DrishtiConfig::baseline(cores)));
+                    for (i, acc) in stream.iter().enumerate() {
+                        if !llc.lookup(acc, i as u64).hit {
+                            llc.fill(acc, i as u64);
+                        }
+                    }
+                    black_box(llc.stats().total_misses())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_file_round_trip,
-    bench_streaming_vs_generation
+    bench_streaming_vs_generation,
+    bench_soa_probe
 );
 criterion_main!(benches);

@@ -43,6 +43,8 @@ use drishti_trace::replay::TraceCache;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+pub mod perf;
+
 const OPTS_USAGE: &str = "usage: [--full] [--mixes N] [--cores a,b,c] [--accesses N] \
 [--jobs N] [--report PATH] [--resume] [--telemetry] [--epoch N] \
 [--sample-interval N] [--sample-warmup N]";
@@ -215,7 +217,7 @@ impl ExpOpts {
     }
 }
 
-fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+pub(crate) fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
     s.parse()
         .map_err(|_| format!("{flag} needs a number, got `{s}`"))
 }

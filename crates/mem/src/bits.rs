@@ -1,0 +1,89 @@
+//! Dense `u64` bitset helpers for the struct-of-arrays cache layouts
+//! (see DESIGN.md §15).
+//!
+//! Both [`crate::llc::SlicedLlc`] and [`crate::cache::PrivateCache`] keep
+//! their valid/dirty flags packed 64 lines to a word so the tag-match and
+//! victim scans stay branch-light: a set's occupancy is a single
+//! [`range_mask`] extraction, and way iteration walks set bits with
+//! `trailing_zeros` instead of testing a `bool` per way.
+
+/// Whether bit `i` is set.
+#[inline]
+pub fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits[i >> 6] >> (i & 63) & 1 != 0
+}
+
+/// Set bit `i`.
+#[inline]
+pub fn bit_set(bits: &mut [u64], i: usize) {
+    bits[i >> 6] |= 1u64 << (i & 63);
+}
+
+/// Set bit `i` to `v`.
+#[inline]
+pub fn bit_assign(bits: &mut [u64], i: usize, v: bool) {
+    let word = &mut bits[i >> 6];
+    let mask = 1u64 << (i & 63);
+    if v {
+        *word |= mask;
+    } else {
+        *word &= !mask;
+    }
+}
+
+/// The `len` bits (`len <= 64`) of `bits` starting at bit `start`, as the
+/// low bits of one word.
+#[inline]
+pub fn range_mask(bits: &[u64], start: usize, len: usize) -> u64 {
+    debug_assert!(len <= 64);
+    let w = start >> 6;
+    let off = start & 63;
+    let mut m = bits[w] >> off;
+    if off + len > 64 {
+        m |= bits[w + 1] << (64 - off);
+    }
+    if len < 64 {
+        m &= (1u64 << len) - 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_assign_round_trip() {
+        let mut bits = vec![0u64; 2];
+        assert!(!bit_get(&bits, 70));
+        bit_set(&mut bits, 70);
+        assert!(bit_get(&bits, 70));
+        bit_assign(&mut bits, 70, false);
+        assert!(!bit_get(&bits, 70));
+        bit_assign(&mut bits, 3, true);
+        assert!(bit_get(&bits, 3));
+    }
+
+    #[test]
+    fn range_mask_within_one_word() {
+        let bits = vec![0b1011_0100u64];
+        assert_eq!(range_mask(&bits, 2, 4), 0b1101);
+        assert_eq!(range_mask(&bits, 0, 8), 0b1011_0100);
+    }
+
+    #[test]
+    fn range_mask_spans_word_boundary() {
+        let mut bits = vec![0u64; 2];
+        bit_set(&mut bits, 63);
+        bit_set(&mut bits, 64);
+        bit_set(&mut bits, 66);
+        assert_eq!(range_mask(&bits, 62, 6), 0b010110);
+    }
+
+    #[test]
+    fn range_mask_full_word() {
+        let bits = vec![u64::MAX, 0];
+        assert_eq!(range_mask(&bits, 0, 64), u64::MAX);
+        assert_eq!(range_mask(&bits, 32, 64), u64::MAX >> 32);
+    }
+}

@@ -5,7 +5,9 @@
 //! (paper Table 4). The LLC itself lives in [`crate::llc`] with pluggable
 //! policies.
 
+use crate::bits::{bit_assign, bit_get, bit_set, range_mask};
 use crate::LineAddr;
+use drishti_noc::snap::{Persist, SnapError, StateReader, StateWriter};
 
 /// Replacement policy for a private cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,10 +147,23 @@ pub struct Evicted {
 /// state); on a miss the caller fetches the line from the next level and
 /// then calls [`PrivateCache::fill`], which may hand back a dirty victim to
 /// write back.
+///
+/// Line metadata lives in a struct-of-arrays layout (DESIGN.md §15): the
+/// probe scan walks a packed tag array guided by a valid bitset, and the
+/// dirty/meta planes are touched only on hit or victim selection. Snapshots
+/// still use the historical per-line `Line` encoding — see the manual
+/// `Persist` impl below.
 #[derive(Debug, Clone)]
 pub struct PrivateCache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// Tag per line, indexed `set * ways + way`.
+    tags: Vec<u64>,
+    /// Valid bits, 64 lines per word.
+    valid: Vec<u64>,
+    /// Dirty bits, 64 lines per word.
+    dirty: Vec<u64>,
+    /// LRU timestamp or RRPV per line, depending on the policy.
+    meta: Vec<u64>,
     clock: u64,
     stats: CacheStats,
 }
@@ -165,9 +180,14 @@ impl PrivateCache {
     pub fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
         assert!(cfg.ways > 0, "ways must be nonzero");
+        let total = cfg.sets * cfg.ways;
+        let words = total.div_ceil(64);
         PrivateCache {
-            sets: vec![vec![Line::default(); cfg.ways]; cfg.sets],
             cfg,
+            tags: vec![0; total],
+            valid: vec![0; words],
+            dirty: vec![0; words],
+            meta: vec![0; total],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -185,23 +205,44 @@ impl PrivateCache {
         (set, tag)
     }
 
+    /// Way index of `tag` in the set starting at line index `base`, if
+    /// resident: a bit scan of the valid mask plus tag compares.
+    #[inline]
+    fn probe(&self, base: usize, tag: u64) -> Option<usize> {
+        let ways = self.cfg.ways;
+        if ways <= 64 {
+            let mut m = range_mask(&self.valid, base, ways);
+            while m != 0 {
+                let w = m.trailing_zeros() as usize;
+                if self.tags[base + w] == tag {
+                    return Some(w);
+                }
+                m &= m - 1;
+            }
+            None
+        } else {
+            (0..ways).find(|&w| bit_get(&self.valid, base + w) && self.tags[base + w] == tag)
+        }
+    }
+
     /// Probe for `line`. On a hit, recency state is updated and the line is
     /// marked dirty if `is_store`. Returns `true` on hit.
     pub fn access(&mut self, line: LineAddr, is_store: bool) -> bool {
         self.clock += 1;
         self.stats.accesses += 1;
         let (set, tag) = self.index(line);
-        let clock = self.clock;
-        for way in &mut self.sets[set] {
-            if way.valid && way.tag == tag {
-                self.stats.hits += 1;
-                way.dirty |= is_store;
-                match self.cfg.replacement {
-                    ReplacementKind::Lru => way.meta = clock,
-                    ReplacementKind::Srrip => way.meta = 0,
-                }
-                return true;
+        let base = set * self.cfg.ways;
+        if let Some(way) = self.probe(base, tag) {
+            let g = base + way;
+            self.stats.hits += 1;
+            if is_store {
+                bit_set(&mut self.dirty, g);
             }
+            self.meta[g] = match self.cfg.replacement {
+                ReplacementKind::Lru => self.clock,
+                ReplacementKind::Srrip => 0,
+            };
+            return true;
         }
         self.stats.misses += 1;
         false
@@ -210,7 +251,7 @@ impl PrivateCache {
     /// Probe without updating any state (for instrumentation).
     pub fn peek(&self, line: LineAddr) -> bool {
         let (set, tag) = self.index(line);
-        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+        self.probe(set * self.cfg.ways, tag).is_some()
     }
 
     /// Install `line` (after a miss was serviced). Returns a dirty victim if
@@ -221,23 +262,26 @@ impl PrivateCache {
         self.stats.fills += 1;
         let (set, tag) = self.index(line);
         let sets_bits = self.cfg.sets.trailing_zeros();
-        let clock = self.clock;
+        let base = set * self.cfg.ways;
 
         // Already present (e.g. a racing prefetch): refresh in place.
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
-            way.dirty |= dirty;
-            match self.cfg.replacement {
-                ReplacementKind::Lru => way.meta = clock,
-                ReplacementKind::Srrip => way.meta = 0,
+        if let Some(way) = self.probe(base, tag) {
+            let g = base + way;
+            if dirty {
+                bit_set(&mut self.dirty, g);
             }
+            self.meta[g] = match self.cfg.replacement {
+                ReplacementKind::Lru => self.clock,
+                ReplacementKind::Srrip => 0,
+            };
             return None;
         }
 
-        let victim_way = self.choose_victim(set);
-        let victim = &mut self.sets[set][victim_way];
-        let evicted = if victim.valid && victim.dirty {
+        let victim_way = self.choose_victim(base);
+        let g = base + victim_way;
+        let evicted = if bit_get(&self.valid, g) && bit_get(&self.dirty, g) {
             Some(Evicted {
-                line: (victim.tag << sets_bits) | set as u64,
+                line: (self.tags[g] << sets_bits) | set as u64,
                 dirty: true,
             })
         } else {
@@ -246,36 +290,52 @@ impl PrivateCache {
         if evicted.is_some() {
             self.stats.writebacks += 1;
         }
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty,
-            meta: match self.cfg.replacement {
-                ReplacementKind::Lru => clock,
-                ReplacementKind::Srrip => SRRIP_INSERT,
-            },
+        self.tags[g] = tag;
+        bit_set(&mut self.valid, g);
+        bit_assign(&mut self.dirty, g, dirty);
+        self.meta[g] = match self.cfg.replacement {
+            ReplacementKind::Lru => self.clock,
+            ReplacementKind::Srrip => SRRIP_INSERT,
         };
-        None.or(evicted)
+        evicted
     }
 
-    fn choose_victim(&mut self, set: usize) -> usize {
+    fn choose_victim(&mut self, base: usize) -> usize {
+        let ways = self.cfg.ways;
         // Prefer an invalid way.
-        if let Some(w) = self.sets[set].iter().position(|l| !l.valid) {
+        if ways <= 64 {
+            let full = if ways == 64 {
+                u64::MAX
+            } else {
+                (1u64 << ways) - 1
+            };
+            let free = !range_mask(&self.valid, base, ways) & full;
+            if free != 0 {
+                return free.trailing_zeros() as usize;
+            }
+        } else if let Some(w) = (0..ways).find(|&w| !bit_get(&self.valid, base + w)) {
             return w;
         }
         match self.cfg.replacement {
-            ReplacementKind::Lru => self.sets[set]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.meta)
-                .map(|(i, _)| i)
-                .expect("nonzero ways"),
+            // First minimal timestamp, matching `Iterator::min_by_key` on
+            // the per-line layout.
+            ReplacementKind::Lru => {
+                let mut best = 0;
+                let mut best_meta = self.meta[base];
+                for w in 1..ways {
+                    if self.meta[base + w] < best_meta {
+                        best = w;
+                        best_meta = self.meta[base + w];
+                    }
+                }
+                best
+            }
             ReplacementKind::Srrip => loop {
-                if let Some(w) = self.sets[set].iter().position(|l| l.meta >= SRRIP_MAX) {
+                if let Some(w) = (0..ways).find(|&w| self.meta[base + w] >= SRRIP_MAX) {
                     return w;
                 }
-                for l in &mut self.sets[set] {
-                    l.meta += 1;
+                for w in 0..ways {
+                    self.meta[base + w] += 1;
                 }
             },
         }
@@ -284,11 +344,11 @@ impl PrivateCache {
     /// Invalidate `line` if present, returning whether it was dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let (set, tag) = self.index(line);
-        for way in &mut self.sets[set] {
-            if way.valid && way.tag == tag {
-                way.valid = false;
-                return Some(way.dirty);
-            }
+        let base = set * self.cfg.ways;
+        if let Some(way) = self.probe(base, tag) {
+            let g = base + way;
+            bit_assign(&mut self.valid, g, false);
+            return Some(bit_get(&self.dirty, g));
         }
         None
     }
@@ -305,13 +365,65 @@ impl PrivateCache {
 
     /// Number of valid lines currently resident (for tests).
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().flatten().filter(|l| l.valid).count()
+        self.valid.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The [`Line`] view of slot `g`, materialised from the SoA planes for
+    /// the snapshot encoding.
+    fn line_at(&self, g: usize) -> Line {
+        Line {
+            tag: self.tags[g],
+            valid: bit_get(&self.valid, g),
+            dirty: bit_get(&self.dirty, g),
+            meta: self.meta[g],
+        }
     }
 }
 
 // The cache's mutable run-state: line array, replacement clock, stats.
-// Geometry comes from config on restore, not from the snapshot.
-drishti_noc::impl_persist_fields!(PrivateCache { sets, clock, stats });
+// Geometry comes from config on restore, not from the snapshot. The line
+// array is written in the historical `Vec<Vec<Line>>` per-line encoding so
+// `drishti-ckpt/v1` snapshots stay byte-identical across the SoA rework
+// (DESIGN.md §15).
+impl Persist for PrivateCache {
+    fn save(&self, w: &mut StateWriter) {
+        w.put_u64(self.cfg.sets as u64);
+        for set in 0..self.cfg.sets {
+            w.put_u64(self.cfg.ways as u64);
+            for way in 0..self.cfg.ways {
+                self.line_at(set * self.cfg.ways + way).save(w);
+            }
+        }
+        self.clock.save(w);
+        self.stats.save(w);
+    }
+
+    fn load(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let mut sets: Vec<Vec<Line>> = Vec::new();
+        sets.load(r)?;
+        if sets.len() != self.cfg.sets || sets.iter().any(|s| s.len() != self.cfg.ways) {
+            return Err(SnapError::Invalid {
+                what: "private cache lines",
+                detail: format!(
+                    "snapshot line array does not match geometry \
+                     ({} sets x {} ways expected)",
+                    self.cfg.sets, self.cfg.ways
+                ),
+            });
+        }
+        for (set, lines) in sets.iter().enumerate() {
+            for (way, l) in lines.iter().enumerate() {
+                let g = set * self.cfg.ways + way;
+                self.tags[g] = l.tag;
+                bit_assign(&mut self.valid, g, l.valid);
+                bit_assign(&mut self.dirty, g, l.dirty);
+                self.meta[g] = l.meta;
+            }
+        }
+        self.clock.load(r)?;
+        self.stats.load(r)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod access;
+pub mod bits;
 pub mod cache;
 pub mod dram;
 pub mod llc;

@@ -17,9 +17,10 @@
 //! paper's Fig 5 (MPKA per LLC set) and the Table 1 oracle-selection study.
 
 use crate::access::{Access, AccessKind};
+use crate::bits::{bit_assign, bit_get, bit_set, range_mask};
 use crate::policy::{Decision, LlcLineState, LlcLoc, LlcPolicy, SetProbe};
 use crate::shadow::{FillOutcome, LlcObserver};
-use crate::LineAddr;
+use crate::{CoreId, LineAddr};
 use drishti_noc::slicehash::{SliceHasher, XorFoldHash};
 
 /// Geometry of the sliced LLC.
@@ -201,12 +202,33 @@ pub struct FillResult {
 }
 
 /// The sliced LLC.
+///
+/// Line metadata is held struct-of-arrays (DESIGN.md §15): one packed tag
+/// plane for the probe scan, `u64` bitsets for valid/dirty, and separate
+/// core/signature planes that are only touched on hits, victims and
+/// fills. The global line index is `slice * lines_per_slice + set *
+/// ways + way`. Policies, observers and checkpoints still see
+/// [`LlcLineState`]: the container materialises per-set views (and, for
+/// `Persist`, the historical `Vec<Vec<LlcLineState>>` byte stream) at the
+/// boundary.
 pub struct SlicedLlc {
     geom: LlcGeometry,
+    /// Cached `geom.lines_per_slice()`.
+    lps: usize,
     hasher: Box<dyn SliceHasher>,
     policy: Box<dyn LlcPolicy>,
-    /// `lines[slice][set * ways + way]`.
-    lines: Vec<Vec<LlcLineState>>,
+    /// Resident tag per line (stale after eviction; gated by `valid`).
+    tags: Vec<LineAddr>,
+    /// Valid bits, packed 64 lines per word.
+    valid: Vec<u64>,
+    /// Dirty bits, packed 64 lines per word.
+    dirty: Vec<u64>,
+    /// Installing core per line (read on hit/victim/fill only).
+    cores: Vec<CoreId>,
+    /// Installing PC signature per line (read on hit/victim/fill only).
+    sigs: Vec<u64>,
+    /// Reusable per-set [`LlcLineState`] view handed to the policy.
+    view: Vec<LlcLineState>,
     set_counters: Vec<Vec<SetCounters>>,
     slice_counters: Vec<SliceCounters>,
     stats: LlcStats,
@@ -252,11 +274,17 @@ impl SlicedLlc {
             geom.sets_per_slice.is_power_of_two(),
             "sets per slice must be a power of two"
         );
+        let lps = geom.lines_per_slice();
+        let total = geom.slices * lps;
+        let words = total.div_ceil(64);
         SlicedLlc {
-            lines: vec![
-                vec![LlcLineState::default(); geom.sets_per_slice * geom.ways];
-                geom.slices
-            ],
+            lps,
+            tags: vec![0; total],
+            valid: vec![0; words],
+            dirty: vec![0; words],
+            cores: vec![0; total],
+            sigs: vec![0; total],
+            view: Vec::with_capacity(geom.ways),
             set_counters: vec![vec![SetCounters::default(); geom.sets_per_slice]; geom.slices],
             slice_counters: vec![SliceCounters::default(); geom.slices],
             geom,
@@ -265,6 +293,90 @@ impl SlicedLlc {
             stats: LlcStats::default(),
             observer: None,
             miscount_fill: None,
+        }
+    }
+
+    /// Global line index of `(slice, set, way 0)`.
+    #[inline]
+    fn set_base(&self, slice: usize, set: usize) -> usize {
+        slice * self.lps + set * self.geom.ways
+    }
+
+    /// The [`LlcLineState`] view of the line at global index `g`.
+    #[inline]
+    fn line_state_at(&self, g: usize) -> LlcLineState {
+        LlcLineState {
+            line: self.tags[g],
+            valid: bit_get(&self.valid, g),
+            dirty: bit_get(&self.dirty, g),
+            core: self.cores[g],
+            signature: self.sigs[g],
+        }
+    }
+
+    /// Rebuild the reusable per-set view for the set at `base`. The valid
+    /// and dirty masks are extracted once per set, not once per way.
+    fn refresh_view(&mut self, base: usize) {
+        let ways = self.geom.ways;
+        self.view.clear();
+        if ways <= 64 {
+            let vm = range_mask(&self.valid, base, ways);
+            let dm = range_mask(&self.dirty, base, ways);
+            for w in 0..ways {
+                self.view.push(LlcLineState {
+                    line: self.tags[base + w],
+                    valid: vm >> w & 1 != 0,
+                    dirty: dm >> w & 1 != 0,
+                    core: self.cores[base + w],
+                    signature: self.sigs[base + w],
+                });
+            }
+        } else {
+            for w in 0..ways {
+                let s = self.line_state_at(base + w);
+                self.view.push(s);
+            }
+        }
+    }
+
+    /// Way holding `line` in the set at `base`, if resident: a branch-light
+    /// scan of the valid mask and packed tag plane.
+    #[inline]
+    fn probe_set(&self, base: usize, line: LineAddr) -> Option<usize> {
+        let ways = self.geom.ways;
+        if ways <= 64 {
+            let mut m = range_mask(&self.valid, base, ways);
+            while m != 0 {
+                let w = m.trailing_zeros() as usize;
+                if self.tags[base + w] == line {
+                    return Some(w);
+                }
+                m &= m - 1;
+            }
+            None
+        } else {
+            (0..ways).find(|&w| bit_get(&self.valid, base + w) && self.tags[base + w] == line)
+        }
+    }
+
+    /// First invalid way of the set at `base`, if any.
+    #[inline]
+    fn first_invalid(&self, base: usize) -> Option<usize> {
+        let ways = self.geom.ways;
+        if ways <= 64 {
+            let full = if ways == 64 {
+                u64::MAX
+            } else {
+                (1u64 << ways) - 1
+            };
+            let m = !range_mask(&self.valid, base, ways) & full;
+            if m == 0 {
+                None
+            } else {
+                Some(m.trailing_zeros() as usize)
+            }
+        } else {
+            (0..ways).find(|&w| !bit_get(&self.valid, base + w))
         }
     }
 
@@ -313,11 +425,6 @@ impl SlicedLlc {
         (line as usize) & (self.geom.sets_per_slice - 1)
     }
 
-    #[inline]
-    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
-        set * self.geom.ways..(set + 1) * self.geom.ways
-    }
-
     /// Probe the LLC for `acc`. Hits update recency (via the policy) and
     /// dirty state; misses notify the policy so samplers observe them.
     pub fn lookup(&mut self, acc: &Access, cycle: u64) -> LookupResult {
@@ -331,19 +438,16 @@ impl SlicedLlc {
             AccessKind::Writeback => self.stats.writeback_accesses += 1,
         }
 
-        let range = self.set_range(set);
-        let way = self.lines[slice][range.clone()]
-            .iter()
-            .position(|l| l.valid && l.line == acc.line);
+        let base = self.set_base(slice, set);
+        let way = self.probe_set(base, acc.line);
 
         if let Some(way) = way {
             self.slice_counters[slice].hits += 1;
-            let base = set * self.geom.ways;
             if matches!(acc.kind, AccessKind::Store | AccessKind::Writeback) {
-                self.lines[slice][base + way].dirty = true;
+                bit_set(&mut self.dirty, base + way);
             }
-            let set_lines = &self.lines[slice][range];
-            let extra = self.policy.on_hit(loc, way, set_lines, acc, cycle);
+            self.refresh_view(base);
+            let extra = self.policy.on_hit(loc, way, &self.view, acc, cycle);
             if let Some(obs) = &mut self.observer {
                 obs.on_lookup(acc, loc, Some(way), &self.slice_counters[slice]);
             }
@@ -389,16 +493,12 @@ impl SlicedLlc {
         let slice = self.slice_of(acc.line);
         let set = self.set_of(acc.line);
         let loc = LlcLoc { slice, set };
-        let base = set * self.geom.ways;
-        let range = self.set_range(set);
+        let base = self.set_base(slice, set);
 
         // Already resident (e.g. two cores racing on one line): refresh dirty.
-        if let Some(way) = self.lines[slice][range.clone()]
-            .iter()
-            .position(|l| l.valid && l.line == acc.line)
-        {
+        if let Some(way) = self.probe_set(base, acc.line) {
             if matches!(acc.kind, AccessKind::Store | AccessKind::Writeback) {
-                self.lines[slice][base + way].dirty = true;
+                bit_set(&mut self.dirty, base + way);
             }
             let probe = self.probe_for_observer(loc);
             if let Some(obs) = &mut self.observer {
@@ -417,18 +517,20 @@ impl SlicedLlc {
             };
         }
 
-        // Prefer an invalid way; otherwise ask the policy.
-        let invalid = self.lines[slice][range.clone()]
-            .iter()
-            .position(|l| !l.valid);
-        let (way, evicted) = match invalid {
+        // Prefer an invalid way; otherwise ask the policy. Track whether
+        // the victim scan already materialised the set view, so the
+        // post-install state for `on_fill` is a one-slot patch instead of
+        // a second full refresh.
+        let mut view_fresh = false;
+        let (way, evicted) = match self.first_invalid(base) {
             Some(w) => (w, None),
             None => {
-                let set_lines = &self.lines[slice][range.clone()];
-                match self.policy.choose_victim(loc, set_lines, acc, cycle) {
+                view_fresh = true;
+                self.refresh_view(base);
+                match self.policy.choose_victim(loc, &self.view, acc, cycle) {
                     Decision::Evict(w) => {
                         assert!(w < self.geom.ways, "policy returned way {w} out of range");
-                        (w, Some(self.lines[slice][base + w]))
+                        (w, Some(self.line_state_at(base + w)))
                     }
                     Decision::Bypass => {
                         self.stats.bypasses += 1;
@@ -467,13 +569,16 @@ impl SlicedLlc {
             }
         }
 
-        self.lines[slice][base + way] = LlcLineState {
-            line: acc.line,
-            valid: true,
-            dirty: matches!(acc.kind, AccessKind::Store | AccessKind::Writeback),
-            core: acc.core,
-            signature: acc.signature(),
-        };
+        let g = base + way;
+        self.tags[g] = acc.line;
+        bit_set(&mut self.valid, g);
+        bit_assign(
+            &mut self.dirty,
+            g,
+            matches!(acc.kind, AccessKind::Store | AccessKind::Writeback),
+        );
+        self.cores[g] = acc.core;
+        self.sigs[g] = acc.signature();
         self.stats.fills += 1;
         self.slice_counters[slice].fills += 1;
         if self.miscount_fill == Some(self.stats.fills) {
@@ -481,10 +586,14 @@ impl SlicedLlc {
             self.slice_counters[slice].fills += 1;
         }
 
-        let set_lines = &self.lines[slice][self.set_range(set)];
+        if view_fresh {
+            self.view[way] = self.line_state_at(g);
+        } else {
+            self.refresh_view(base);
+        }
         let extra = self
             .policy
-            .on_fill(loc, way, set_lines, acc, evicted.as_ref(), cycle);
+            .on_fill(loc, way, &self.view, acc, evicted.as_ref(), cycle);
         let probe = self.probe_for_observer(loc);
         if let Some(obs) = &mut self.observer {
             obs.on_fill(
@@ -509,9 +618,7 @@ impl SlicedLlc {
     pub fn peek(&self, line: LineAddr) -> bool {
         let slice = self.slice_of(line);
         let set = self.set_of(line);
-        self.lines[slice][self.set_range(set)]
-            .iter()
-            .any(|l| l.valid && l.line == line)
+        self.probe_set(self.set_base(slice, set), line).is_some()
     }
 
     /// Aggregate statistics.
@@ -533,9 +640,22 @@ impl SlicedLlc {
     /// counters, aggregate stats, and the policy's predictor state. The
     /// geometry, slice hasher, observer, and injected-corruption knobs are
     /// configuration — the loader reconstructs those before restoring.
+    ///
+    /// The SoA planes are materialised back into the historical
+    /// `Vec<Vec<LlcLineState>>` encoding, so `drishti-ckpt/v1` snapshots
+    /// are byte-identical to the per-line layout's (the §15 `Persist`
+    /// compatibility rule; pinned by `tests/checkpoint.rs`).
     pub fn save_state(&self, w: &mut drishti_noc::snap::StateWriter) {
         use drishti_noc::snap::Persist;
-        self.lines.save(w);
+        let lines: Vec<Vec<LlcLineState>> = (0..self.geom.slices)
+            .map(|s| {
+                let start = s * self.lps;
+                (start..start + self.lps)
+                    .map(|g| self.line_state_at(g))
+                    .collect()
+            })
+            .collect();
+        lines.save(w);
         self.set_counters.save(w);
         self.slice_counters.save(w);
         self.stats.save(w);
@@ -549,10 +669,10 @@ impl SlicedLlc {
         r: &mut drishti_noc::snap::StateReader<'_>,
     ) -> Result<(), drishti_noc::snap::SnapError> {
         use drishti_noc::snap::{Persist, SnapError};
-        self.lines.load(r)?;
-        if self.lines.len() != self.geom.slices
-            || self
-                .lines
+        let mut lines: Vec<Vec<LlcLineState>> = Vec::new();
+        lines.load(r)?;
+        if lines.len() != self.geom.slices
+            || lines
                 .iter()
                 .any(|s| s.len() != self.geom.sets_per_slice * self.geom.ways)
         {
@@ -565,6 +685,16 @@ impl SlicedLlc {
                     self.geom.sets_per_slice * self.geom.ways
                 ),
             });
+        }
+        for (s, slice_lines) in lines.iter().enumerate() {
+            for (i, l) in slice_lines.iter().enumerate() {
+                let g = s * self.lps + i;
+                self.tags[g] = l.line;
+                bit_assign(&mut self.valid, g, l.valid);
+                bit_assign(&mut self.dirty, g, l.dirty);
+                self.cores[g] = l.core;
+                self.sigs[g] = l.signature;
+            }
         }
         self.set_counters.load(r)?;
         if self.set_counters.len() != self.geom.slices
@@ -595,7 +725,10 @@ impl SlicedLlc {
 
     /// Number of valid lines currently resident in one slice.
     pub fn slice_occupancy(&self, slice: usize) -> usize {
-        self.lines[slice].iter().filter(|l| l.valid).count()
+        let start = slice * self.lps;
+        (start..start + self.lps)
+            .filter(|&g| bit_get(&self.valid, g))
+            .count()
     }
 
     /// Reset aggregate and per-set statistics (contents retained) — used at
@@ -610,11 +743,7 @@ impl SlicedLlc {
 
     /// Number of valid lines resident across all slices (tests).
     pub fn resident_lines(&self) -> usize {
-        self.lines
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|l| l.valid)
-            .count()
+        self.valid.iter().map(|w| w.count_ones() as usize).sum()
     }
 }
 

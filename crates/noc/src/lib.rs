@@ -38,6 +38,7 @@
 
 pub mod faults;
 pub mod link;
+pub mod linmap;
 pub mod mesh;
 pub mod nocstar;
 pub mod slicehash;

@@ -95,7 +95,7 @@ struct CoreState {
     /// In-flight prefetch fills: line → cycle at which the data arrives.
     /// A demand access that lands on a still-in-flight prefetched line
     /// waits for the remainder (prefetch *timeliness*).
-    inflight: std::collections::HashMap<LineAddr, u64>,
+    inflight: drishti_noc::linmap::SmallU64Map,
 }
 
 impl CoreState {
@@ -205,6 +205,11 @@ pub struct Engine {
     /// guards against double-flushing when a paused run is resumed (or
     /// [`Engine::run`] is called again after completion).
     final_epoch_flushed: bool,
+    /// Reused prefetch-request buffers (one per cache level), so the
+    /// per-access trainer calls never allocate. Always drained before
+    /// reuse; never persisted.
+    pf_scratch_l1: Vec<PrefetchRequest>,
+    pf_scratch_l2: Vec<PrefetchRequest>,
 }
 
 /// The measured-so-far result of one core.
@@ -292,7 +297,7 @@ impl Engine {
                 samp_cycles: 0,
                 samp_accesses: 0,
                 pf_ring: VecDeque::with_capacity(64),
-                inflight: std::collections::HashMap::new(),
+                inflight: drishti_noc::linmap::SmallU64Map::new(),
             })
             .collect();
         Engine {
@@ -308,6 +313,8 @@ impl Engine {
             telemetry: Telemetry::Off,
             steps: 0,
             final_epoch_flushed: false,
+            pf_scratch_l1: Vec::with_capacity(8),
+            pf_scratch_l2: Vec::with_capacity(8),
             cfg,
         }
     }
@@ -738,30 +745,34 @@ impl Engine {
 
         // A still-in-flight prefetch of this line: the demand access pays
         // the remaining fetch latency.
-        let pending = match self.cores[c].inflight.remove(&line) {
+        let pending = match self.cores[c].inflight.remove(line) {
             Some(ready) if ready > cycle => ready - cycle,
             _ => 0,
         };
         if self.cores[c].inflight.len() > 4096 {
             let now = cycle;
-            self.cores[c].inflight.retain(|_, &mut t| t > now);
+            self.cores[c].inflight.retain(|_, t| t > now);
         }
 
         // L1D.
         let l1_hit = self.cores[c].l1.access(line, rec.is_store);
-        // L1 prefetcher trains on every L1 access.
-        let mut l1_reqs = Vec::new();
+        // L1 prefetcher trains on every L1 access (scratch buffer: this is
+        // the hottest allocation site in the simulator).
+        let mut l1_reqs = std::mem::take(&mut self.pf_scratch_l1);
+        l1_reqs.clear();
         self.cores[c]
             .l1_pf
             .on_access(rec.pc, line, l1_hit, &mut l1_reqs);
         if l1_hit {
             self.issue_l1_prefetches(c, &l1_reqs, cycle);
+            self.pf_scratch_l1 = l1_reqs;
             return pending; // pipelined L1 hit (or waiting on a prefetch)
         }
 
         // L2.
         let l2_hit = self.cores[c].l2.access(line, false);
-        let mut l2_reqs = Vec::new();
+        let mut l2_reqs = std::mem::take(&mut self.pf_scratch_l2);
+        l2_reqs.clear();
         self.cores[c]
             .l2_pf
             .on_access(rec.pc, line, l2_hit, &mut l2_reqs);
@@ -807,6 +818,8 @@ impl Engine {
 
         self.issue_l1_prefetches(c, &l1_reqs, cycle);
         self.issue_l2_prefetches(c, &l2_reqs, cycle);
+        self.pf_scratch_l1 = l1_reqs;
+        self.pf_scratch_l2 = l2_reqs;
         (self.cfg.l1d.latency + latency).max(pending)
     }
 
@@ -869,7 +882,7 @@ impl Engine {
     fn prefetch_budget_exhausted(&mut self, c: usize, cycle: u64) -> bool {
         let core = &mut self.cores[c];
         if core.inflight.len() >= 48 {
-            core.inflight.retain(|_, &mut t| t > cycle);
+            core.inflight.retain(|_, t| t > cycle);
         }
         core.inflight.len() >= 48
     }

@@ -86,7 +86,12 @@ impl WorkloadGen for ReplayWorkload {
     }
 
     fn next_record(&mut self) -> TraceRecord {
-        let r = self.records[self.pos % self.records.len()];
+        // Wrap eagerly instead of indexing `pos % len`: the division would
+        // otherwise run once per record on the hottest trace-replay path.
+        if self.pos >= self.records.len() {
+            self.pos = 0;
+        }
+        let r = self.records[self.pos];
         self.pos += 1;
         r
     }

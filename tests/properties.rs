@@ -161,3 +161,392 @@ proptest! {
         prop_assert!(m.unfairness() >= 1.0 - 1e-9);
     }
 }
+
+// ---------------------------------------------------------------------------
+// SoA layout equivalence (DESIGN.md §15).
+//
+// `SlicedLlc` stores line metadata struct-of-arrays; before the rework it
+// held `Vec<Vec<LlcLineState>>` per slice. `RefLlc` below reimplements the
+// container's observable protocol over that original per-line layout, and
+// the property drives both through identical fig13-mix access streams for
+// every policy × both predictor organisations, asserting bit-identical
+// outcomes, `SliceCounters` and `LlcStats`.
+// ---------------------------------------------------------------------------
+
+mod soa_equivalence {
+    use drishti::mem::access::{Access, AccessKind};
+    use drishti::mem::llc::{LlcGeometry, LlcStats, SliceCounters, SlicedLlc};
+    use drishti::mem::policy::{Decision, LlcLineState, LlcLoc, LlcPolicy};
+    use drishti::noc::slicehash::{SliceHasher, XorFoldHash};
+    use drishti::trace::mix::paper_mixes;
+    use drishti::trace::WorkloadGen;
+
+    /// Per-set instrumentation mirror (accesses, misses).
+    #[derive(Clone, Copy, Default)]
+    struct RefSetCounters {
+        accesses: u64,
+        misses: u64,
+    }
+
+    /// The pre-rework per-line container: one `Vec<LlcLineState>` per
+    /// slice, probed way-by-way. Mirrors `SlicedLlc`'s lookup/fill
+    /// protocol exactly (minus observers), so any divergence is a bug in
+    /// the SoA layout, not in this model.
+    pub struct RefLlc {
+        geom: LlcGeometry,
+        hasher: XorFoldHash,
+        policy: Box<dyn LlcPolicy>,
+        lines: Vec<Vec<LlcLineState>>,
+        set_counters: Vec<Vec<RefSetCounters>>,
+        pub slice_counters: Vec<SliceCounters>,
+        pub stats: LlcStats,
+    }
+
+    impl RefLlc {
+        pub fn new(geom: LlcGeometry, policy: Box<dyn LlcPolicy>) -> Self {
+            RefLlc {
+                lines: vec![vec![LlcLineState::default(); geom.lines_per_slice()]; geom.slices],
+                set_counters: vec![
+                    vec![RefSetCounters::default(); geom.sets_per_slice];
+                    geom.slices
+                ],
+                slice_counters: vec![SliceCounters::default(); geom.slices],
+                stats: LlcStats::default(),
+                hasher: XorFoldHash::new(),
+                geom,
+                policy,
+            }
+        }
+
+        fn loc_of(&self, line: u64) -> (usize, usize) {
+            (
+                self.hasher.slice_of(line, self.geom.slices),
+                (line as usize) & (self.geom.sets_per_slice - 1),
+            )
+        }
+
+        /// Hit/miss plus policy-charged latency, as `SlicedLlc::lookup`.
+        pub fn lookup(&mut self, acc: &Access, cycle: u64) -> (bool, u64) {
+            let (slice, set) = self.loc_of(acc.line);
+            let loc = LlcLoc { slice, set };
+            self.set_counters[slice][set].accesses += 1;
+            match acc.kind {
+                AccessKind::Load | AccessKind::Store => self.stats.demand_accesses += 1,
+                AccessKind::Prefetch => self.stats.prefetch_accesses += 1,
+                AccessKind::Writeback => self.stats.writeback_accesses += 1,
+            }
+            let ways = self.geom.ways;
+            let start = set * ways;
+            let set_lines = &mut self.lines[slice][start..start + ways];
+            if let Some(way) = set_lines.iter().position(|l| l.valid && l.line == acc.line) {
+                self.slice_counters[slice].hits += 1;
+                if matches!(acc.kind, AccessKind::Store | AccessKind::Writeback) {
+                    set_lines[way].dirty = true;
+                }
+                let view = set_lines.to_vec();
+                let extra = self.policy.on_hit(loc, way, &view, acc, cycle);
+                (true, extra)
+            } else {
+                self.set_counters[slice][set].misses += 1;
+                self.slice_counters[slice].misses += 1;
+                match acc.kind {
+                    AccessKind::Load | AccessKind::Store => self.stats.demand_misses += 1,
+                    AccessKind::Prefetch => self.stats.prefetch_misses += 1,
+                    AccessKind::Writeback => self.stats.writeback_misses += 1,
+                }
+                self.policy.on_miss(loc, acc, cycle);
+                (false, 0)
+            }
+        }
+
+        /// Install after a miss, as `SlicedLlc::fill`. Returns
+        /// `(writeback, extra_latency, bypassed)`.
+        pub fn fill(&mut self, acc: &Access, cycle: u64) -> (Option<u64>, u64, bool) {
+            let (slice, set) = self.loc_of(acc.line);
+            let loc = LlcLoc { slice, set };
+            let ways = self.geom.ways;
+            let start = set * ways;
+
+            if let Some(way) = self.lines[slice][start..start + ways]
+                .iter()
+                .position(|l| l.valid && l.line == acc.line)
+            {
+                if matches!(acc.kind, AccessKind::Store | AccessKind::Writeback) {
+                    self.lines[slice][start + way].dirty = true;
+                }
+                return (None, 0, false);
+            }
+
+            let invalid = self.lines[slice][start..start + ways]
+                .iter()
+                .position(|l| !l.valid);
+            let (way, evicted) = match invalid {
+                Some(w) => (w, None),
+                None => {
+                    let view = self.lines[slice][start..start + ways].to_vec();
+                    match self.policy.choose_victim(loc, &view, acc, cycle) {
+                        Decision::Evict(w) => (w, Some(view[w])),
+                        Decision::Bypass => {
+                            self.stats.bypasses += 1;
+                            self.slice_counters[slice].bypasses += 1;
+                            return (None, 0, true);
+                        }
+                    }
+                }
+            };
+
+            let writeback = evicted.and_then(|v: LlcLineState| v.dirty.then_some(v.line));
+            if writeback.is_some() {
+                self.stats.dram_writebacks += 1;
+            }
+            if evicted.is_some() {
+                if writeback.is_some() {
+                    self.slice_counters[slice].evictions_dirty += 1;
+                } else {
+                    self.slice_counters[slice].evictions_clean += 1;
+                }
+            }
+
+            self.lines[slice][start + way] = LlcLineState {
+                line: acc.line,
+                valid: true,
+                dirty: matches!(acc.kind, AccessKind::Store | AccessKind::Writeback),
+                core: acc.core,
+                signature: acc.signature(),
+            };
+            self.stats.fills += 1;
+            self.slice_counters[slice].fills += 1;
+
+            let view = self.lines[slice][start..start + ways].to_vec();
+            let extra = self
+                .policy
+                .on_fill(loc, way, &view, acc, evicted.as_ref(), cycle);
+            (writeback, extra, false)
+        }
+
+        pub fn resident_lines(&self) -> usize {
+            self.lines
+                .iter()
+                .flat_map(|s| s.iter())
+                .filter(|l| l.valid)
+                .count()
+        }
+    }
+
+    /// Access stream of a fig13-preset mix: cores round-robin, each
+    /// pulling from its own synthetic workload; stores map `is_store`.
+    pub fn mix_stream(mix_index: usize, cores: usize, len: usize) -> Vec<Access> {
+        let mixes = paper_mixes(cores, 3, 3);
+        let mix = &mixes[mix_index % mixes.len()];
+        let mut workloads = mix.build();
+        (0..len)
+            .map(|i| {
+                let c = i % cores;
+                let rec = workloads[c].next_record();
+                if rec.is_store {
+                    Access::store(c, rec.pc, rec.line)
+                } else {
+                    Access::load(c, rec.pc, rec.line)
+                }
+            })
+            .collect()
+    }
+
+    /// Drive both containers through the same stream; panic on divergence.
+    pub fn assert_equivalent(
+        geom: LlcGeometry,
+        soa: &mut SlicedLlc,
+        reference: &mut RefLlc,
+        stream: &[Access],
+    ) {
+        for (i, acc) in stream.iter().enumerate() {
+            let cycle = i as u64;
+            let a = soa.lookup(acc, cycle);
+            let b = reference.lookup(acc, cycle);
+            assert_eq!(
+                (a.hit, a.extra_latency),
+                b,
+                "lookup diverged at access {i} ({acc:?})"
+            );
+            if !a.hit {
+                let f = soa.fill(acc, cycle);
+                let g = reference.fill(acc, cycle);
+                assert_eq!(
+                    (f.writeback, f.extra_latency, f.bypassed),
+                    g,
+                    "fill diverged at access {i} ({acc:?})"
+                );
+            }
+        }
+        assert_eq!(soa.stats(), &reference.stats, "LlcStats diverged");
+        assert_eq!(
+            soa.slice_counters(),
+            &reference.slice_counters[..],
+            "SliceCounters diverged"
+        );
+        assert_eq!(soa.resident_lines(), reference.resident_lines());
+        for s in 0..geom.slices {
+            assert_eq!(
+                soa.slice_occupancy(s),
+                reference.lines[s].iter().filter(|l| l.valid).count(),
+                "slice {s} occupancy diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The SoA `SlicedLlc` and the pre-rework per-line layout produce
+    /// bit-identical outcomes, `SliceCounters` and `LlcStats` on random
+    /// fig13-preset access streams, for every policy in the roster under
+    /// both the baseline and drishti organisations.
+    #[test]
+    fn soa_layout_matches_per_line_reference(
+        mix_index in 0usize..6,
+        len in 400usize..900,
+    ) {
+        let cores = 2usize;
+        let geom = LlcGeometry {
+            slices: cores,
+            sets_per_slice: 32,
+            ways: 8,
+            latency: 20,
+        };
+        let stream = soa_equivalence::mix_stream(mix_index, cores, len);
+        for kind in all_policies() {
+            for drishti_org in [false, true] {
+                let cfg = if drishti_org {
+                    DrishtiConfig::drishti(cores)
+                } else {
+                    DrishtiConfig::baseline(cores)
+                };
+                let mut soa = SlicedLlc::new(geom, kind.build(&geom, cfg.clone()));
+                let mut reference =
+                    soa_equivalence::RefLlc::new(geom, kind.build(&geom, cfg));
+                soa_equivalence::assert_equivalent(geom, &mut soa, &mut reference, &stream);
+            }
+        }
+    }
+}
+
+/// The `LlcLineState` views the container hands to policies reflect the
+/// installed SoA state exactly: every field of every way, at both the
+/// `on_hit` and `choose_victim` boundaries.
+#[test]
+fn llc_line_state_view_round_trips_at_policy_boundary() {
+    use drishti::mem::policy::{Decision, LlcLineState, LlcLoc, LlcPolicy};
+    use drishti::noc::slicehash::ModuloHash;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type Seen = Rc<RefCell<Vec<Vec<LlcLineState>>>>;
+
+    /// Records every view it is handed; evicts way 0 when asked.
+    #[derive(Debug)]
+    struct SpyPolicy(Seen);
+    impl LlcPolicy for SpyPolicy {
+        fn name(&self) -> String {
+            "spy".into()
+        }
+        fn on_hit(
+            &mut self,
+            _: LlcLoc,
+            _: usize,
+            lines: &[LlcLineState],
+            _: &drishti::mem::access::Access,
+            _: u64,
+        ) -> u64 {
+            self.0.borrow_mut().push(lines.to_vec());
+            0
+        }
+        fn on_miss(&mut self, _: LlcLoc, _: &drishti::mem::access::Access, _: u64) {}
+        fn choose_victim(
+            &mut self,
+            _: LlcLoc,
+            lines: &[LlcLineState],
+            _: &drishti::mem::access::Access,
+            _: u64,
+        ) -> Decision {
+            self.0.borrow_mut().push(lines.to_vec());
+            Decision::Evict(0)
+        }
+        fn on_fill(
+            &mut self,
+            _: LlcLoc,
+            _: usize,
+            lines: &[LlcLineState],
+            _: &drishti::mem::access::Access,
+            _: Option<&LlcLineState>,
+            _: u64,
+        ) -> u64 {
+            self.0.borrow_mut().push(lines.to_vec());
+            0
+        }
+    }
+
+    let seen: Seen = Rc::new(RefCell::new(Vec::new()));
+    let geom = LlcGeometry {
+        slices: 1,
+        sets_per_slice: 4,
+        ways: 2,
+        latency: 20,
+    };
+    // ModuloHash with one slice: set index is the line's low bits, so the
+    // mapping below is exact by construction.
+    let mut llc = SlicedLlc::with_hasher(
+        geom,
+        Box::new(SpyPolicy(seen.clone())),
+        Box::new(ModuloHash::new()),
+    );
+
+    // Install two lines in set 0 with distinct cores/PCs/dirty bits.
+    let a = Access::store(0, 0x100, 0); // line 0 -> set 0, dirty
+    let b = Access::load(1, 0x200, 4); // line 4 -> set 0, clean
+    assert!(!llc.lookup(&a, 0).hit);
+    llc.fill(&a, 0);
+    assert!(!llc.lookup(&b, 1).hit);
+    llc.fill(&b, 1);
+
+    let expect = [
+        LlcLineState {
+            line: 0,
+            valid: true,
+            dirty: true,
+            core: 0,
+            signature: 0x100,
+        },
+        LlcLineState {
+            line: 4,
+            valid: true,
+            dirty: false,
+            core: 1,
+            signature: 0x200,
+        },
+    ];
+
+    // on_hit view: a lookup of line 0 must see both ways exactly.
+    seen.borrow_mut().clear();
+    assert!(llc.lookup(&Access::load(0, 0x300, 0), 2).hit);
+    assert_eq!(seen.borrow().as_slice(), &[expect.to_vec()]);
+
+    // choose_victim + on_fill views: a conflicting fill sees the full set
+    // pre-eviction, then the post-install state in way 0.
+    seen.borrow_mut().clear();
+    let c = Access::load(0, 0x400, 8); // line 8 -> set 0, set now full
+    assert!(!llc.lookup(&c, 3).hit);
+    llc.fill(&c, 3);
+    let views = seen.borrow();
+    assert_eq!(views.len(), 2, "choose_victim then on_fill");
+    assert_eq!(views[0], expect.to_vec());
+    let mut after = expect.to_vec();
+    after[0] = LlcLineState {
+        line: 8,
+        valid: true,
+        dirty: false,
+        core: 0,
+        signature: 0x400,
+    };
+    assert_eq!(views[1], after);
+}
