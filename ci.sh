@@ -112,6 +112,32 @@ for replay in "$out/rr_replay_j1.json" "$out/rr_replay_j8.json"; do
 done
 echo "replayed reports byte-identical to the generated run at --jobs 1 and 8"
 
+# Event-engine gate: the discrete-event scheduler and the legacy lockstep
+# loop are contractually bit-identical (DESIGN.md §16). Run the fig13
+# sweep under --engine lockstep and --engine event at --jobs 1 and
+# --jobs 8 and demand all four reports are byte-identical — engine mode
+# is deliberately absent from the report config, so any scheduler
+# divergence shows up as a byte diff. (Runs in --quick too — equivalence
+# is the event engine's core contract.)
+step "event-engine gate (lockstep vs event, --jobs 1/8 byte-diff)"
+ee_args=(--cores 4 --mix homo:mcf --policy lru,mockingjay --org baseline,drishti
+         --accesses 8000 --warmup 2000)
+"$sim" "${ee_args[@]}" --engine lockstep --jobs 1 \
+  --report "$out/engine_lockstep_j1.json" >/dev/null
+"$sim" "${ee_args[@]}" --engine lockstep --jobs 8 \
+  --report "$out/engine_lockstep_j8.json" >/dev/null
+"$sim" "${ee_args[@]}" --engine event --jobs 1 \
+  --report "$out/engine_event_j1.json" >/dev/null
+"$sim" "${ee_args[@]}" --engine event --jobs 8 \
+  --report "$out/engine_event_j8.json" >/dev/null
+for variant in engine_lockstep_j8 engine_event_j1 engine_event_j8; do
+  if ! diff -u "$out/engine_lockstep_j1.json" "$out/$variant.json"; then
+    echo "FAIL: $variant report differs from lockstep --jobs 1" >&2
+    exit 1
+  fi
+done
+echo "lockstep and event reports byte-identical at --jobs 1 and 8"
+
 # Crash-resume gate: SIGKILL a journaled sweep mid-flight, resume it with
 # --resume, and demand the final report is byte-identical to an
 # uninterrupted run's — and that the clean completion removed the
@@ -186,8 +212,9 @@ rm -rf "$inject_out"
 echo "injected violation caught, shrunk, persisted and replayed"
 
 if [[ $quick -eq 0 ]]; then
-  step "release-mode oracle/golden/telemetry tests"
-  cargo test -q --offline --release --test oracle --test golden --test telemetry
+  step "release-mode oracle/golden/telemetry/event-engine tests"
+  cargo test -q --offline --release --test oracle --test golden --test telemetry \
+    --test event_engine
 fi
 
 # Perf snapshot: run the pinned drishti-perf matrix in --quick mode and

@@ -8,7 +8,7 @@
 //! `--out`). `--compare PATH` prints a report-only comparison against a
 //! previous baseline — a >10% regression warns, never fails.
 
-use drishti_bench::perf::{compare_reports, default_bench_path, run_perf, PerfOpts};
+use drishti_bench::perf::{compare_reports, default_bench_path, run_perf, PerfOpts, COMPARE_CORES};
 
 fn main() {
     let opts = PerfOpts::from_args();
@@ -42,6 +42,13 @@ fn main() {
         "trace store: {:.2} bytes/record over {} records",
         report.bytes_per_record(),
         report.trace_store.0
+    );
+    println!(
+        "engine compare (idle-heavy, {COMPARE_CORES} cores / 1 active): \
+         lockstep {:.0} steps/sec, event {:.0} steps/sec ({:.2}x)",
+        report.engine_compare.lockstep.steps_per_sec(),
+        report.engine_compare.event.steps_per_sec(),
+        report.engine_compare.speedup(),
     );
 
     if let Some(baseline) = &opts.compare {

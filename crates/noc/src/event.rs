@@ -1,0 +1,387 @@
+//! Discrete-event scheduling primitives (DESIGN.md §16).
+//!
+//! The simulation engine in `crates/sim` can advance components in strict
+//! lockstep (scan every core, step the one with the minimum clock) or
+//! through a discrete-event scheduler built on the types in this module: a
+//! deterministic binary min-heap of `(next_tick, ComponentId)` wakeups
+//! over the [`Component`] trait. Idle components cost nothing — the heap
+//! pops exactly the component that must act next, so per-step cost is
+//! `O(log n)` instead of the lockstep scan's `O(n)`.
+//!
+//! Determinism is the whole design:
+//!
+//! * **Total order.** Heap entries are ordered by `(tick, ComponentId)`;
+//!   [`ComponentId`]'s derived `Ord` (variant first, index second) breaks
+//!   every same-tick tie the same way on every run. Cores sort before all
+//!   passive components, so at an equal tick the event engine steps the
+//!   lowest-numbered runnable core — exactly the core the lockstep scan's
+//!   first-minimum `min_by_key` would pick.
+//! * **Layout-independent pops.** The pop sequence of a binary min-heap
+//!   over *unique* keys depends only on the set of entries, never on the
+//!   internal array layout, so a heap rebuilt from component state pops
+//!   identically to one restored from a checkpoint.
+//! * **Canonical persistence.** [`EventHeap`]'s [`Persist`] encoding
+//!   sorts entries before writing, so equal heap *contents* always
+//!   serialize to equal bytes (the property the `drishti-ckpt/v1`
+//!   byte-comparison gates rely on).
+
+use crate::snap::{Persist, SnapError, StateReader, StateWriter};
+
+/// Identity of one schedulable component.
+///
+/// The derived `Ord` is the scheduler's tie-break rule: at an equal tick,
+/// `Core` wins over every passive component (slices, links, NOCSTAR,
+/// DRAM channels), and within a variant the lower index wins. The variant
+/// order below is therefore part of the engine's determinism contract —
+/// reordering it would reorder same-tick pops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ComponentId {
+    /// A core (index = core number). Sorts first: cores do the work.
+    Core(u32),
+    /// An LLC slice (index = slice number).
+    Slice(u32),
+    /// A directed mesh link (index = `node * 4 + direction`).
+    MeshLink(u32),
+    /// A NOCSTAR side-band instance (index 0 in practice).
+    Nocstar(u32),
+    /// A DRAM channel (index = channel number).
+    DramChannel(u32),
+}
+
+impl ComponentId {
+    /// Pack into a `u64` for serialization: variant tag in the high
+    /// 32 bits, index in the low 32.
+    pub fn encode(self) -> u64 {
+        let (tag, idx) = match self {
+            ComponentId::Core(i) => (0u64, i),
+            ComponentId::Slice(i) => (1, i),
+            ComponentId::MeshLink(i) => (2, i),
+            ComponentId::Nocstar(i) => (3, i),
+            ComponentId::DramChannel(i) => (4, i),
+        };
+        (tag << 32) | u64::from(idx)
+    }
+
+    /// Reverse of [`ComponentId::encode`]; `None` on an unknown tag.
+    pub fn decode(v: u64) -> Option<ComponentId> {
+        let idx = (v & 0xffff_ffff) as u32;
+        match v >> 32 {
+            0 => Some(ComponentId::Core(idx)),
+            1 => Some(ComponentId::Slice(idx)),
+            2 => Some(ComponentId::MeshLink(idx)),
+            3 => Some(ComponentId::Nocstar(idx)),
+            4 => Some(ComponentId::DramChannel(idx)),
+            _ => None,
+        }
+    }
+}
+
+impl Persist for ComponentId {
+    fn save(&self, w: &mut StateWriter) {
+        w.put_u64(self.encode());
+    }
+
+    fn load(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let v = r.take_u64("component id")?;
+        *self = ComponentId::decode(v).ok_or_else(|| SnapError::Invalid {
+            what: "component id",
+            detail: format!("unknown component tag in {v:#018x}"),
+        })?;
+        Ok(())
+    }
+}
+
+/// A schedulable simulation component.
+///
+/// The engine's event loop pops `(tick, id)` pairs off an [`EventHeap`],
+/// calls [`Component::on_wakeup`] (for passive components) or steps the
+/// core (for [`ComponentId::Core`] entries, which the engine handles
+/// directly), and re-arms the entry at [`Component::next_wakeup`].
+///
+/// **Wakeup protocol.** `next_wakeup(now)` must return a tick *strictly
+/// after* `now`, or `None` when the component is purely demand-driven and
+/// needs no autonomous wakeups (the common case: all of this repo's
+/// passive components evaluate their timed state lazily at access
+/// timestamps, so their wakeups are maintenance points, never mutations
+/// that results depend on — that invariant is what makes the event engine
+/// bit-identical to lockstep by construction).
+pub trait Component {
+    /// This component's scheduler identity.
+    fn component_id(&self) -> ComponentId;
+
+    /// The next tick strictly after `now` at which the component wants to
+    /// run, or `None` for a purely demand-driven component.
+    fn next_wakeup(&self, now: u64) -> Option<u64>;
+
+    /// React to being scheduled at `tick`. Default: nothing — passive
+    /// components must not mutate result-affecting state here.
+    fn on_wakeup(&mut self, _tick: u64) {}
+}
+
+/// A deterministic binary min-heap of `(tick, ComponentId)` wakeups.
+///
+/// Hand-rolled (rather than `std::collections::BinaryHeap`) so the
+/// sift-up/sift-down order is pinned by this crate's tests, not by the
+/// standard library's implementation details, and so the heap can expose
+/// a canonical [`Persist`] encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventHeap {
+    /// Standard implicit binary-heap layout: children of `i` at
+    /// `2i + 1` and `2i + 2`, minimum at the root.
+    entries: Vec<(u64, ComponentId)>,
+}
+
+impl EventHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        EventHeap::default()
+    }
+
+    /// Number of scheduled wakeups.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no wakeup is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Remove every wakeup.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The earliest wakeup (ties broken by [`ComponentId`] order), without
+    /// removing it.
+    pub fn peek(&self) -> Option<(u64, ComponentId)> {
+        self.entries.first().copied()
+    }
+
+    /// The raw entries in internal (heap-array) order — for persistence
+    /// and tests; not sorted.
+    pub fn as_slice(&self) -> &[(u64, ComponentId)] {
+        &self.entries
+    }
+
+    /// Schedule a wakeup.
+    pub fn push(&mut self, entry: (u64, ComponentId)) {
+        self.entries.push(entry);
+        self.sift_up(self.entries.len() - 1);
+    }
+
+    /// Remove and return the earliest wakeup.
+    pub fn pop(&mut self) -> Option<(u64, ComponentId)> {
+        let last = self.entries.len().checked_sub(1)?;
+        self.entries.swap(0, last);
+        let top = self.entries.pop();
+        if !self.entries.is_empty() {
+            self.sift_down(0);
+        }
+        top
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.entries[parent] <= self.entries[i] {
+                break;
+            }
+            self.entries.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut min = i;
+            if l < self.entries.len() && self.entries[l] < self.entries[min] {
+                min = l;
+            }
+            if r < self.entries.len() && self.entries[r] < self.entries[min] {
+                min = r;
+            }
+            if min == i {
+                return;
+            }
+            self.entries.swap(i, min);
+            i = min;
+        }
+    }
+}
+
+impl Persist for EventHeap {
+    /// Canonical: entries are written in sorted `(tick, id)` order, so two
+    /// heaps holding the same wakeups serialize identically regardless of
+    /// the push/pop history that built them.
+    fn save(&self, w: &mut StateWriter) {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable();
+        w.put_u64(sorted.len() as u64);
+        for (tick, id) in sorted {
+            w.put_u64(tick);
+            id.save(w);
+        }
+    }
+
+    fn load(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let n = r.take_len("event heap length")?;
+        self.entries.clear();
+        for _ in 0..n {
+            let tick = r.take_u64("event tick")?;
+            let mut id = ComponentId::Core(0);
+            id.load(r)?;
+            self.push((tick, id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_id_order_puts_cores_first_then_index() {
+        assert!(ComponentId::Core(7) < ComponentId::Slice(0));
+        assert!(ComponentId::Slice(3) < ComponentId::MeshLink(0));
+        assert!(ComponentId::MeshLink(9) < ComponentId::Nocstar(0));
+        assert!(ComponentId::Nocstar(0) < ComponentId::DramChannel(0));
+        assert!(ComponentId::Core(0) < ComponentId::Core(1));
+        assert!(ComponentId::DramChannel(1) < ComponentId::DramChannel(2));
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_variant() {
+        let ids = [
+            ComponentId::Core(0),
+            ComponentId::Core(u32::MAX),
+            ComponentId::Slice(5),
+            ComponentId::MeshLink(63),
+            ComponentId::Nocstar(0),
+            ComponentId::DramChannel(7),
+        ];
+        for id in ids {
+            assert_eq!(ComponentId::decode(id.encode()), Some(id));
+        }
+        assert_eq!(ComponentId::decode(5 << 32), None);
+        assert_eq!(ComponentId::decode(u64::MAX), None);
+    }
+
+    #[test]
+    fn same_tick_collision_pops_by_component_id_in_both_insertion_orders() {
+        // The satellite scenario: two components scheduled at one tick,
+        // inserted in both orders — the pop order must be identical.
+        let a = (100, ComponentId::Core(3));
+        let b = (100, ComponentId::Core(1));
+        let mut h1 = EventHeap::new();
+        h1.push(a);
+        h1.push(b);
+        let mut h2 = EventHeap::new();
+        h2.push(b);
+        h2.push(a);
+        assert_eq!(h1.pop(), Some(b), "lower ComponentId wins the tie");
+        assert_eq!(h2.pop(), Some(b));
+        assert_eq!(h1.pop(), Some(a));
+        assert_eq!(h2.pop(), Some(a));
+
+        // Cross-variant tie: the core beats the passive component.
+        let core = (42, ComponentId::Core(9));
+        let link = (42, ComponentId::MeshLink(0));
+        for first in [core, link] {
+            let second = if first == core { link } else { core };
+            let mut h = EventHeap::new();
+            h.push(first);
+            h.push(second);
+            assert_eq!(h.pop(), Some(core), "core must win a same-tick tie");
+            assert_eq!(h.pop(), Some(link));
+        }
+    }
+
+    #[test]
+    fn pop_order_is_fully_sorted_regardless_of_insertion_order() {
+        let mut entries: Vec<(u64, ComponentId)> = (0..64u32)
+            .map(|i| {
+                (
+                    u64::from(i % 7),
+                    ComponentId::decode((u64::from(i % 5) << 32) | u64::from(i)).unwrap(),
+                )
+            })
+            .collect();
+        let mut expect = entries.clone();
+        expect.sort_unstable();
+        // A deterministic pseudo-shuffle: rotate and interleave.
+        entries.rotate_left(17);
+        let (front, back) = entries.split_at(32);
+        let shuffled: Vec<_> = front
+            .iter()
+            .zip(back.iter())
+            .flat_map(|(&x, &y)| [y, x])
+            .collect();
+
+        let mut h = EventHeap::new();
+        for e in shuffled {
+            h.push(e);
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = h.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn persist_is_canonical_and_round_trips() {
+        let entries = [
+            (5, ComponentId::DramChannel(1)),
+            (1, ComponentId::Core(2)),
+            (5, ComponentId::Core(0)),
+            (3, ComponentId::MeshLink(7)),
+        ];
+        let mut fwd = EventHeap::new();
+        for e in entries {
+            fwd.push(e);
+        }
+        let mut rev = EventHeap::new();
+        for e in entries.iter().rev() {
+            rev.push(*e);
+        }
+        let mut wf = StateWriter::new();
+        fwd.save(&mut wf);
+        let mut wr = StateWriter::new();
+        rev.save(&mut wr);
+        assert_eq!(wf.bytes(), wr.bytes(), "persist must be canonical");
+
+        let mut loaded = EventHeap::new();
+        loaded
+            .load(&mut StateReader::new(wf.bytes()))
+            .expect("round trip");
+        assert_eq!(loaded.len(), fwd.len());
+        let mut a = Vec::new();
+        while let Some(e) = loaded.pop() {
+            a.push(e);
+        }
+        let mut b = Vec::new();
+        while let Some(e) = fwd.pop() {
+            b.push(e);
+        }
+        assert_eq!(a, b, "restored heap must pop identically");
+    }
+
+    #[test]
+    fn corrupt_component_tag_is_a_typed_error() {
+        let mut w = StateWriter::new();
+        w.put_u64(1); // one entry
+        w.put_u64(9); // tick
+        w.put_u64(7 << 32); // unknown tag
+        let mut h = EventHeap::new();
+        assert!(matches!(
+            h.load(&mut StateReader::new(w.bytes())),
+            Err(SnapError::Invalid {
+                what: "component id",
+                ..
+            })
+        ));
+    }
+}

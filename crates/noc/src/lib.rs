@@ -36,6 +36,7 @@
 //! assert!(latency >= mesh.hops(0, 15) as u64);
 //! ```
 
+pub mod event;
 pub mod faults;
 pub mod link;
 pub mod linmap;

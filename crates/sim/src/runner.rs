@@ -8,7 +8,7 @@
 
 use crate::config::SystemConfig;
 use crate::energy::EnergyBreakdown;
-use crate::engine::{CoreResult, Engine};
+use crate::engine::{CoreResult, Engine, EngineMode};
 use crate::metrics::{FaultSummary, MixMetrics};
 use crate::sampling::SamplingSpec;
 use crate::telemetry::{TelemetrySpec, TelemetryTimeline};
@@ -41,6 +41,9 @@ pub struct RunConfig {
     pub sampling: SamplingSpec,
     /// Epoch-sampled telemetry (off by default; see [`crate::telemetry`]).
     pub telemetry: TelemetrySpec,
+    /// Scheduling mode (event-driven by default; lockstep kept for
+    /// differential testing — both produce bit-identical results).
+    pub engine: EngineMode,
 }
 
 impl RunConfig {
@@ -53,6 +56,7 @@ impl RunConfig {
             record_llc_stream: false,
             sampling: SamplingSpec::off(),
             telemetry: TelemetrySpec::off(),
+            engine: EngineMode::default(),
         }
     }
 
@@ -65,6 +69,7 @@ impl RunConfig {
             record_llc_stream: false,
             sampling: SamplingSpec::off(),
             telemetry: TelemetrySpec::off(),
+            engine: EngineMode::default(),
         }
     }
 }
@@ -256,6 +261,7 @@ fn run_engine(
         rc.warmup_accesses,
         rc.record_llc_stream,
     );
+    engine.set_mode(rc.engine);
     engine.set_sampling(rc.sampling);
     engine.set_telemetry(rc.telemetry);
     // Warm-state reuse. Skipped under interval sampling, where warm-up is
@@ -357,6 +363,7 @@ pub fn run_with_workloads_checkpointed(
         rc.warmup_accesses,
         rc.record_llc_stream,
     );
+    engine.set_mode(rc.engine);
     engine.set_sampling(rc.sampling);
     engine.set_telemetry(rc.telemetry);
     if let Some(path) = ckpt.restore {
@@ -563,6 +570,7 @@ mod tests {
             record_llc_stream: false,
             sampling: SamplingSpec::off(),
             telemetry: TelemetrySpec::off(),
+            engine: EngineMode::default(),
         }
     }
 

@@ -433,6 +433,7 @@ mod tests {
             record_llc_stream: false,
             sampling: SamplingSpec::off(),
             telemetry: TelemetrySpec::off(),
+            engine: Default::default(),
         }
     }
 

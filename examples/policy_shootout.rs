@@ -28,6 +28,7 @@ fn main() {
         record_llc_stream: false,
         sampling: SamplingSpec::off(),
         telemetry: TelemetrySpec::off(),
+        engine: Default::default(),
     };
     let lru = run_mix(&mix, PolicyKind::Lru, DrishtiConfig::baseline(cores), &rc);
     println!(

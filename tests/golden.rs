@@ -39,6 +39,7 @@ fn rc() -> RunConfig {
         record_llc_stream: false,
         sampling: SamplingSpec::off(),
         telemetry: TelemetrySpec::off(),
+        engine: Default::default(),
     }
 }
 

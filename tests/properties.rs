@@ -550,3 +550,160 @@ fn llc_line_state_view_round_trips_at_policy_boundary() {
     };
     assert_eq!(views[1], after);
 }
+
+/// Historical proptest shrink of `llc_capacity_invariant`, promoted to an
+/// explicit test: the vendored proptest shim does not read
+/// `.proptest-regressions` seed files, so checked-in `cc` entries are
+/// never replayed at runtime. Saved failure cases therefore live here as
+/// named deterministic tests instead (see README "Golden snapshots and
+/// proptest regressions").
+#[test]
+fn llc_capacity_regression_shrunk_case() {
+    const OPS: &[(u64, usize, bool)] = &[
+        (31, 1, false),
+        (81, 1, false),
+        (171, 0, false),
+        (40, 0, true),
+        (66, 0, true),
+        (126, 1, false),
+        (104, 1, false),
+        (34, 0, true),
+        (134, 1, false),
+        (146, 0, false),
+        (81, 0, false),
+        (128, 0, false),
+        (183, 0, false),
+        (32, 0, true),
+        (59, 0, true),
+        (152, 0, true),
+        (6, 1, false),
+        (87, 1, true),
+        (128, 0, true),
+        (134, 0, false),
+        (71, 0, false),
+        (164, 1, true),
+        (127, 0, false),
+        (124, 0, true),
+        (56, 1, false),
+        (112, 1, true),
+        (16, 0, false),
+        (54, 1, true),
+        (35, 0, false),
+        (90, 0, false),
+        (27, 0, true),
+        (31, 0, true),
+        (158, 0, false),
+        (94, 1, true),
+        (109, 1, true),
+        (100, 1, true),
+        (89, 1, true),
+        (10, 0, true),
+        (13, 0, true),
+        (151, 1, false),
+        (29, 1, false),
+        (115, 0, false),
+        (83, 0, false),
+        (106, 1, false),
+        (58, 1, true),
+        (183, 1, false),
+        (142, 0, true),
+        (65, 1, false),
+        (92, 0, true),
+        (168, 0, true),
+        (130, 1, false),
+        (168, 0, false),
+        (70, 1, true),
+        (130, 0, true),
+        (157, 0, true),
+        (36, 1, true),
+        (36, 1, false),
+        (132, 1, false),
+        (176, 1, true),
+        (154, 0, true),
+        (198, 0, false),
+        (87, 0, false),
+        (59, 0, true),
+        (10, 0, true),
+        (27, 1, true),
+        (178, 0, false),
+        (75, 0, true),
+        (187, 0, true),
+        (2, 1, true),
+        (167, 0, true),
+        (84, 1, false),
+        (109, 0, false),
+        (171, 1, false),
+        (89, 0, false),
+        (109, 1, true),
+        (7, 0, true),
+        (53, 0, false),
+        (176, 1, false),
+        (113, 0, true),
+        (129, 0, false),
+        (162, 1, true),
+        (113, 1, false),
+        (152, 0, true),
+        (17, 1, true),
+        (55, 1, true),
+        (189, 1, false),
+        (2, 0, true),
+        (107, 1, false),
+        (106, 0, false),
+        (190, 0, true),
+        (164, 0, true),
+        (99, 1, true),
+        (69, 0, true),
+        (10, 1, true),
+        (158, 0, true),
+        (9, 0, true),
+        (72, 0, true),
+        (183, 1, true),
+        (10, 0, true),
+        (104, 0, false),
+        (147, 1, true),
+        (35, 1, false),
+        (6, 1, false),
+        (165, 1, true),
+        (103, 0, true),
+        (192, 0, true),
+        (13, 1, false),
+        (144, 0, true),
+        (52, 1, true),
+        (159, 1, true),
+        (67, 1, false),
+        (36, 1, false),
+        (47, 1, true),
+        (36, 0, false),
+        (25, 1, false),
+        (87, 0, false),
+        (165, 1, true),
+        (121, 1, false),
+        (14, 0, false),
+        (139, 0, true),
+        (71, 0, true),
+        (171, 1, true),
+        (107, 1, false),
+        (28, 1, false),
+    ];
+    let geom = small_geom();
+    for kind in all_policies() {
+        let mut llc = SlicedLlc::new(geom, kind.build(&geom, DrishtiConfig::drishti(2)));
+        for (i, &(line, core, store)) in OPS.iter().enumerate() {
+            let a = if store {
+                Access::store(core, 0x9, line)
+            } else {
+                Access::load(core, 0x9, line)
+            };
+            if !llc.lookup(&a, i as u64).hit {
+                llc.fill(&a, i as u64);
+            }
+            assert!(
+                llc.resident_lines() <= 2 * 8 * 4,
+                "{kind} overflowed at op {i}"
+            );
+        }
+        let s = llc.stats();
+        assert_eq!(s.demand_accesses, OPS.len() as u64);
+        assert!(s.fills <= s.demand_misses + s.writeback_accesses, "{kind}");
+    }
+}
