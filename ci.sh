@@ -138,6 +138,30 @@ for variant in engine_lockstep_j8 engine_event_j1 engine_event_j8; do
 done
 echo "lockstep and event reports byte-identical at --jobs 1 and 8"
 
+# Scaling-smoke gate: the multi-chip topology must preserve the sweep
+# harness's core contracts — worker-count determinism and lockstep/event
+# equivalence — with inter-chip link queues in the loop. Run one small
+# 2-chip rung of the scaling study under --jobs 1|8 × --engine
+# lockstep|event and demand all four reports are byte-identical. (Runs in
+# --quick too — the inter-chip links are new event-engine surface.)
+step "scaling-smoke gate (2-chip sweep, jobs x engine byte-diff)"
+cargo build -q --offline "${build_flags[@]}" -p drishti-bench --bin scaling
+scaling="target/$profile_dir/scaling"
+sc_args=(--mixes 1 --cores 16 --accesses 6000)
+for engine in lockstep event; do
+  for jobs in 1 8; do
+    "$scaling" "${sc_args[@]}" --engine "$engine" --jobs "$jobs" \
+      --report "$out/scaling_${engine}_j${jobs}.json" >/dev/null
+  done
+done
+for variant in scaling_lockstep_j8 scaling_event_j1 scaling_event_j8; do
+  if ! diff -u "$out/scaling_lockstep_j1.json" "$out/$variant.json"; then
+    echo "FAIL: $variant scaling report differs from lockstep --jobs 1" >&2
+    exit 1
+  fi
+done
+echo "2-chip scaling reports byte-identical across jobs and engine modes"
+
 # Crash-resume gate: SIGKILL a journaled sweep mid-flight, resume it with
 # --resume, and demand the final report is byte-identical to an
 # uninterrupted run's — and that the clean completion removed the

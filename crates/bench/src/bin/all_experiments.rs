@@ -36,6 +36,7 @@ const EXPERIMENTS: &[&str] = &[
     "table8_other_policies",
     "table7_applicability",
     "scalability",
+    "scaling",
     "resilience",
 ];
 

@@ -8,7 +8,10 @@
 //! `--out`). `--compare PATH` prints a report-only comparison against a
 //! previous baseline — a >10% regression warns, never fails.
 
-use drishti_bench::perf::{compare_reports, default_bench_path, run_perf, PerfOpts, COMPARE_CORES};
+use drishti_bench::perf::{
+    compare_reports, default_bench_path, run_perf, PerfOpts, COMPARE_CORES, MULTICHIP_CHIPS,
+    MULTICHIP_CORES,
+};
 
 fn main() {
     let opts = PerfOpts::from_args();
@@ -49,6 +52,13 @@ fn main() {
         report.engine_compare.lockstep.steps_per_sec(),
         report.engine_compare.event.steps_per_sec(),
         report.engine_compare.speedup(),
+    );
+    println!(
+        "multichip ({MULTICHIP_CORES} cores / {MULTICHIP_CHIPS} chips, all active): \
+         {:.0} steps/sec, {:.0} accesses/sec ({} inter-chip messages)",
+        report.multichip.timing.steps_per_sec(),
+        report.multichip.timing.accesses_per_sec(),
+        report.multichip.interchip_messages,
     );
 
     if let Some(baseline) = &opts.compare {

@@ -254,6 +254,23 @@ pub const COMPARE_CORES: usize = 256;
 /// count grows, so the measured ratio isolates the scheduler.
 pub const COMPARE_LLC_SLICES: usize = 8;
 
+/// Cores of the multi-chip throughput cell: the scaling study's 64-slice
+/// shape, every core active.
+pub const MULTICHIP_CORES: usize = 64;
+
+/// Chips of the multi-chip throughput cell.
+pub const MULTICHIP_CHIPS: usize = 4;
+
+/// Timing of the multi-chip cell plus the inter-chip traffic it moved
+/// (asserting the serialized gateway path was actually on the hot path).
+#[derive(Debug, Clone, Copy)]
+pub struct MultichipTiming {
+    /// Best trial.
+    pub timing: PassTiming,
+    /// Inter-chip messages delivered during the best trial.
+    pub interchip_messages: u64,
+}
+
 /// Lockstep-vs-event scheduler timing on the idle-heavy cell
 /// ([`COMPARE_CORES`] cores, one active low-MPKI Deepsjeng core, a single
 /// DRAM channel). Both modes simulate the identical workload and are
@@ -298,6 +315,9 @@ pub struct PerfReport {
     pub trace_store: (u64, u64),
     /// Lockstep-vs-event scheduler timing on the idle-heavy cell.
     pub engine_compare: EngineCompare,
+    /// Multi-chip cell timing ([`MULTICHIP_CORES`] cores over
+    /// [`MULTICHIP_CHIPS`] chips, all cores active).
+    pub multichip: MultichipTiming,
 }
 
 impl PerfReport {
@@ -386,6 +406,24 @@ impl PerfReport {
         );
         engine.push("speedup", Json::Num(self.engine_compare.speedup()));
 
+        let mut multichip = Json::obj();
+        multichip.push("cores", Json::UInt(MULTICHIP_CORES as u64));
+        multichip.push("chips", Json::UInt(MULTICHIP_CHIPS as u64));
+        multichip.push("steps", Json::UInt(self.multichip.timing.steps));
+        multichip.push("wall_sec", Json::Num(self.multichip.timing.wall_sec));
+        multichip.push(
+            "steps_per_sec",
+            Json::Num(self.multichip.timing.steps_per_sec()),
+        );
+        multichip.push(
+            "accesses_per_sec",
+            Json::Num(self.multichip.timing.accesses_per_sec()),
+        );
+        multichip.push(
+            "interchip_messages",
+            Json::UInt(self.multichip.interchip_messages),
+        );
+
         let mut host = Json::obj();
         host.push("os", Json::Str(std::env::consts::OS.to_string()));
         host.push("arch", Json::Str(std::env::consts::ARCH.to_string()));
@@ -417,6 +455,7 @@ impl PerfReport {
         root.push("sweep_pool", pool);
         root.push("trace_store", store);
         root.push("engine_compare", engine);
+        root.push("multichip", multichip);
         root.push("host", host);
         root.to_pretty_string()
     }
@@ -552,6 +591,64 @@ fn measure_engine_compare(opts: &PerfOpts, cache: &Arc<TraceCache>) -> EngineCom
     }
 }
 
+/// Time the multi-chip cell: the scaling study's 64-slice / 4-chip shape
+/// with every core active on the heterogeneous fig13 workload set, under
+/// D-Mockingjay with the hierarchical predictor fabric. Unlike the
+/// idle-heavy engine-compare cell this one is interconnect-bound — every
+/// demand and predictor message can cross a serialized gateway — so its
+/// steps/sec tracks the cost of the inter-chip link model itself. The
+/// best trial must have moved inter-chip traffic, or the cell silently
+/// degenerated into a flat mesh.
+fn measure_multichip(opts: &PerfOpts, cache: &Arc<TraceCache>) -> MultichipTiming {
+    let mix = Mix::heterogeneous(&Benchmark::spec_and_gap(), MULTICHIP_CORES, 13);
+    let len = opts.warmup() + opts.accesses;
+    // Pre-generate so the trial times the simulator, not the generator.
+    let _ = cache.workloads_for(&mix, len);
+
+    let system = SystemConfig::with_chips(MULTICHIP_CORES, MULTICHIP_CHIPS);
+    let org = DrishtiConfig::drishti(MULTICHIP_CORES).with_chips(MULTICHIP_CHIPS);
+    let mut best_wall = f64::INFINITY;
+    let mut interchip_messages = 0;
+    for _ in 0..opts.trials {
+        let workloads: Vec<Option<Box<dyn WorkloadGen>>> = cache
+            .workloads_for(&mix, len)
+            .into_iter()
+            .map(|w| Some(Box::new(w) as Box<dyn WorkloadGen>))
+            .collect();
+        let pol = PolicyKind::Mockingjay.build(&system.llc, org.clone());
+        let mut engine = Engine::new(
+            system.clone(),
+            workloads,
+            pol,
+            opts.accesses,
+            opts.warmup(),
+            false,
+        );
+        engine.set_mode(opts.engine);
+        let t = Instant::now();
+        let per_core = engine.run();
+        let wall = t.elapsed().as_secs_f64();
+        assert_eq!(per_core.len(), MULTICHIP_CORES);
+        let ic = engine.mesh().interchip_stats().messages;
+        assert!(
+            ic > 0,
+            "multichip cell moved no inter-chip traffic — the measurement is vacuous"
+        );
+        if wall < best_wall {
+            best_wall = wall;
+            interchip_messages = ic;
+        }
+    }
+    MultichipTiming {
+        timing: PassTiming {
+            wall_sec: best_wall,
+            steps: MULTICHIP_CORES as u64 * len,
+            accesses: MULTICHIP_CORES as u64 * opts.accesses,
+        },
+        interchip_messages,
+    }
+}
+
 /// Run the pinned matrix and assemble the report. Traces are generated
 /// into the shared cache *before* any timing starts, so both passes
 /// measure the simulator, not the workload generator.
@@ -646,6 +743,7 @@ pub fn run_perf(opts: &PerfOpts) -> PerfReport {
     let _ = std::fs::remove_file(&path);
 
     let engine_compare = measure_engine_compare(opts, &cache);
+    let multichip = measure_multichip(opts, &cache);
 
     PerfReport {
         opts: opts.clone(),
@@ -663,6 +761,7 @@ pub fn run_perf(opts: &PerfOpts) -> PerfReport {
         warm_ckpt,
         trace_store: (records.len() as u64, bytes),
         engine_compare,
+        multichip,
     }
 }
 
@@ -715,6 +814,14 @@ pub fn compare_reports(report: &PerfReport, baseline_json: &str, tolerance: f64)
         "engine_compare",
         "event_steps_per_sec",
         report.engine_compare.event.steps_per_sec(),
+    ));
+    // Likewise shape-independent: steps/sec on the pinned 64-core /
+    // 4-chip cell. Baselines that predate multi-chip support lack the
+    // section and skip cleanly.
+    pairs.push((
+        "multichip",
+        "steps_per_sec",
+        report.multichip.timing.steps_per_sec(),
     ));
     for (section, key, now) in pairs {
         match extract_metric(baseline_json, section, key) {
@@ -830,6 +937,10 @@ mod tests {
                 lockstep: pass,
                 event: pass,
             },
+            multichip: MultichipTiming {
+                timing: pass,
+                interchip_messages: 1,
+            },
         }
     }
 
@@ -859,5 +970,20 @@ mod tests {
         );
         assert!(!lines.iter().any(|l| l.contains("cells_per_sec")));
         assert!(lines.iter().any(|l| l.contains("sweep_pool.steps_per_sec")));
+    }
+
+    #[test]
+    fn comparison_skips_multichip_on_pre_topology_baselines() {
+        // Baselines written before multi-chip support have no multichip
+        // section; the comparison must note and skip, never fail.
+        let baseline = "{\n  \"single_thread\": {\n    \"steps_per_sec\": 1.0\n  }\n}\n";
+        let report = fake_report(PERF_ACCESSES);
+        let lines = compare_reports(&report, baseline, 0.10);
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("no multichip.steps_per_sec") && l.starts_with("note:")),
+            "{lines:?}"
+        );
     }
 }

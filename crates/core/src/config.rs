@@ -53,6 +53,14 @@ pub struct DrishtiConfig {
     pub faults: FaultConfig,
     /// Degradation policy used when `faults` is active.
     pub degrade: DegradeConfig,
+    /// Chips the tiles are spread over (1 = the flat single-chip system).
+    /// NOCSTAR is die-local, so on a multi-chip system cross-chip
+    /// predictor traffic falls back to the hierarchical path (gateway legs
+    /// plus a serializing inter-chip segment) whatever the fabric kind.
+    pub chips: usize,
+    /// Inter-chip link parameters for that fallback (ignored when
+    /// `chips == 1`).
+    pub chip_link: drishti_noc::topology::ChipLinkConfig,
 }
 
 impl DrishtiConfig {
@@ -70,7 +78,25 @@ impl DrishtiConfig {
             seed: 0xD815,
             faults: FaultConfig::none(),
             degrade: DegradeConfig::resilient(),
+            chips: 1,
+            chip_link: drishti_noc::topology::ChipLinkConfig::default(),
         }
+    }
+
+    /// This configuration spread over `chips` chips (see
+    /// [`DrishtiConfig::chips`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero or does not divide the core count.
+    pub fn with_chips(mut self, chips: usize) -> Self {
+        assert!(
+            chips > 0 && self.cores.is_multiple_of(chips),
+            "chips ({chips}) must divide the core count ({})",
+            self.cores
+        );
+        self.chips = chips;
+        self
     }
 
     /// This configuration with injected faults (see [`crate::faults`]).
@@ -144,6 +170,7 @@ impl DrishtiConfig {
             &self.faults,
             self.degrade,
         )
+        .hierarchical(self.chips, self.chip_link)
     }
 
     /// Sampled sets per slice, given the policy's conventional
@@ -288,6 +315,21 @@ mod tests {
         );
         assert_eq!(DrishtiConfig::dsc_only(8).label(), "dsc-only");
         assert_eq!(DrishtiConfig::centralized(8).label(), "centralized");
+    }
+
+    #[test]
+    fn chips_default_to_one_and_validate() {
+        let c = DrishtiConfig::drishti(32);
+        assert_eq!(c.chips, 1);
+        let c = DrishtiConfig::drishti(32).with_chips(4);
+        assert_eq!(c.chips, 4);
+        assert!(c.build_fabric().global_view());
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_chip_count_is_rejected() {
+        let _ = DrishtiConfig::drishti(32).with_chips(3);
     }
 
     #[test]

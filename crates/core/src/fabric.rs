@@ -17,7 +17,10 @@
 
 use crate::faults::{DegradeConfig, FaultConfig};
 use crate::org::{PredictorOrg, SamplerOrg};
-use drishti_noc::link::{FixedLatencyLink, LocalLink, MeshLink, NocstarLink, PredictorLink};
+use drishti_noc::link::{
+    FixedLatencyLink, HierarchicalLink, LocalLink, MeshLink, NocstarLink, PredictorLink,
+};
+use drishti_noc::topology::ChipLinkConfig;
 use drishti_noc::{NocStats, NodeId};
 
 /// Which transport carries predictor messages.
@@ -177,6 +180,25 @@ impl PredictorFabric {
             f.faulty = true;
         }
         f
+    }
+
+    /// Spread this fabric's tiles over `chips` chips: the transport is
+    /// wrapped in a [`HierarchicalLink`], so intra-chip accesses are
+    /// untouched while cross-chip accesses pay gateway legs plus a
+    /// serializing inter-chip segment. `chips == 1` is the identity —
+    /// bit-identical to the unwrapped fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero or does not divide the tile count.
+    pub fn hierarchical(mut self, chips: usize, link: ChipLinkConfig) -> Self {
+        if chips > 1 {
+            let inner = std::mem::replace(&mut self.link, Box::new(LocalLink));
+            self.link = Box::new(HierarchicalLink::new(inner, chips, self.tiles, link));
+        } else {
+            assert!(chips == 1, "fabric needs at least one chip");
+        }
+        self
     }
 
     /// The degradation policy in force.
@@ -550,6 +572,36 @@ mod tests {
         f.reset_stats();
         assert_eq!(f.counters().total(), 0);
         assert_eq!(f.link_stats().messages, 0);
+    }
+
+    #[test]
+    fn one_chip_hierarchical_is_the_identity() {
+        let mut plain = fabric(PredictorOrg::GlobalPerCore, FabricKind::Nocstar);
+        let mut wrapped = fabric(PredictorOrg::GlobalPerCore, FabricKind::Nocstar)
+            .hierarchical(1, ChipLinkConfig::default());
+        for i in 0..200u64 {
+            let (s, c) = ((i % 32) as usize, ((i * 5) % 32) as usize);
+            assert_eq!(plain.train(s, c, i), wrapped.train(s, c, i));
+            assert_eq!(plain.predict(s, c, i), wrapped.predict(s, c, i));
+        }
+        assert_eq!(plain.link_stats(), wrapped.link_stats());
+    }
+
+    #[test]
+    fn cross_chip_lookups_expose_latency_nocstar_cannot_hide() {
+        let mut f = fabric(PredictorOrg::GlobalPerCore, FabricKind::Nocstar)
+            .hierarchical(2, ChipLinkConfig::default());
+        // Slice 1 looking up core 2's bank: both on chip 0 — still hidden.
+        let intra = f.predict(1, 2, 0);
+        assert_eq!(intra.latency, 0, "intra-chip NOCSTAR stays free");
+        // Slice 1 looking up core 20's bank on chip 1: the inter-chip
+        // segment (32 + 3 cycles by default) dwarfs the overlap window.
+        let cross = f.predict(1, 20, 1_000);
+        assert!(
+            cross.latency > PredictorFabric::OVERLAP_WINDOW,
+            "cross-chip lookup must be exposed, got {}",
+            cross.latency
+        );
     }
 
     fn faulty_fabric(drop_pct: f64, deadline: u64) -> PredictorFabric {

@@ -46,6 +46,11 @@ pub enum ComponentId {
     Nocstar(u32),
     /// A DRAM channel (index = channel number).
     DramChannel(u32),
+    /// A directed inter-chip link (index = `chip * 4 + direction`) of a
+    /// multi-chip [`crate::topology::ChipTopology`]. Appended after the
+    /// original variants so single-chip runs — which never schedule one —
+    /// keep the exact same tie-break order as before the topology layer.
+    InterChipLink(u32),
 }
 
 impl ComponentId {
@@ -58,6 +63,7 @@ impl ComponentId {
             ComponentId::MeshLink(i) => (2, i),
             ComponentId::Nocstar(i) => (3, i),
             ComponentId::DramChannel(i) => (4, i),
+            ComponentId::InterChipLink(i) => (5, i),
         };
         (tag << 32) | u64::from(idx)
     }
@@ -71,6 +77,7 @@ impl ComponentId {
             2 => Some(ComponentId::MeshLink(idx)),
             3 => Some(ComponentId::Nocstar(idx)),
             4 => Some(ComponentId::DramChannel(idx)),
+            5 => Some(ComponentId::InterChipLink(idx)),
             _ => None,
         }
     }
@@ -248,8 +255,10 @@ mod tests {
         assert!(ComponentId::Slice(3) < ComponentId::MeshLink(0));
         assert!(ComponentId::MeshLink(9) < ComponentId::Nocstar(0));
         assert!(ComponentId::Nocstar(0) < ComponentId::DramChannel(0));
+        assert!(ComponentId::DramChannel(9) < ComponentId::InterChipLink(0));
         assert!(ComponentId::Core(0) < ComponentId::Core(1));
         assert!(ComponentId::DramChannel(1) < ComponentId::DramChannel(2));
+        assert!(ComponentId::InterChipLink(1) < ComponentId::InterChipLink(2));
     }
 
     #[test]
@@ -261,11 +270,12 @@ mod tests {
             ComponentId::MeshLink(63),
             ComponentId::Nocstar(0),
             ComponentId::DramChannel(7),
+            ComponentId::InterChipLink(11),
         ];
         for id in ids {
             assert_eq!(ComponentId::decode(id.encode()), Some(id));
         }
-        assert_eq!(ComponentId::decode(5 << 32), None);
+        assert_eq!(ComponentId::decode(6 << 32), None);
         assert_eq!(ComponentId::decode(u64::MAX), None);
     }
 

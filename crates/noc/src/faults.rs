@@ -36,6 +36,8 @@ pub enum FaultDomain {
     Fabric,
     /// The DRAM subsystem.
     Dram,
+    /// The serializing inter-chip links of a multi-chip topology.
+    InterChip,
 }
 
 impl FaultDomain {
@@ -45,6 +47,7 @@ impl FaultDomain {
             FaultDomain::Nocstar => 0x006e_6f63_7374_6172,
             FaultDomain::Fabric => 0x6661_6272_6963,
             FaultDomain::Dram => 0x6472_616d,
+            FaultDomain::InterChip => 0x6368_6970_3263_6869, // "chip2chi"
         }
     }
 }

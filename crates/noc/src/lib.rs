@@ -44,6 +44,7 @@ pub mod mesh;
 pub mod nocstar;
 pub mod slicehash;
 pub mod snap;
+pub mod topology;
 
 /// Identifier of a mesh tile (each tile hosts a core, its private caches,
 /// one LLC slice and — with Drishti — that core's reuse predictor).

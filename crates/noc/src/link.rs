@@ -267,6 +267,165 @@ impl PredictorLink for NocstarLink {
     }
 }
 
+/// A chip-boundary-aware wrapper around any [`PredictorLink`].
+///
+/// NOCSTAR is a latch-less circuit-switched side-band — a *die-local*
+/// structure that cannot cross a package boundary. On a multi-chip
+/// [`crate::topology::ChipTopology`], predictor traffic between tiles of
+/// one chip rides the wrapped link unchanged, but a cross-chip access
+/// falls back to the hierarchical path: the wrapped link carries it to the
+/// source chip's I/O gateway, a serializing inter-chip segment carries it
+/// between chips, and the wrapped link delivers it from the destination
+/// chip's gateway. This reproduces the paper's Fig 11 tension at scale —
+/// however fast the side-band, a cross-chip predictor lookup pays tens of
+/// cycles, exactly the regime where Fig 11b shows the benefit eroding.
+#[derive(Debug)]
+pub struct HierarchicalLink {
+    inner: Box<dyn PredictorLink>,
+    nodes_per_chip: usize,
+    /// Chip-grid width (same squarest factorization as the topology).
+    grid_w: usize,
+    link: crate::topology::ChipLinkConfig,
+    /// Cross-chip segment accounting, kept apart from the inner link's.
+    cross_stats: NocStats,
+}
+
+impl HierarchicalLink {
+    /// Wrap `inner` (built for all `total_tiles` tiles, global ids) for a
+    /// `chips`-chip system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero or does not divide `total_tiles`.
+    pub fn new(
+        inner: Box<dyn PredictorLink>,
+        chips: usize,
+        total_tiles: usize,
+        link: crate::topology::ChipLinkConfig,
+    ) -> Self {
+        assert!(
+            chips > 0 && total_tiles.is_multiple_of(chips),
+            "chips ({chips}) must divide the tile count ({total_tiles})"
+        );
+        HierarchicalLink {
+            inner,
+            nodes_per_chip: total_tiles / chips,
+            grid_w: MeshConfig::for_nodes(chips).width,
+            link,
+            cross_stats: NocStats::default(),
+        }
+    }
+
+    fn chip_of(&self, node: NodeId) -> usize {
+        node / self.nodes_per_chip
+    }
+
+    /// Global tile id of `chip`'s I/O gateway (local tile 0, matching
+    /// [`crate::topology::GATEWAY_TILE`]).
+    fn gateway(&self, chip: usize) -> NodeId {
+        chip * self.nodes_per_chip
+    }
+
+    fn chip_hops(&self, a: usize, b: usize) -> u32 {
+        let (ax, ay) = (a % self.grid_w, a / self.grid_w);
+        let (bx, by) = (b % self.grid_w, b / self.grid_w);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
+    }
+
+    /// Contention-free latency and accounting of the inter-chip segment
+    /// for a one-flit predictor packet.
+    fn cross_segment(&mut self, from_chip: usize, to_chip: usize) -> u64 {
+        let hops = self.chip_hops(from_chip, to_chip);
+        self.cross_stats.messages += 1;
+        self.cross_stats.flits += 1;
+        self.cross_stats.hop_traversals += u64::from(hops);
+        self.cross_stats.energy_pj += u64::from(hops) * self.link.energy_per_flit_pj;
+        let lat = self.link.latency * u64::from(hops) + self.link.serialization.saturating_sub(1);
+        self.cross_stats.total_latency += lat;
+        lat
+    }
+}
+
+impl PredictorLink for HierarchicalLink {
+    fn access(&mut self, from: NodeId, to: NodeId, cycle: u64) -> u64 {
+        let (ca, cb) = (self.chip_of(from), self.chip_of(to));
+        if ca == cb {
+            return self.inner.access(from, to, cycle);
+        }
+        let leg1 = self.inner.access(from, self.gateway(ca), cycle);
+        let cross = self.cross_segment(ca, cb);
+        let leg2 = self.inner.access(self.gateway(cb), to, cycle);
+        leg1 + cross + leg2
+    }
+
+    fn access_response(&mut self, from: NodeId, to: NodeId, cycle: u64) -> u64 {
+        let (ca, cb) = (self.chip_of(from), self.chip_of(to));
+        if ca == cb {
+            return self.inner.access_response(from, to, cycle);
+        }
+        let leg1 = self.inner.access_response(from, self.gateway(ca), cycle);
+        let cross = self.cross_segment(ca, cb);
+        let leg2 = self.inner.access_response(self.gateway(cb), to, cycle);
+        leg1 + cross + leg2
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, cycle: u64) -> Delivery {
+        let (ca, cb) = (self.chip_of(from), self.chip_of(to));
+        if ca == cb {
+            return self.inner.send(from, to, cycle);
+        }
+        // Both on-chip legs are issued at the current time (the same rule
+        // the fabric's request/response pair follows); a drop on either
+        // leg loses the message.
+        let leg1 = self.inner.send(from, self.gateway(ca), cycle);
+        let cross = self.cross_segment(ca, cb);
+        let leg2 = self.inner.send(self.gateway(cb), to, cycle);
+        Delivery {
+            latency: leg1.latency + cross + leg2.latency,
+            dropped: leg1.dropped || leg2.dropped,
+        }
+    }
+
+    fn send_response(&mut self, from: NodeId, to: NodeId, cycle: u64) -> Delivery {
+        let (ca, cb) = (self.chip_of(from), self.chip_of(to));
+        if ca == cb {
+            return self.inner.send_response(from, to, cycle);
+        }
+        let leg1 = self.inner.send_response(from, self.gateway(ca), cycle);
+        let cross = self.cross_segment(ca, cb);
+        let leg2 = self.inner.send_response(self.gateway(cb), to, cycle);
+        Delivery {
+            latency: leg1.latency + cross + leg2.latency,
+            dropped: leg1.dropped || leg2.dropped,
+        }
+    }
+
+    fn stats(&self) -> NocStats {
+        let mut s = self.inner.stats();
+        s.merge(&self.cross_stats);
+        s
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+        self.cross_stats = NocStats::default();
+    }
+
+    fn name(&self) -> &'static str {
+        "hierarchical"
+    }
+
+    fn save_state(&self, w: &mut crate::snap::StateWriter) {
+        self.inner.save_state(w);
+        self.cross_stats.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut crate::snap::StateReader<'_>) -> Result<(), SnapError> {
+        self.inner.load_state(r)?;
+        self.cross_stats.load(r)
+    }
+}
+
 /// A link with a fixed remote latency, contention-free.
 ///
 /// Reproduces the paper's Fig 11b interconnect-latency sensitivity sweep
@@ -454,6 +613,74 @@ mod tests {
                 l.name()
             );
         }
+    }
+
+    #[test]
+    fn hierarchical_wrapper_is_transparent_within_a_chip() {
+        let mut plain = NocstarLink::new(32);
+        let mut wrapped = HierarchicalLink::new(
+            Box::new(NocstarLink::new(32)),
+            2,
+            32,
+            crate::topology::ChipLinkConfig::default(),
+        );
+        // Tiles 0..16 share chip 0: identical latency, stats and bytes.
+        for t in 0..100u64 {
+            let (f, to) = ((t % 16) as usize, ((t * 7) % 16) as usize);
+            assert_eq!(plain.access(f, to, t), wrapped.access(f, to, t));
+            assert_eq!(
+                plain.access_response(to, f, t),
+                wrapped.access_response(to, f, t)
+            );
+        }
+        assert_eq!(plain.stats(), wrapped.stats());
+    }
+
+    #[test]
+    fn hierarchical_cross_chip_erodes_nocstar() {
+        let cfg = crate::topology::ChipLinkConfig::default();
+        let mut wrapped = HierarchicalLink::new(Box::new(NocstarLink::new(32)), 2, 32, cfg);
+        let same = wrapped.access(1, 15, 0); // chip 0 → chip 0
+        let cross = wrapped.access(1, 20, 0); // chip 0 → chip 1, off-gateway
+        assert_eq!(same, 3, "intra-chip keeps the 3-cycle side-band");
+        // Cross-chip: two side-band legs plus one serializing inter-chip hop.
+        assert_eq!(cross, 3 + cfg.latency + cfg.serialization - 1 + 3);
+        let s = wrapped.stats();
+        assert_eq!(s.energy_pj, 3 * 50 + cfg.energy_per_flit_pj);
+    }
+
+    #[test]
+    fn hierarchical_send_propagates_drops() {
+        let faults = FaultConfig {
+            seed: 11,
+            drop_pct: 100.0,
+            ..FaultConfig::none()
+        };
+        let mut wrapped = HierarchicalLink::new(
+            Box::new(NocstarLink::with_faults(32, &faults)),
+            2,
+            32,
+            crate::topology::ChipLinkConfig::default(),
+        );
+        let d = wrapped.send(0, 20, 0);
+        assert!(d.dropped, "a lost on-chip leg loses the message");
+        assert!(d.latency > 0);
+    }
+
+    #[test]
+    fn hierarchical_state_round_trips() {
+        let cfg = crate::topology::ChipLinkConfig::default();
+        let mk = || HierarchicalLink::new(Box::new(NocstarLink::new(16)), 2, 16, cfg);
+        let mut a = mk();
+        for t in 0..50u64 {
+            a.access((t % 16) as usize, ((t * 5) % 16) as usize, t);
+        }
+        let mut w = crate::snap::StateWriter::new();
+        a.save_state(&mut w);
+        let mut b = mk();
+        b.load_state(&mut crate::snap::StateReader::new(w.bytes()))
+            .expect("round trip");
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

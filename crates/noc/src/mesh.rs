@@ -289,9 +289,19 @@ impl Mesh {
     /// the fault configuration — see DESIGN.md §16). A mesh without an
     /// active fault schedule is fully demand-driven.
     pub fn link_components(&self) -> Vec<LinkWakeup> {
+        self.link_components_offset(0)
+    }
+
+    /// [`Mesh::link_components`] with every link id offset by `base` — used
+    /// by the multi-chip topology layer, where chip `c`'s links occupy the
+    /// global id range `[c · nodes · 4, (c + 1) · nodes · 4)` so scheduler
+    /// identities stay unique across chips. The offset only renames the
+    /// wakeup; outage decisions still key on the id the wakeup carries, so
+    /// a 1-chip topology (base 0) is identical to the flat mesh.
+    pub fn link_components_offset(&self, base: u32) -> Vec<LinkWakeup> {
         (0..self.cfg.nodes() * 4)
             .map(|link| LinkWakeup {
-                link: link as u32,
+                link: base + link as u32,
                 faults: self.faults.clone(),
             })
             .collect()

@@ -32,8 +32,13 @@ pub trait SliceHasher: std::fmt::Debug + Send + Sync {
 ///
 /// For a power-of-two slice count `2^k`, slice bit `i` is the XOR of line
 /// address bits `i, i+k, i+2k, …` — the classic structure recovered from
-/// Intel complex addressing. For non-power-of-two counts we fold through a
-/// 64-bit mix and reduce modulo `n_slices`.
+/// Intel complex addressing. For non-power-of-two counts (multi-chip
+/// systems where `chips × slices_per_chip` need not be a power of two) the
+/// hash is a *balanced rotation*: each aligned block of `n` consecutive
+/// line addresses is rotated by a per-block pseudo-random offset, so every
+/// block covers every slice exactly once. That makes the distribution
+/// exactly uniform over any aligned window (±1 at the ragged edges) while
+/// the per-block mix still scatters strided streams.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct XorFoldHash;
 
@@ -84,8 +89,73 @@ impl SliceHasher for XorFoldHash {
                 folded as usize
             }
         } else {
-            (mix64(line_addr) % n_slices as u64) as usize
+            // Balanced rotation: address `q·n + r` maps to slice
+            // `(r + mix64(q)) mod n`. Within each aligned block of `n`
+            // consecutive lines the offset is constant and `r` covers
+            // `0..n`, so the block covers every slice exactly once —
+            // ±1-uniformity over any window by construction — while the
+            // per-block splitmix offset scatters PCs and strides.
+            let n = n_slices as u64;
+            (((line_addr % n) + (mix64(line_addr / n) % n)) % n) as usize
         }
+    }
+}
+
+/// Global slice numbering for a multi-chip system: `chips` chips, each
+/// holding `slices_per_chip` LLC slices, numbered chip-major (global slice
+/// `g` lives on chip `g / slices_per_chip` as local slice
+/// `g % slices_per_chip`).
+///
+/// Address-to-(chip, slice) steering composes with any [`SliceHasher`]:
+/// the hash is evaluated at the *total* slice count, then split. With one
+/// chip this degenerates to the flat numbering (chip 0, local = global).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalSliceMap {
+    /// Number of chips.
+    pub chips: usize,
+    /// LLC slices per chip.
+    pub slices_per_chip: usize,
+}
+
+impl GlobalSliceMap {
+    /// A map for `total` slices spread over `chips` chips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero or does not divide `total`.
+    pub fn new(chips: usize, total: usize) -> Self {
+        assert!(chips > 0, "need at least one chip");
+        assert!(
+            total > 0 && total.is_multiple_of(chips),
+            "chips ({chips}) must divide the total slice count ({total})"
+        );
+        GlobalSliceMap {
+            chips,
+            slices_per_chip: total / chips,
+        }
+    }
+
+    /// Total slices across all chips.
+    pub fn total(&self) -> usize {
+        self.chips * self.slices_per_chip
+    }
+
+    /// `(chip, local slice)` of a global slice index.
+    pub fn split(&self, global: usize) -> (usize, usize) {
+        debug_assert!(global < self.total());
+        (global / self.slices_per_chip, global % self.slices_per_chip)
+    }
+
+    /// Global slice index of `(chip, local slice)`.
+    pub fn join(&self, chip: usize, local: usize) -> usize {
+        debug_assert!(chip < self.chips && local < self.slices_per_chip);
+        chip * self.slices_per_chip + local
+    }
+
+    /// `(chip, local slice)` serving `line_addr` under hasher `h` — the
+    /// hash at the total slice count, split chip-major.
+    pub fn locate<H: SliceHasher + ?Sized>(&self, h: &H, line_addr: u64) -> (usize, usize) {
+        self.split(h.slice_of(line_addr, self.total()))
     }
 }
 
@@ -220,11 +290,14 @@ mod tests {
     #[test]
     fn exhaustive_distribution_within_one_of_uniform() {
         // Over ALL 2^16 line addresses every slice must land within ±1 of
-        // the uniform share. For power-of-two counts the XOR fold is a
-        // surjective GF(2)-linear map, so the split is exactly even; the
-        // ±1 bound is the contract refactors must keep.
+        // the uniform share — for *arbitrary* counts, not just powers of
+        // two. Power-of-two counts use the XOR fold (a surjective
+        // GF(2)-linear map, exactly even); every other count uses the
+        // balanced rotation, which covers each slice once per aligned
+        // block of n addresses. The counts below include the multi-chip
+        // shapes (chips × slices-per-chip, e.g. 3×8, 2×6, 4×6, 2×24).
         let h = XorFoldHash::new();
-        for n in [2usize, 4, 8, 16] {
+        for n in [2usize, 3, 4, 5, 6, 7, 8, 12, 16, 24, 48, 96] {
             let mut counts = vec![0i64; n];
             for a in 0..(1u64 << 16) {
                 counts[h.slice_of(a, n)] += 1;
@@ -247,12 +320,12 @@ mod tests {
         let h = XorFoldHash::new();
         let pins: [(u64, usize, usize, usize); 8] = [
             (0x0, 0, 0, 1),
-            (0x1, 1, 1, 5),
-            (0xdead_beef, 6, 0, 1),
-            (0x1234_5678_9abc_def0, 5, 0, 2),
-            (0xffff_ffff_ffff_ffff, 6, 0, 2),
-            (0x0004_0000, 1, 4, 0),
-            (0xcafe_babe, 0, 3, 5),
+            (0x1, 1, 1, 2),
+            (0xdead_beef, 6, 0, 5),
+            (0x1234_5678_9abc_def0, 5, 0, 4),
+            (0xffff_ffff_ffff_ffff, 6, 0, 3),
+            (0x0004_0000, 1, 4, 4),
+            (0xcafe_babe, 0, 3, 2),
             (0x0fed_cba9_8765_4321, 0, 0, 2),
         ];
         for &(addr, s8, s16, s6) in &pins {
@@ -308,6 +381,8 @@ mod tests {
 
     #[test]
     fn non_power_of_two_uniformity() {
+        // The balanced rotation is *exactly* uniform over the aligned
+        // 120_000 = 10_000 × 12 window, not merely statistically close.
         let h = XorFoldHash::new();
         let n = 12usize;
         let mut counts = vec![0u64; n];
@@ -316,8 +391,75 @@ mod tests {
         }
         let expect = 120_000 / n as u64;
         for &c in &counts {
-            let dev = (c as f64 - expect as f64).abs() / expect as f64;
-            assert!(dev < 0.05);
+            assert_eq!(c, expect, "counts {counts:?}");
         }
+    }
+
+    #[test]
+    fn non_power_of_two_strides_still_scatter() {
+        // The rotation offset changes every block, so page-strided streams
+        // (the access pattern a plain modulo collapses) spread over slices
+        // even at non-power-of-two counts.
+        let h = XorFoldHash::new();
+        let n = 12usize;
+        let mut touched = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            touched.insert(h.slice_of(i * 1024, n));
+        }
+        assert!(touched.len() >= n / 2, "stride collapsed to {touched:?}");
+    }
+
+    #[test]
+    fn global_slice_map_round_trips_and_composes() {
+        let h = XorFoldHash::new();
+        for (chips, total) in [(1usize, 8usize), (2, 16), (4, 24), (3, 48)] {
+            let map = GlobalSliceMap::new(chips, total);
+            assert_eq!(map.total(), total);
+            for g in 0..total {
+                let (chip, local) = map.split(g);
+                assert!(chip < chips && local < map.slices_per_chip);
+                assert_eq!(map.join(chip, local), g);
+            }
+            for a in 0..4096u64 {
+                let (chip, local) = map.locate(&h, a * 97 + 13);
+                assert_eq!(
+                    map.join(chip, local),
+                    h.slice_of(a * 97 + 13, total),
+                    "locate must be the hash at the total count, split chip-major"
+                );
+            }
+        }
+        // One chip degenerates to the flat numbering.
+        let flat = GlobalSliceMap::new(1, 16);
+        for g in 0..16 {
+            assert_eq!(flat.split(g), (0, g));
+        }
+    }
+
+    #[test]
+    fn global_slice_map_is_per_chip_uniform() {
+        // Steering at the total count then splitting chip-major must keep
+        // every chip (and every slice within a chip) within ±1 of uniform
+        // over an exhaustive window — the property the scaling study rests
+        // on (no chip is hot merely because of the hash).
+        let h = XorFoldHash::new();
+        let map = GlobalSliceMap::new(4, 24);
+        let mut per_chip = [0i64; 4];
+        for a in 0..(1u64 << 16) {
+            per_chip[map.locate(&h, a).0] += 1;
+        }
+        let share = (1i64 << 16) / 4;
+        for (c, &got) in per_chip.iter().enumerate() {
+            assert!(
+                (got - share).abs() <= 6,
+                "chip {c} got {got} of 2^16 addresses (share {share})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn global_slice_map_rejects_indivisible_totals() {
+        let _ = GlobalSliceMap::new(3, 16);
     }
 }

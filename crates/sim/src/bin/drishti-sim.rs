@@ -27,6 +27,7 @@
 
 use drishti_core::config::DrishtiConfig;
 use drishti_noc::faults::{FaultConfig, OutageWindow};
+use drishti_noc::topology::{ChipLinkConfig, TopologyConfig};
 use drishti_policies::factory::PolicyKind;
 use drishti_sim::config::SystemConfig;
 use drishti_sim::engine::EngineMode;
@@ -52,6 +53,7 @@ const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P[,P...]] [--org O
        [--telemetry] [--epoch N] [--check-invariants] [--engine lockstep|event]
        [--fault-seed S] [--drop-pct F] [--jitter J]
        [--link-outage PERIOD:LEN] [--dram-outage CH:START:LEN]...
+       [--chips N] [--chip-link-latency C] [--chip-link-serialization C]
   P: lru srrip dip drrip sdbp ship++ hawkeye mockingjay glider chrome
   O: baseline drishti global-view dsc-only centralized mesh
   M: homo:<bench> | hetero:<seed>   (bench: mcf xalan lbm gcc ... )
@@ -86,7 +88,13 @@ const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P[,P...]] [--org O
   faults: --drop-pct is a percentage (0..=100) of uncore messages lost,
   --jitter a max per-message latency jitter in cycles, --link-outage a
   recurring link blackout, --dram-outage a one-shot channel blackout
-  window (repeatable). --fault-seed makes the fault stream reproducible.";
+  window (repeatable). --fault-seed makes the fault stream reproducible.
+  topology: --chips N splits the tiles over N chips (default 1), each its
+  own mesh, joined by serializing inter-chip links; N must divide --cores.
+  --chip-link-latency / --chip-link-serialization set the per-hop head
+  latency and cycles-per-flit of those links (defaults 32 and 4). NOCSTAR
+  stays intra-chip: cross-chip predictor traffic pays the inter-chip
+  segment. --chips 1 is bit-identical to a flat single-chip run.";
 
 /// Everything the CLI accepts, fully validated.
 struct CliArgs {
@@ -115,6 +123,8 @@ struct CliArgs {
     check_invariants: bool,
     engine: EngineMode,
     faults: FaultConfig,
+    chips: usize,
+    chip_link: ChipLinkConfig,
 }
 
 impl CliArgs {
@@ -142,6 +152,15 @@ impl CliArgs {
     /// Records each core pulls: warmup plus measured accesses.
     fn span(&self) -> u64 {
         self.warmup + self.accesses
+    }
+
+    /// The multi-chip topology these flags describe (validated in
+    /// `parse_args`).
+    fn topology(&self) -> TopologyConfig {
+        TopologyConfig {
+            chips: self.chips,
+            link: self.chip_link,
+        }
     }
 }
 
@@ -173,6 +192,8 @@ impl Default for CliArgs {
             check_invariants: false,
             engine: EngineMode::default(),
             faults: FaultConfig::none(),
+            chips: 1,
+            chip_link: ChipLinkConfig::default(),
         }
     }
 }
@@ -296,6 +317,9 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 cli.faults.link_outage_len = len;
             }
             "--dram-outage" => cli.faults.dram_outages.push(parse_dram_outage(val)?),
+            "--chips" => cli.chips = parse_num(flag, val)?,
+            "--chip-link-latency" => cli.chip_link.latency = parse_num(flag, val)?,
+            "--chip-link-serialization" => cli.chip_link.serialization = parse_num(flag, val)?,
             _ => return Err(format!("unknown flag `{flag}`")),
         }
         i += 2;
@@ -358,6 +382,9 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         );
     }
     cli.faults.validate()?;
+    cli.topology()
+        .validate(cli.cores)
+        .map_err(|e| format!("--chips: {e}"))?;
     if let Some(ch) = cli.channels {
         if let Some(w) = cli.faults.dram_outages.iter().find(|w| w.channel >= ch) {
             return Err(format!(
@@ -396,8 +423,11 @@ fn build_org(cli: &CliArgs, org: &str) -> Result<DrishtiConfig, String> {
         other => return Err(format!("unknown org `{other}` (known: {KNOWN})")),
     };
     // The predictor fabric degrades under the same fault stream as the
-    // rest of the uncore.
-    Ok(cfg.with_faults(cli.faults.clone()))
+    // rest of the uncore, and sees the same chip boundaries as the demand
+    // interconnect.
+    let mut cfg = cfg.with_faults(cli.faults.clone()).with_chips(cli.chips);
+    cfg.chip_link = cli.chip_link;
+    Ok(cfg)
 }
 
 fn run_config(cli: &CliArgs) -> RunConfig {
@@ -408,6 +438,7 @@ fn run_config(cli: &CliArgs) -> RunConfig {
         system.dram = drishti_mem::dram::DramConfig::with_channels(ch);
     }
     system.faults = cli.faults.clone();
+    system.topology = cli.topology();
     RunConfig {
         system,
         accesses_per_core: cli.accesses,
@@ -537,8 +568,13 @@ fn run_single(cli: &CliArgs) -> Result<(), String> {
     let rc = run_config(cli);
     let policy = cli.policies[0];
 
+    let chips = if cli.chips > 1 {
+        format!(" chips={}", cli.chips)
+    } else {
+        String::new()
+    };
     println!(
-        "mix={} policy={} org={} cores={} llc={}MB/core l2={}KB",
+        "mix={} policy={} org={} cores={}{chips} llc={}MB/core l2={}KB",
         mix.name,
         policy.label(),
         cli.orgs[0],

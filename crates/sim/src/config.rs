@@ -5,6 +5,7 @@ use drishti_mem::dram::DramConfig;
 use drishti_mem::llc::LlcGeometry;
 use drishti_mem::prefetch::PrefetcherKind;
 use drishti_noc::faults::FaultConfig;
+use drishti_noc::topology::TopologyConfig;
 
 /// Core pipeline parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +27,7 @@ impl Default for CoreConfig {
 }
 
 /// Full system configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct SystemConfig {
     /// Number of cores (= LLC slices = mesh tiles).
     pub cores: usize,
@@ -49,6 +50,36 @@ pub struct SystemConfig {
     /// [`FaultConfig::none`], leaves every component on its healthy path
     /// and is bit-identical to a build without fault support.
     pub faults: FaultConfig,
+    /// Multi-chip shape: how the tiles are split into chips and what the
+    /// inter-chip links cost. The default, [`TopologyConfig::flat`], is
+    /// the single-chip system and is bit-identical to a build without
+    /// topology support.
+    pub topology: TopologyConfig,
+}
+
+/// Hand-written to reproduce the derived output exactly for flat
+/// topologies, appending the `topology` field only when it deviates from
+/// the single-chip default. The engine hashes this string into checkpoint
+/// config hashes and warm-cache keys, so flat configurations must keep
+/// the exact descriptor (and therefore checkpoint compatibility) they had
+/// before multi-chip support existed.
+impl std::fmt::Debug for SystemConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("SystemConfig");
+        d.field("cores", &self.cores)
+            .field("core", &self.core)
+            .field("l1d", &self.l1d)
+            .field("l2", &self.l2)
+            .field("llc", &self.llc)
+            .field("dram", &self.dram)
+            .field("l1_prefetcher", &self.l1_prefetcher)
+            .field("l2_prefetcher", &self.l2_prefetcher)
+            .field("faults", &self.faults);
+        if !self.topology.is_flat() {
+            d.field("topology", &self.topology);
+        }
+        d.finish()
+    }
 }
 
 impl SystemConfig {
@@ -64,6 +95,16 @@ impl SystemConfig {
             l1_prefetcher: PrefetcherKind::NextLine,
             l2_prefetcher: PrefetcherKind::IpStride,
             faults: FaultConfig::none(),
+            topology: TopologyConfig::flat(),
+        }
+    }
+
+    /// Baseline spread over `chips` chips with default inter-chip links
+    /// (the scaling study's shape).
+    pub fn with_chips(cores: usize, chips: usize) -> Self {
+        SystemConfig {
+            topology: TopologyConfig::multi(chips),
+            ..SystemConfig::paper_baseline(cores)
         }
     }
 
@@ -138,5 +179,22 @@ mod tests {
         assert_eq!(dram.dram.channels, 2);
         let pf = SystemConfig::with_prefetchers(16, PrefetcherKind::None, PrefetcherKind::Berti);
         assert_eq!(pf.l2_prefetcher, PrefetcherKind::Berti);
+        let multi = SystemConfig::with_chips(16, 2);
+        assert_eq!(multi.topology.chips, 2);
+        assert_eq!(multi.llc, base.llc);
+    }
+
+    #[test]
+    fn flat_debug_descriptor_omits_topology() {
+        // The engine hashes this string into checkpoint config hashes;
+        // flat configs must keep their pre-topology descriptor.
+        let flat = format!("{:?}", SystemConfig::paper_baseline(8));
+        assert!(!flat.contains("topology"), "{flat}");
+        assert!(flat.ends_with('}'));
+        let multi = format!("{:?}", SystemConfig::with_chips(8, 2));
+        assert!(multi.contains("topology"), "{multi}");
+        assert!(multi.contains("chips: 2"), "{multi}");
+        // Identical except for the appended field.
+        assert_eq!(multi.find("faults"), flat.find("faults"));
     }
 }

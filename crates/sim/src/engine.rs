@@ -24,7 +24,8 @@ use drishti_mem::policy::LlcPolicy;
 use drishti_mem::prefetch::{PrefetchRequest, Prefetcher};
 use drishti_mem::LineAddr;
 use drishti_noc::event::{Component, ComponentId, EventHeap};
-use drishti_noc::mesh::{Mesh, MeshConfig, ADDRESS_PACKET_FLITS, DATA_PACKET_FLITS};
+use drishti_noc::mesh::{ADDRESS_PACKET_FLITS, DATA_PACKET_FLITS};
+use drishti_noc::topology::ChipTopology;
 use drishti_trace::{TraceRecord, WorkloadGen};
 use std::collections::VecDeque;
 
@@ -241,7 +242,7 @@ pub struct Engine {
     cores: Vec<CoreState>,
     llc: SlicedLlc,
     dram: Dram,
-    mesh: Mesh,
+    mesh: ChipTopology,
     /// Optionally captured LLC-level demand stream (for oracles, Fig 2–4).
     pub llc_stream: Vec<Access>,
     record_llc_stream: bool,
@@ -366,7 +367,7 @@ impl Engine {
         Engine {
             llc: SlicedLlc::new(cfg.llc, policy),
             dram: Dram::with_faults(cfg.dram, &cfg.faults),
-            mesh: Mesh::with_faults(MeshConfig::for_nodes(cfg.cores), &cfg.faults),
+            mesh: ChipTopology::with_faults(cfg.topology, cfg.cores, &cfg.faults),
             cores,
             llc_stream: Vec::new(),
             record_llc_stream,
@@ -647,6 +648,9 @@ impl Engine {
         for l in self.mesh.link_components() {
             passive.push(Box::new(l));
         }
+        for l in self.mesh.interchip_components() {
+            passive.push(Box::new(l));
+        }
         for d in self.dram.channel_components() {
             passive.push(Box::new(d));
         }
@@ -712,8 +716,9 @@ impl Engine {
         &self.dram
     }
 
-    /// The demand mesh (for stats).
-    pub fn mesh(&self) -> &Mesh {
+    /// The demand interconnect — per-chip meshes plus inter-chip links;
+    /// a flat topology is exactly the old single mesh (for stats).
+    pub fn mesh(&self) -> &ChipTopology {
         &self.mesh
     }
 

@@ -297,7 +297,7 @@ fn harvest(engine: &mut Engine, rc: &RunConfig, per_core: Vec<CoreResult>) -> Ru
         .map(|s| engine.llc().set_counters(s).to_vec())
         .collect();
     let dram = *engine.dram().stats();
-    let mesh = *engine.mesh().stats();
+    let mesh = engine.mesh().stats();
     let fabric = engine.llc().policy().fabric_stats();
     let energy = EnergyBreakdown::from_stats(&llc, &mesh, &dram, &fabric);
     let diagnostics = engine.llc().policy().diagnostics();

@@ -39,6 +39,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// What one sweep cell simulates.
+// One value per sweep cell, built once and then only borrowed; boxing the
+// config to shrink the variant would cost an allocation per cell for no
+// measurable win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum JobKind {
     /// One full `(mix, policy, organisation)` simulation.

@@ -36,7 +36,7 @@ use crate::engine::CoreResult;
 use crate::sweep::json::Json;
 use drishti_mem::dram::Dram;
 use drishti_mem::llc::{SliceCounters, SlicedLlc};
-use drishti_noc::mesh::Mesh;
+use drishti_noc::topology::ChipTopology;
 use std::io;
 use std::path::Path;
 
@@ -334,7 +334,7 @@ impl EpochSampler {
         step: u64,
         per_core: &[CoreResult],
         llc: &SlicedLlc,
-        mesh: &Mesh,
+        mesh: &ChipTopology,
         dram: &Dram,
     ) {
         if cfg!(debug_assertions) || self.spec.check_invariants {
