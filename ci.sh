@@ -235,10 +235,58 @@ fi
 rm -rf "$inject_out"
 echo "injected violation caught, shrunk, persisted and replayed"
 
+# Scenario-smoke gate: the scenario families and the coverage table must
+# preserve the harness's byte-determinism contracts, and ChampSim
+# ingestion must be deterministic and end-to-end usable. Part 1 runs the
+# scenarios study (adversarial search + all three families) under
+# --jobs 1|8 × --engine lockstep|event and demands all four reports —
+# scenario_coverage table included — are byte-identical. Part 2
+# synthesizes a demo ChampSim trace, ingests it twice (byte-diffing the
+# .drtr outputs), and replays the ingested trace through a sweep, whose
+# report must carry the "ingested" coverage family. (Runs in --quick too
+# — the coverage table is new report surface.)
+step "scenario-smoke gate (families x jobs x engine, ingest round-trip)"
+cargo build -q --offline "${build_flags[@]}" -p drishti-bench --bin scenarios
+scenarios="target/$profile_dir/scenarios"
+scn_args=(--mixes 1 --cores 4 --accesses 6000)
+for engine in lockstep event; do
+  for jobs in 1 8; do
+    "$scenarios" "${scn_args[@]}" --engine "$engine" --jobs "$jobs" \
+      --report "$out/scenarios_${engine}_j${jobs}.json" >/dev/null
+  done
+done
+for variant in scenarios_lockstep_j8 scenarios_event_j1 scenarios_event_j8; do
+  if ! diff -u "$out/scenarios_lockstep_j1.json" "$out/$variant.json"; then
+    echo "FAIL: $variant scenarios report differs from lockstep --jobs 1" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"scenario_coverage"' "$out/scenarios_lockstep_j1.json"; then
+  echo "FAIL: scenarios report lacks the scenario_coverage table" >&2
+  exit 1
+fi
+echo "scenario reports byte-identical across jobs and engine modes"
+"$sim" --ingest-demo "$out/demo.champsim" >/dev/null
+"$sim" --ingest "$out/demo.champsim" --ingest-out "$out/ingest_a.drtr" >/dev/null
+"$sim" --ingest "$out/demo.champsim" --ingest-out "$out/ingest_b.drtr" >/dev/null
+if ! cmp "$out/ingest_a.drtr" "$out/ingest_b.drtr"; then
+  echo "FAIL: ingesting the same ChampSim input twice produced different .drtr bytes" >&2
+  exit 1
+fi
+cp "$out/ingest_a.drtr" "$out/scn_ext.core00.drtr"
+"$sim" --cores 1 --mix homo:mcf --policy lru --org baseline \
+  --accesses 2000 --warmup 500 --trace-file "$out/scn_ext" \
+  --jobs 1 --report "$out/scn_ingested.json" >/dev/null 2>&1
+if ! grep -q '"family": "ingested"' "$out/scn_ingested.json"; then
+  echo "FAIL: externally-ingested replay report lacks the ingested coverage family" >&2
+  exit 1
+fi
+echo "ingest round-trip byte-identical; ingested replay covered as 'ingested'"
+
 if [[ $quick -eq 0 ]]; then
-  step "release-mode oracle/golden/telemetry/event-engine tests"
+  step "release-mode oracle/golden/telemetry/event-engine/scenario tests"
   cargo test -q --offline --release --test oracle --test golden --test telemetry \
-    --test event_engine
+    --test event_engine --test scenarios --test ingest
 fi
 
 # Perf snapshot: run the pinned drishti-perf matrix in --quick mode and

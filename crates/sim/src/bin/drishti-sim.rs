@@ -36,6 +36,7 @@ use drishti_sim::sampling::SamplingSpec;
 use drishti_sim::sweep::report::{SweepReport, SweepTiming};
 use drishti_sim::sweep::{journal, run_sweep, run_sweep_resumable, JobKind, SweepJob};
 use drishti_sim::telemetry::{TelemetrySpec, DEFAULT_EPOCH_STEPS};
+use drishti_trace::ingest;
 use drishti_trace::mix::Mix;
 use drishti_trace::presets::Benchmark;
 use drishti_trace::replay::TraceCache;
@@ -54,9 +55,13 @@ const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P[,P...]] [--org O
        [--fault-seed S] [--drop-pct F] [--jitter J]
        [--link-outage PERIOD:LEN] [--dram-outage CH:START:LEN]...
        [--chips N] [--chip-link-latency C] [--chip-link-serialization C]
+       [--ingest INPUT [--ingest-out PATH]] [--ingest-demo PATH]
   P: lru srrip dip drrip sdbp ship++ hawkeye mockingjay glider chrome
   O: baseline drishti global-view dsc-only centralized mesh
-  M: homo:<bench> | hetero:<seed>   (bench: mcf xalan lbm gcc ... )
+  M: homo:<bench> | hetero:<seed> | dc:<seed>
+     (bench: mcf xalan lbm gcc ... plus scenario presets phase-mcf-lbm
+      phase-xalan-pr phase-server-batch adv-scatter; dc:<seed> builds the
+      datacenter consolidation mix — server cores plus batch thrashers)
   sweeps: comma-separated --policy/--org lists run every combination as a
   parallel sweep on --jobs workers (0 = one per CPU); --report writes the
   deterministic JSON report (plus a .timing.json sidecar) to PATH.
@@ -69,10 +74,19 @@ const USAGE: &str = "usage: drishti-sim [--cores N] [--policy P[,P...]] [--org O
   are bit-identical to an uninterrupted one.
   traces: --record writes each core's stream to PREFIX.coreNN.drtr
   (drishti-trace/v1) before running; --trace-file replays such files
-  instead of generating (must match the mix's benchmarks/seeds and hold
-  >= warmup+accesses records; replay is bit-identical to generation).
-  --trace-cache-mib caps the sweep trace cache's RAM tier, spilling
-  evicted traces to disk (0 = unlimited).
+  instead of generating (recorded traces must match the mix's
+  benchmarks/seeds and hold >= warmup+accesses records; replay is
+  bit-identical to generation). External traces — header names matching
+  no built-in benchmark, e.g. ingested ChampSim files — skip the
+  name/seed checks, wrap around when shorter than the run, and label the
+  report's scenario_coverage table `ingested`. --trace-cache-mib caps
+  the sweep trace cache's RAM tier, spilling evicted traces to disk
+  (0 = unlimited).
+  ingest: --ingest INPUT converts a ChampSim-format trace losslessly to
+  drishti-trace/v1 (--ingest-out PATH, default INPUT with a .drtr
+  extension) and exits; replay it with --trace-file. --ingest-demo PATH
+  writes a small synthetic ChampSim-format file (a deterministic
+  fixture for smoke tests) and exits.
   sampling: --sample-interval P fast-forwards most of each P-record
   period, warms the hierarchy for the --sample-warmup records before the
   detailed window (the last P/10 records), and measures only there;
@@ -125,6 +139,9 @@ struct CliArgs {
     faults: FaultConfig,
     chips: usize,
     chip_link: ChipLinkConfig,
+    ingest: Option<PathBuf>,
+    ingest_out: Option<PathBuf>,
+    ingest_demo: Option<PathBuf>,
 }
 
 impl CliArgs {
@@ -194,6 +211,9 @@ impl Default for CliArgs {
             faults: FaultConfig::none(),
             chips: 1,
             chip_link: ChipLinkConfig::default(),
+            ingest: None,
+            ingest_out: None,
+            ingest_demo: None,
         }
     }
 }
@@ -209,11 +229,7 @@ fn parse_policy(s: &str) -> Result<PolicyKind, String> {
 }
 
 fn parse_bench(s: &str) -> Result<Benchmark, String> {
-    Benchmark::spec_and_gap()
-        .into_iter()
-        .chain(Benchmark::server().iter().copied())
-        .find(|b| b.label() == s)
-        .ok_or_else(|| format!("unknown benchmark `{s}`"))
+    Benchmark::from_label(s).ok_or_else(|| format!("unknown benchmark `{s}`"))
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
@@ -320,12 +336,18 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--chips" => cli.chips = parse_num(flag, val)?,
             "--chip-link-latency" => cli.chip_link.latency = parse_num(flag, val)?,
             "--chip-link-serialization" => cli.chip_link.serialization = parse_num(flag, val)?,
+            "--ingest" => cli.ingest = Some(PathBuf::from(val)),
+            "--ingest-out" => cli.ingest_out = Some(PathBuf::from(val)),
+            "--ingest-demo" => cli.ingest_demo = Some(PathBuf::from(val)),
             _ => return Err(format!("unknown flag `{flag}`")),
         }
         i += 2;
     }
 
     // Cross-flag consistency: catch impossible runs before they start.
+    if cli.ingest_out.is_some() && cli.ingest.is_none() {
+        return Err("--ingest-out needs --ingest INPUT".to_string());
+    }
     if cli.cores == 0 {
         return Err("--cores must be at least 1".to_string());
     }
@@ -404,8 +426,12 @@ fn build_mix(cli: &CliArgs) -> Result<Mix, String> {
             cli.cores,
             parse_num("--mix hetero seed", seed)?,
         )),
+        Some(("dc", seed)) => Ok(drishti_trace::scenario::datacenter_mix(
+            cli.cores,
+            parse_num("--mix dc seed", seed)?,
+        )),
         _ => Err(format!(
-            "--mix wants homo:<bench> or hetero:<seed>, got `{}`",
+            "--mix wants homo:<bench>, hetero:<seed> or dc:<seed>, got `{}`",
             cli.mix_spec
         )),
     }
@@ -476,17 +502,45 @@ fn record_traces(cli: &CliArgs, mix: &Mix, cache: &TraceCache) -> Result<(), Str
     Ok(())
 }
 
-/// Validates one `--trace-file` header against the mix slot it will drive.
+/// Validates one `--trace-file` header against the mix slot it will
+/// drive. Returns whether the trace is *external*: a header name that
+/// matches no built-in benchmark (an ingested ChampSim trace, or one
+/// recorded by another tool) cannot satisfy the name/seed contract by
+/// construction, so those checks don't apply — the trace is replayed
+/// as-is on this core, wrapping around if it is shorter than the run.
+/// Recorded traces of built-in benchmarks keep the strict checks: a
+/// mismatch there means the file silently drives a different workload
+/// than the mix claims, which must be a hard error, not a footgun.
 fn check_trace_meta(
     path: &Path,
     meta: &drishti_trace::store::TraceMeta,
     bench: Benchmark,
     seed: u64,
     span: u64,
-) -> Result<(), String> {
+) -> Result<bool, String> {
+    if Benchmark::from_label(&meta.name).is_none() {
+        eprintln!(
+            "note: {} is an external trace (`{}`, {} records); replacing \
+             this core's `{}` workload",
+            path.display(),
+            meta.name,
+            meta.records,
+            bench.label()
+        );
+        if meta.records < span {
+            eprintln!(
+                "note: {} holds {} records, run needs {span}; the trace \
+                 wraps around (bit-identical to streaming replay)",
+                path.display(),
+                meta.records
+            );
+        }
+        return Ok(true);
+    }
     if meta.name != bench.label() {
         return Err(format!(
-            "{}: trace is `{}` but the mix wants `{}` on this core",
+            "{}: trace is `{}` but the mix wants `{}` on this core; \
+             point --trace-file at the matching recording or change --mix",
             path.display(),
             meta.name,
             bench.label()
@@ -494,7 +548,8 @@ fn check_trace_meta(
     }
     if meta.seed != seed {
         return Err(format!(
-            "{}: trace seed {} does not match the mix seed {seed}",
+            "{}: trace seed {} does not match the mix seed {seed}; \
+             re-record with this mix or adjust the mix spec",
             path.display(),
             meta.seed
         ));
@@ -507,7 +562,7 @@ fn check_trace_meta(
             meta.records
         ));
     }
-    Ok(())
+    Ok(false)
 }
 
 /// `--trace-file`, single-run mode: one bounded-memory [`StreamingTrace`]
@@ -534,20 +589,30 @@ fn open_streaming_workloads(
 }
 
 /// `--trace-file`, sweep mode: validate and preload every core's records
-/// into the shared cache (truncated to the span), so every cell replays
-/// the on-disk bytes.
-fn preload_trace_files(cli: &CliArgs, mix: &Mix, cache: &TraceCache) -> Result<(), String> {
+/// into the shared cache, sized to exactly the span so cache lookups hit.
+/// External traces shorter than the span are wrap-extended by cycling
+/// their records — the same wraparound [`StreamingTrace`] performs, so
+/// sweep cells and single-run streaming replay see identical streams.
+/// Returns whether any preloaded trace was external (the report's
+/// coverage table is then relabelled `ingested`).
+fn preload_trace_files(cli: &CliArgs, mix: &Mix, cache: &TraceCache) -> Result<bool, String> {
     let prefix = cli.trace_file.as_ref().expect("caller checked");
     let span = cli.span() as usize;
+    let mut any_external = false;
     for c in 0..mix.cores() {
         let path = core_trace_path(prefix, c);
         let (meta, mut records) =
             read_trace(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        check_trace_meta(&path, &meta, mix.benchmarks[c], mix.seeds[c], cli.span())?;
+        let external = check_trace_meta(&path, &meta, mix.benchmarks[c], mix.seeds[c], cli.span())?;
+        any_external |= external;
+        while records.len() < span {
+            let take = (span - records.len()).min(meta.records as usize);
+            records.extend_from_within(..take);
+        }
         records.truncate(span);
         cache.insert(mix.benchmarks[c], mix.seeds[c], records);
     }
-    Ok(())
+    Ok(any_external)
 }
 
 /// The shared sweep trace cache these flags describe: unbounded by
@@ -559,6 +624,46 @@ fn build_cache(cli: &CliArgs) -> Result<TraceCache, String> {
     let dir = std::env::temp_dir().join(format!("drishti-spill-{}", std::process::id()));
     TraceCache::with_spill(cli.trace_cache_mib << 20, &dir)
         .map_err(|e| format!("creating spill dir {}: {e}", dir.display()))
+}
+
+/// Number of instructions in the `--ingest-demo` fixture: big enough to
+/// span several `.drtr` frames after conversion, small enough that the CI
+/// smoke gate's round-trip is instant.
+const INGEST_DEMO_INSTRUCTIONS: usize = 4_096;
+
+/// `--ingest` / `--ingest-demo`: standalone trace-conversion modes; the
+/// process exits after them without simulating.
+fn run_ingest(cli: &CliArgs) -> Result<(), String> {
+    if let Some(out) = &cli.ingest_demo {
+        let bytes = ingest::synthesize_demo(INGEST_DEMO_INSTRUCTIONS, 0xD311);
+        if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(out, &bytes).map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!(
+            "demo ChampSim trace: {} ({INGEST_DEMO_INSTRUCTIONS} instructions, {} bytes)",
+            out.display(),
+            bytes.len()
+        );
+    }
+    if let Some(input) = &cli.ingest {
+        let out = cli
+            .ingest_out
+            .clone()
+            .unwrap_or_else(|| input.with_extension("drtr"));
+        let stats = ingest::ingest_champsim(input, &out)
+            .map_err(|e| format!("ingesting {}: {e}", input.display()))?;
+        println!(
+            "ingested: {} -> {} ({} instructions, {} records: {} loads + {} stores)",
+            input.display(),
+            out.display(),
+            stats.instructions,
+            stats.records,
+            stats.loads,
+            stats.stores
+        );
+    }
+    Ok(())
 }
 
 /// Detailed single-cell output (the classic `drishti-sim` report).
@@ -755,10 +860,13 @@ fn run_sweep_cli(cli: &CliArgs) -> Result<i32, String> {
     if cli.record.is_some() {
         record_traces(cli, &mix, &cache)?;
     }
-    if cli.trace_file.is_some() {
-        preload_trace_files(cli, &mix, &cache)?;
+    let external_traces = if cli.trace_file.is_some() {
+        let external = preload_trace_files(cli, &mix, &cache)?;
         println!("preloaded {} on-disk traces", mix.cores());
-    }
+        external
+    } else {
+        false
+    };
     // Sweeps with a report destination are journaled beside it so a
     // killed run can continue with --resume; report-less sweeps have no
     // stable place for a journal and run unjournaled.
@@ -799,6 +907,9 @@ fn run_sweep_cli(cli: &CliArgs) -> Result<i32, String> {
 
     if let Some(path) = &cli.report {
         let mut report = SweepReport::from_outcome("drishti-sim", &jobs, &outcome);
+        if external_traces {
+            report.mark_ingested();
+        }
         report.config.push(("mix".to_string(), mix.name.clone()));
         report
             .config
@@ -854,6 +965,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if cli.ingest.is_some() || cli.ingest_demo.is_some() {
+        if let Err(msg) = run_ingest(&cli) {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        return;
+    }
     let single_cell = cli.policies.len() == 1 && cli.orgs.len() == 1;
     if single_cell && cli.report.is_none() {
         if let Err(msg) = run_single(&cli) {

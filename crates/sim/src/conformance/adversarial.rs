@@ -1,0 +1,249 @@
+//! Adversarial seed-space search for worst-case slice scattering.
+//!
+//! [`Benchmark::AdvScatter`] is a *family* of workloads: every seed picks a
+//! different scatter stride, PC count and pressure footprint (see
+//! [`drishti_trace::scenario::adv_scatter_streams`]). This module is the
+//! search driver on top — it scores a batch of candidate seeds against one
+//! `(policy, organisation, geometry)` cell on the fuzz harness's worker
+//! pool and returns the *worst* one (most LLC misses; ties break to the
+//! lowest seed so the result is independent of scoring order and worker
+//! count).
+//!
+//! The winning trace can be persisted with [`persist_worst`]: the `.drtr`
+//! header stores the winning seed under the `adv-scatter` name, so the
+//! file both replays bit-identically *and* regenerates deterministically —
+//! `Benchmark::AdvScatter.build(seed).collect(steps)` reproduces its
+//! records exactly (pinned by `tests/scenarios.rs`).
+//!
+//! [`Benchmark::AdvScatter`]: drishti_trace::presets::Benchmark::AdvScatter
+
+use crate::conformance::fuzz::splitmix64;
+use crate::sweep::pool::{run_tasks, Task};
+use drishti_core::config::DrishtiConfig;
+use drishti_mem::access::{Access, AccessKind};
+use drishti_mem::llc::{LlcGeometry, SlicedLlc};
+use drishti_noc::slicehash::XorFoldHash;
+use drishti_policies::factory::PolicyKind;
+use drishti_trace::presets::Benchmark;
+use drishti_trace::store::{read_trace, write_trace, StoreError};
+use drishti_trace::{TraceRecord, WorkloadGen};
+use std::path::Path;
+
+/// One adversarial search: the cell under attack and the seed budget.
+#[derive(Debug, Clone)]
+pub struct SearchSpec {
+    /// Replacement policy under attack.
+    pub policy: PolicyKind,
+    /// Whether the Drishti organisation is used (else baseline).
+    pub drishti_org: bool,
+    /// LLC geometry (small, so the search is fast and evictions constant).
+    pub geom: LlcGeometry,
+    /// Base seed; candidate `i` is the `i`-th splitmix64 draw from it.
+    pub base_seed: u64,
+    /// Number of candidate seeds scored.
+    pub candidates: u64,
+    /// Records per candidate trace.
+    pub steps: usize,
+    /// Worker threads (0 = one per CPU).
+    pub jobs: usize,
+}
+
+impl SearchSpec {
+    /// A reduced-scale search against `policy`: 4-slice LLC, 8 candidates
+    /// of 4096 records — enough to differentiate seeds in a test or smoke
+    /// gate without dominating its runtime.
+    pub fn quick(policy: PolicyKind, drishti_org: bool, base_seed: u64) -> Self {
+        SearchSpec {
+            policy,
+            drishti_org,
+            geom: LlcGeometry {
+                slices: 4,
+                sets_per_slice: 16,
+                ways: 4,
+                latency: 20,
+            },
+            base_seed,
+            candidates: 8,
+            steps: 4_096,
+            jobs: 0,
+        }
+    }
+
+    fn config(&self) -> DrishtiConfig {
+        if self.drishti_org {
+            DrishtiConfig::drishti(self.geom.slices)
+        } else {
+            DrishtiConfig::baseline(self.geom.slices)
+        }
+    }
+}
+
+/// Score of one candidate seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateScore {
+    /// The candidate's generator seed.
+    pub seed: u64,
+    /// Total LLC misses the candidate inflicted (the search objective).
+    pub misses: u64,
+    /// Per-slice miss split (the scattering evidence).
+    pub per_slice_misses: Vec<u64>,
+}
+
+/// Regenerate candidate `seed`'s trace.
+pub fn candidate_trace(seed: u64, steps: usize) -> Vec<TraceRecord> {
+    Benchmark::AdvScatter.build(seed).collect(steps)
+}
+
+/// Score one candidate: replay its trace (single core, lookup-then-fill)
+/// against a fresh LLC built from `spec` and count misses.
+pub fn score_candidate(spec: &SearchSpec, seed: u64) -> CandidateScore {
+    let records = candidate_trace(seed, spec.steps);
+    let mut llc = SlicedLlc::with_hasher(
+        spec.geom,
+        spec.policy.build(&spec.geom, spec.config()),
+        Box::new(XorFoldHash::new()),
+    );
+    for (i, r) in records.iter().enumerate() {
+        let acc = Access {
+            core: 0,
+            pc: r.pc,
+            line: r.line,
+            kind: if r.is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            },
+        };
+        if !llc.lookup(&acc, i as u64).hit {
+            llc.fill(&acc, i as u64);
+        }
+    }
+    let per_slice_misses: Vec<u64> = llc.slice_counters().iter().map(|s| s.misses).collect();
+    CandidateScore {
+        seed,
+        misses: per_slice_misses.iter().sum(),
+        per_slice_misses,
+    }
+}
+
+/// Run the search: score `spec.candidates` splitmix64-derived seeds in
+/// parallel and return every score (in candidate order) plus the worst.
+///
+/// Deterministic: the candidate set is a pure function of `base_seed`, and
+/// the worst-cell reduction (max misses, ties to the lowest seed) does not
+/// depend on completion order — the same spec always returns the same
+/// winner at any worker count.
+///
+/// # Panics
+///
+/// Panics if `spec.candidates` is zero or a scoring task panics.
+pub fn search(spec: &SearchSpec) -> (Vec<CandidateScore>, CandidateScore) {
+    assert!(spec.candidates > 0, "search needs at least one candidate");
+    let mut state = spec.base_seed;
+    let seeds: Vec<u64> = (0..spec.candidates)
+        .map(|_| splitmix64(&mut state))
+        .collect();
+    let tasks: Vec<Task<CandidateScore>> = seeds
+        .iter()
+        .map(|&seed| {
+            let spec = spec.clone();
+            Box::new(move || score_candidate(&spec, seed)) as Task<CandidateScore>
+        })
+        .collect();
+    let workers = if spec.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        spec.jobs
+    };
+    let scores: Vec<CandidateScore> = run_tasks(tasks, workers)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|panic| panic!("candidate scoring panicked: {panic}")))
+        .collect();
+    let worst = scores
+        .iter()
+        .cloned()
+        .reduce(|w, c| {
+            if c.misses > w.misses || (c.misses == w.misses && c.seed < w.seed) {
+                c
+            } else {
+                w
+            }
+        })
+        .expect("at least one candidate");
+    (scores, worst)
+}
+
+/// Persist the worst candidate's trace as a `.drtr` file: name
+/// `adv-scatter`, header seed = the winning generator seed, records = the
+/// scored trace. Returns the record count written.
+pub fn persist_worst(
+    path: &Path,
+    spec: &SearchSpec,
+    worst: &CandidateScore,
+) -> Result<u64, StoreError> {
+    write_trace(
+        path,
+        Benchmark::AdvScatter.label(),
+        worst.seed,
+        &candidate_trace(worst.seed, spec.steps),
+    )
+}
+
+/// Check a persisted worst-case file replays bit-identically: its stored
+/// records must equal the trace regenerated from its header seed.
+pub fn verify_persisted(path: &Path) -> Result<bool, StoreError> {
+    let (meta, records) = read_trace(path)?;
+    if meta.name != Benchmark::AdvScatter.label() {
+        return Err(StoreError::BadHeader(format!(
+            "not an adversarial trace: name `{}` (want `{}`)",
+            meta.name,
+            Benchmark::AdvScatter.label()
+        )));
+    }
+    Ok(records == candidate_trace(meta.seed, records.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SearchSpec {
+        SearchSpec {
+            candidates: 4,
+            steps: 1_500,
+            ..SearchSpec::quick(PolicyKind::Mockingjay, true, 0xadce)
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_across_worker_counts() {
+        let serial = SearchSpec { jobs: 1, ..spec() };
+        let parallel = SearchSpec { jobs: 8, ..spec() };
+        let (scores_a, worst_a) = search(&serial);
+        let (scores_b, worst_b) = search(&parallel);
+        assert_eq!(scores_a, scores_b);
+        assert_eq!(worst_a, worst_b);
+        assert!(worst_a.misses > 0, "adversary must miss");
+        assert!(scores_a.iter().all(|s| s.misses <= worst_a.misses));
+    }
+
+    #[test]
+    fn scatter_spreads_misses_over_slices() {
+        let (_, worst) = search(&spec());
+        let touched = worst.per_slice_misses.iter().filter(|&&m| m > 0).count();
+        assert_eq!(touched, 4, "scatter adversary must hit every slice");
+    }
+
+    #[test]
+    fn persisted_worst_verifies() {
+        let s = spec();
+        let (_, worst) = search(&s);
+        let dir = std::env::temp_dir().join("drishti-adversarial-unit");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("worst.drtr");
+        let written = persist_worst(&path, &s, &worst).expect("persist");
+        assert_eq!(written, s.steps as u64);
+        assert!(verify_persisted(&path).expect("verify"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -353,6 +353,13 @@ pub fn run_cell(spec: &CellSpec, steps: usize) -> CellOutcome {
     CellOutcome::Pass { spec: spec.clone() }
 }
 
+/// Trace name stamped into persisted fuzz repro files. [`replay_file`]
+/// only replays traces carrying it: the header seed of any *other* trace
+/// (recorded sweeps, ingested ChampSim files) is a workload sim-point,
+/// not a cell key, and deriving a cell from it would silently replay the
+/// wrong thing.
+pub const FUZZ_TRACE_NAME: &str = "fuzz-cell";
+
 /// Persist a failure's minimized trace as `failure-<seed>.drtr` in `dir`.
 ///
 /// The trace-store header carries the cell seed, so the file alone (plus
@@ -361,7 +368,7 @@ pub fn run_cell(spec: &CellSpec, steps: usize) -> CellOutcome {
 pub fn persist_failure(dir: &Path, failure: &CellFailure) -> Result<PathBuf, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let path = dir.join(format!("failure-{}.drtr", failure.spec.seed));
-    write_trace(&path, "fuzz-cell", failure.spec.seed, &failure.shrunk)
+    write_trace(&path, FUZZ_TRACE_NAME, failure.spec.seed, &failure.shrunk)
         .map_err(|e| format!("write {}: {e}", path.display()))?;
     Ok(path)
 }
@@ -379,6 +386,14 @@ pub fn replay_file(
     inject: bool,
 ) -> Result<ReplayReport, drishti_trace::store::StoreError> {
     let (meta, records) = read_trace(path)?;
+    if meta.name != FUZZ_TRACE_NAME {
+        return Err(drishti_trace::store::StoreError::BadHeader(format!(
+            "not a fuzz repro: trace is named `{}`, fuzz repros are named \
+             `{FUZZ_TRACE_NAME}` (recorded or ingested traces replay via \
+             `drishti-sim --trace-file`, not `drishti-fuzz --replay`)",
+            meta.name
+        )));
+    }
     let spec = CellSpec::derive(meta.seed, inject);
     let violation = run_cell_trace(&spec, &records, Box::new(XorFoldHash::new()));
     Ok(ReplayReport {
@@ -485,6 +500,31 @@ mod tests {
             "replay from disk must reproduce the identical violation"
         );
         assert!(report.violation.is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_rejects_non_fuzz_traces_with_typed_error() {
+        // An ingested or recorded trace carries a workload name, not
+        // `fuzz-cell`; replaying it must be a typed refusal (the CLI maps
+        // this to exit 2), never a silent wrong-cell replay or a panic.
+        let dir = std::env::temp_dir().join("drishti-fuzz-test-foreign");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("foreign.drtr");
+        let records = vec![TraceRecord {
+            instr_gap: 0,
+            pc: 0x400,
+            line: 1,
+            is_store: false,
+        }];
+        write_trace(&path, "mcf", 42, &records).expect("write");
+        match replay_file(&path, false) {
+            Err(drishti_trace::store::StoreError::BadHeader(msg)) => {
+                assert!(msg.contains("mcf"), "message names the trace: {msg}");
+                assert!(msg.contains("drishti-sim --trace-file"), "{msg}");
+            }
+            other => panic!("expected BadHeader refusal, got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 

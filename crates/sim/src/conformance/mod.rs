@@ -21,10 +21,15 @@
 //!   geometry × trace) driven through both checkers, with greedy trace
 //!   shrinking and on-disk `.drtr` repro files. The `drishti-fuzz`
 //!   binary is a thin CLI over this module.
+//! - [`adversarial`] — a worst-case search over the `adv-scatter`
+//!   generator's seed space on the same worker pool: score candidates
+//!   against one policy cell, keep the most-missing seed, persist its
+//!   trace (DESIGN.md §18).
 //!
 //! See DESIGN.md §13 for the contract list and the soundness argument
 //! behind each relation.
 
+pub mod adversarial;
 pub mod fuzz;
 pub mod metamorphic;
 pub mod refcache;

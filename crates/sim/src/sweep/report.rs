@@ -79,6 +79,54 @@ impl CellReport {
     }
 }
 
+/// One row of the `scenario_coverage` table: how many `Run` cells a sweep
+/// executed per `(family, scenario, cores)` bucket. Families come from
+/// [`drishti_trace::scenario::family_label`]; the table makes "which
+/// workload shapes did this sweep actually exercise?" a first-class,
+/// diffable part of the report (DESIGN.md §18).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageRow {
+    /// Scenario family: `"phase"`, `"adversarial"`, `"datacenter"`,
+    /// `"synthetic"`, or `"ingested"` when the CLI preloaded external
+    /// traces (see [`SweepReport::mark_ingested`]).
+    pub family: String,
+    /// Scenario identifier — the mix name.
+    pub scenario: String,
+    /// Core count of the mix.
+    pub cores: usize,
+    /// Number of `Run` cells over this scenario (policies × orgs × seeds).
+    pub cells: u64,
+}
+
+/// Aggregate the coverage table from a job list: every `Run` job counts
+/// toward its `(family, mix name, cores)` bucket; `AloneIpcs` jobs are
+/// baselines, not scenarios, and are excluded. Rows come out sorted by
+/// `(family, scenario, cores)`, so the table is a pure, order-free
+/// function of the job list — byte-identical at any worker count.
+pub fn scenario_coverage_rows(jobs: &[SweepJob]) -> Vec<CoverageRow> {
+    let mut buckets: std::collections::BTreeMap<(String, String, usize), u64> =
+        std::collections::BTreeMap::new();
+    for job in jobs {
+        if let JobKind::Run { mix, .. } = &job.kind {
+            let key = (
+                drishti_trace::scenario::family_label(mix).to_string(),
+                mix.name.clone(),
+                mix.cores(),
+            );
+            *buckets.entry(key).or_insert(0) += 1;
+        }
+    }
+    buckets
+        .into_iter()
+        .map(|((family, scenario, cores), cells)| CoverageRow {
+            family,
+            scenario,
+            cores,
+            cells,
+        })
+        .collect()
+}
+
 /// The deterministic report of one sweep.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
@@ -94,6 +142,10 @@ pub struct SweepReport {
     pub errors: Vec<(usize, String, String)>,
     /// Figure-level summary sections: `(section, [(key, value)])`.
     pub summary: Vec<(String, Vec<(String, f64)>)>,
+    /// Scenario-coverage table (see [`scenario_coverage_rows`]). Filled by
+    /// [`SweepReport::from_outcome`]; serialised only when non-empty, so
+    /// hand-built reports and pre-§18 consumers are unaffected.
+    pub scenario_coverage: Vec<CoverageRow>,
     /// Per-cell telemetry timelines `(cell id, timeline)`, present when
     /// the cells ran with telemetry enabled. Written to side files by
     /// [`SweepReport::write`]; never serialised into the main report.
@@ -109,6 +161,7 @@ impl SweepReport {
             cells: Vec::new(),
             errors: Vec::new(),
             summary: Vec::new(),
+            scenario_coverage: Vec::new(),
             timelines: Vec::new(),
         }
     }
@@ -130,6 +183,7 @@ impl SweepReport {
     ) -> Self {
         assert_eq!(jobs.len(), outcome.outputs.len(), "jobs/outputs mismatch");
         let mut report = SweepReport::new(name);
+        report.scenario_coverage = scenario_coverage_rows(jobs);
         for (job, out) in jobs.iter().zip(&outcome.outputs) {
             match out {
                 Err(fail) => {
@@ -214,7 +268,51 @@ impl SweepReport {
             summary.push(section, sec);
         }
         root.push("summary", summary);
+        if !self.scenario_coverage.is_empty() {
+            root.push(
+                "scenario_coverage",
+                Json::Arr(
+                    self.scenario_coverage
+                        .iter()
+                        .map(|row| {
+                            let mut r = Json::obj();
+                            r.push("family", Json::Str(row.family.clone()))
+                                .push("scenario", Json::Str(row.scenario.clone()))
+                                .push("cores", Json::UInt(row.cores as u64))
+                                .push("cells", Json::UInt(row.cells));
+                            r
+                        })
+                        .collect(),
+                ),
+            );
+        }
         root.to_pretty_string()
+    }
+
+    /// Relabel the coverage table for a run fed by *external* (ingested or
+    /// recorded-elsewhere) traces: every row's family becomes `"ingested"`
+    /// and rows that collide after relabeling merge. Called by the
+    /// `drishti-sim` CLI when `--trace-file` preloads traces whose header
+    /// name matches no built-in benchmark — family classification by mix
+    /// contents would be a lie there, since the mix is only a stand-in for
+    /// the foreign trace.
+    pub fn mark_ingested(&mut self) {
+        let mut buckets: std::collections::BTreeMap<(String, usize), u64> =
+            std::collections::BTreeMap::new();
+        for row in &self.scenario_coverage {
+            *buckets
+                .entry((row.scenario.clone(), row.cores))
+                .or_insert(0) += row.cells;
+        }
+        self.scenario_coverage = buckets
+            .into_iter()
+            .map(|((scenario, cores), cells)| CoverageRow {
+                family: "ingested".to_string(),
+                scenario,
+                cores,
+                cells,
+            })
+            .collect();
     }
 
     /// Write the report to `path`, creating parent directories. Any
@@ -396,6 +494,90 @@ fn write_file(path: &Path, contents: &str) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::RunConfig;
+    use drishti_core::config::DrishtiConfig;
+    use drishti_policies::factory::PolicyKind;
+    use drishti_trace::mix::Mix;
+    use drishti_trace::presets::Benchmark;
+    use drishti_trace::scenario::datacenter_mix;
+
+    fn run_job(id: usize, mix: Mix) -> SweepJob {
+        SweepJob {
+            id,
+            label: format!("{}/{id}", mix.name),
+            seed: SweepJob::derive_seed(id),
+            rc: RunConfig::quick(mix.cores()),
+            kind: JobKind::Run {
+                mix,
+                policy: PolicyKind::Lru,
+                org: DrishtiConfig::baseline(4),
+                org_label: "baseline".to_string(),
+            },
+        }
+    }
+
+    fn scenario_jobs() -> Vec<SweepJob> {
+        let phase = Mix::homogeneous(Benchmark::PhaseMcfLbm, 4, 1);
+        vec![
+            run_job(0, phase.clone()),
+            run_job(1, phase.clone()),
+            run_job(2, datacenter_mix(4, 7)),
+            run_job(3, Mix::homogeneous(Benchmark::Mcf, 4, 1)),
+            SweepJob {
+                id: 4,
+                label: "alone".to_string(),
+                seed: SweepJob::derive_seed(4),
+                rc: RunConfig::quick(4),
+                kind: JobKind::AloneIpcs { mix: phase },
+            },
+        ]
+    }
+
+    #[test]
+    fn coverage_rows_aggregate_run_cells_by_family() {
+        let rows = scenario_coverage_rows(&scenario_jobs());
+        assert_eq!(rows.len(), 3, "one row per (family, scenario, cores)");
+        assert_eq!(rows[0].family, "datacenter");
+        assert_eq!(rows[0].scenario, "dc-07");
+        assert_eq!((rows[0].cores, rows[0].cells), (4, 1));
+        assert_eq!(rows[1].family, "phase");
+        assert_eq!(rows[1].cells, 2, "two cells over the phase mix");
+        assert_eq!(rows[2].family, "synthetic");
+        // Order-free: reversing the job list yields identical rows.
+        let mut rev = scenario_jobs();
+        rev.reverse();
+        assert_eq!(rows, scenario_coverage_rows(&rev));
+    }
+
+    #[test]
+    fn coverage_serialises_only_when_present() {
+        let empty = sample_report();
+        assert!(!empty.to_json_string().contains("scenario_coverage"));
+        let mut r = sample_report();
+        r.scenario_coverage = scenario_coverage_rows(&scenario_jobs());
+        let s = r.to_json_string();
+        assert!(s.contains("\"scenario_coverage\""));
+        assert!(s.contains("\"family\": \"phase\""));
+        assert!(s.contains("\"scenario\": \"dc-07\""));
+        assert!(s.contains("\"cells\": 2"));
+    }
+
+    #[test]
+    fn mark_ingested_relabels_and_merges() {
+        let mut r = sample_report();
+        r.scenario_coverage = scenario_coverage_rows(&scenario_jobs());
+        r.mark_ingested();
+        assert_eq!(r.scenario_coverage.len(), 3);
+        assert!(r
+            .scenario_coverage
+            .iter()
+            .all(|row| row.family == "ingested"));
+        assert_eq!(
+            r.scenario_coverage.iter().map(|r| r.cells).sum::<u64>(),
+            4,
+            "cell counts survive relabeling"
+        );
+    }
 
     fn sample_report() -> SweepReport {
         let mut r = SweepReport::new("unit");

@@ -25,6 +25,12 @@
 //! conformance fuzzer: greedy minimization of failing traces and
 //! behaviour-preserving transforms for metamorphic relations.
 //!
+//! When real traces *are* available, [`ingest`] converts ChampSim-format
+//! files losslessly into the same `.drtr` container, and [`scenario`]
+//! supplies the phase-alternating, adversarial and datacenter workload
+//! families plus the family classification behind sweep reports'
+//! `scenario_coverage` table (DESIGN.md §18).
+//!
 //! # Example
 //!
 //! ```
@@ -37,10 +43,12 @@
 //! ```
 
 pub mod analysis;
+pub mod ingest;
 pub mod mix;
 pub mod pattern;
 pub mod presets;
 pub mod replay;
+pub mod scenario;
 pub mod shrink;
 pub mod store;
 pub mod synthetic;

@@ -86,6 +86,20 @@ pub enum Pattern {
         /// Accesses per phase.
         period: u64,
     },
+    /// Each PC cyclically walks `lines_per_pc` lines spaced `slice_stride`
+    /// lines apart — the *anti-concentration* adversary. Paper Fig 2 shows
+    /// most multi-load PCs map to one slice (the locality Drishti's
+    /// per-slice predictors exploit); this pattern inverts that: with an
+    /// odd `slice_stride`, consecutive touches of one PC land on distinct
+    /// slices under any modulo/fold slice hash, so no single slice's
+    /// predictor ever sees a PC's full reuse behaviour.
+    SliceScatter {
+        /// Lines owned by each PC.
+        lines_per_pc: u64,
+        /// Line distance between a PC's consecutive lines (odd values
+        /// defeat power-of-two slice interleaving).
+        slice_stride: u64,
+    },
 }
 
 /// Runtime state for one pattern instance.
@@ -234,6 +248,15 @@ impl PatternState {
                 let footprint = if phase.is_multiple_of(2) { small } else { big };
                 self.base + (i % footprint)
             }
+            Pattern::SliceScatter {
+                lines_per_pc,
+                slice_stride,
+            } => {
+                self.cursor += 1;
+                self.base
+                    + pc_index * lines_per_pc * slice_stride
+                    + (self.cursor % lines_per_pc) * slice_stride
+            }
         }
     }
 }
@@ -313,6 +336,31 @@ mod tests {
             first_bucket > n / 20,
             "hot bucket too cold: {first_bucket}/{n}"
         );
+    }
+
+    #[test]
+    fn slice_scatter_strides_across_slices() {
+        let (mut s, mut rng) = state(Pattern::SliceScatter {
+            lines_per_pc: 8,
+            slice_stride: 7,
+        });
+        for pc in 0..4u64 {
+            let lines: Vec<u64> = (0..16).map(|_| s.next_line(pc, &mut rng)).collect();
+            // Every PC's lines are confined to its own stripe…
+            for &l in &lines {
+                let off = l - (1 << 20) - pc * 8 * 7;
+                assert!(off < 8 * 7, "pc {pc} escaped its stripe: {off}");
+                assert_eq!(off % 7, 0, "lines must sit on the stride grid");
+            }
+            // …and consecutive touches land on different slices for any
+            // power-of-two slice count up to 8 (odd stride ⇒ line mod
+            // slices changes every step).
+            for w in lines.windows(2) {
+                for slices in [2u64, 4, 8] {
+                    assert_ne!(w[0] % slices, w[1] % slices, "stride must hop slices");
+                }
+            }
+        }
     }
 
     #[test]

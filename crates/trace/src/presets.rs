@@ -58,6 +58,14 @@ pub enum Benchmark {
     GoogleWs,
     CloudSuite,
     Xsbench,
+    // Scenario-diversity families (DESIGN.md §18): phase-alternating
+    // composites that flip archetype mid-run, plus the seed-parameterised
+    // slice-scattering adversary searched by
+    // `drishti_sim::conformance::adversarial`.
+    PhaseMcfLbm,
+    PhaseXalanPr,
+    PhaseServerBatch,
+    AdvScatter,
 }
 
 impl Benchmark {
@@ -91,6 +99,21 @@ impl Benchmark {
         v
     }
 
+    /// The phase-alternating composites (predictor re-learning pressure).
+    pub fn phase() -> &'static [Benchmark] {
+        use Benchmark::*;
+        &[PhaseMcfLbm, PhaseXalanPr, PhaseServerBatch]
+    }
+
+    /// The scenario-diversity presets: the phase composites plus the
+    /// slice-scattering adversary. Deliberately *not* part of
+    /// [`Benchmark::spec_and_gap`] — the paper's mix protocol and its
+    /// pinned catalogue stay untouched.
+    pub fn scenario() -> &'static [Benchmark] {
+        use Benchmark::*;
+        &[PhaseMcfLbm, PhaseXalanPr, PhaseServerBatch, AdvScatter]
+    }
+
     /// Short name matching the paper's labels.
     pub fn label(self) -> &'static str {
         use Benchmark::*;
@@ -121,15 +144,71 @@ impl Benchmark {
             GoogleWs => "google-ws",
             CloudSuite => "cloudsuite",
             Xsbench => "xsbench",
+            PhaseMcfLbm => "phase-mcf-lbm",
+            PhaseXalanPr => "phase-xalan-pr",
+            PhaseServerBatch => "phase-server-batch",
+            AdvScatter => "adv-scatter",
         }
+    }
+
+    /// The benchmark whose short name is `label`, if any.
+    pub fn from_label(label: &str) -> Option<Benchmark> {
+        Benchmark::spec()
+            .iter()
+            .chain(Benchmark::gap())
+            .chain(Benchmark::server())
+            .chain(Benchmark::scenario())
+            .copied()
+            .find(|b| b.label() == label)
     }
 
     /// Instantiate the workload with `seed` (a "sim-point": different seeds
     /// use disjoint address spaces and phases).
     pub fn build(self, seed: u64) -> SyntheticWorkload {
         use Benchmark::*;
+        let salted = seed ^ preset_salt(self);
+        match self {
+            // Phase composites alternate between two base archetypes:
+            // reuse-rich ↔ streaming, scattered ↔ concentrated PCs,
+            // server ↔ batch. The flip period is short enough that even
+            // reduced-scale runs see several re-learning events.
+            PhaseMcfLbm => SyntheticWorkload::phased(
+                self.label(),
+                vec![Mcf.streams(), Lbm.streams()],
+                crate::scenario::PHASE_PERIOD,
+                salted,
+            ),
+            PhaseXalanPr => SyntheticWorkload::phased(
+                self.label(),
+                vec![Xalan.streams(), PrKron.streams()],
+                crate::scenario::PHASE_PERIOD,
+                salted,
+            ),
+            PhaseServerBatch => SyntheticWorkload::phased(
+                self.label(),
+                vec![GoogleWs.streams(), Bwaves.streams()],
+                crate::scenario::PHASE_PERIOD,
+                salted,
+            ),
+            // The adversary's stream set is itself seed-derived (scatter
+            // stride, PC count, pressure footprint) — the raw seed is the
+            // search key, so it is used before the preset salt.
+            AdvScatter => SyntheticWorkload::new(
+                self.label(),
+                crate::scenario::adv_scatter_streams(seed),
+                salted,
+            ),
+            _ => SyntheticWorkload::new(self.label(), self.streams(), salted),
+        }
+    }
+
+    /// The stream-set recipe of a *base* preset (the giant archetype
+    /// table). Scenario composites have no single stream set — they are
+    /// assembled in [`Benchmark::build`] from these.
+    fn streams(self) -> Vec<StreamSpec> {
+        use Benchmark::*;
         use Pattern::*;
-        let streams: Vec<StreamSpec> = match self {
+        match self {
             // Pointer-heavy, skewed, reuse-rich: the paper's star workload
             // (Fig 5a set skew, Table 1, 77% max gain). The reusable
             // structure is allocated at a large power-of-two stride, so it
@@ -968,8 +1047,10 @@ impl Benchmark {
                     ),
                 ],
             ),
-        };
-        SyntheticWorkload::new(self.label(), streams, seed ^ preset_salt(self))
+            PhaseMcfLbm | PhaseXalanPr | PhaseServerBatch | AdvScatter => {
+                unreachable!("scenario presets are assembled in Benchmark::build")
+            }
+        }
     }
 }
 
@@ -1023,6 +1104,37 @@ mod tests {
         assert_eq!(Benchmark::gap().len(), 8);
         assert_eq!(Benchmark::server().len(), 4);
         assert_eq!(Benchmark::spec_and_gap().len(), 22);
+        // The scenario family is additive: the paper's mix pool is pinned
+        // above and must not grow.
+        assert_eq!(Benchmark::phase().len(), 3);
+        assert_eq!(Benchmark::scenario().len(), 4);
+    }
+
+    #[test]
+    fn scenario_presets_build_and_generate() {
+        for &b in Benchmark::scenario() {
+            let mut w = b.build(1);
+            let recs = w.collect(1000);
+            assert_eq!(recs.len(), 1000, "{b}");
+            assert!(recs.iter().all(|r| r.pc != 0), "{b}");
+            assert_eq!(Benchmark::from_label(b.label()), Some(b));
+        }
+    }
+
+    #[test]
+    fn phase_preset_visits_both_archetype_regions() {
+        // phase-mcf-lbm alternates mcf-like (pointer chase / zipf) and
+        // lbm-like (giant stream) stream sets; both phases' address
+        // regions must appear once the run crosses a phase boundary.
+        let mut w = Benchmark::PhaseMcfLbm.build(1);
+        let recs = w.collect(2 * crate::scenario::PHASE_PERIOD as usize + 100);
+        let regions: HashSet<u64> = recs.iter().map(|r| (r.line >> 24) & 0xff).collect();
+        // mcf contributes 4 streams (regions 1..=4), lbm 3 (regions 5..=7).
+        assert!(
+            regions.iter().any(|&r| (1..=4).contains(&r))
+                && regions.iter().any(|&r| (5..=7).contains(&r)),
+            "both phases must run: {regions:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Scenario-diversity families (DESIGN.md §18).
+//!
+//! Three workload families beyond the paper's SPEC/GAP/server archetypes,
+//! each stressing a blind spot of a slicing-aware replacement policy:
+//!
+//! * **phase** — [`Benchmark::phase`] composites built on
+//!   [`SyntheticWorkload::phased`]: the archetype flips every
+//!   [`PHASE_PERIOD`] records, so predictors must detect the change and
+//!   re-learn (paper §4.2's adaptation pressure, methodology per Bueno et
+//!   al.'s representativeness work);
+//! * **adversarial** — [`Benchmark::AdvScatter`], a seed-parameterised
+//!   generator built around [`Pattern::SliceScatter`] whose knobs (scatter
+//!   stride, PC count, pressure footprint) come from the seed; the search
+//!   driver in `drishti_sim::conformance::adversarial` walks seed space
+//!   for the worst case per policy;
+//! * **datacenter** — [`datacenter_mix`]: many low-MPKI server cores
+//!   sharing the LLC with a few thrashing batch cores, the consolidation
+//!   shape where a shared-cache policy's isolation matters most.
+//!
+//! [`family_label`] classifies any [`Mix`] into one of these families (or
+//! `"synthetic"`), feeding the `scenario_coverage` table of
+//! `drishti-sweep/v1` reports.
+//!
+//! [`SyntheticWorkload::phased`]: crate::synthetic::SyntheticWorkload::phased
+//! [`Pattern::SliceScatter`]: crate::pattern::Pattern::SliceScatter
+
+use crate::mix::Mix;
+use crate::pattern::Pattern;
+use crate::presets::Benchmark;
+use crate::synthetic::StreamSpec;
+use crate::Rng;
+
+/// Records per phase of the phase-alternating presets. Short enough that
+/// even reduced-scale runs (tens of thousands of accesses) cross several
+/// phase boundaries; long enough that a predictor converges within one
+/// phase and its stale state is genuinely wrong at the flip.
+pub const PHASE_PERIOD: u64 = 8 * 1024;
+
+/// The batch thrashers the datacenter composite mixes in: streaming,
+/// store-heavy, LLC-hostile presets.
+pub const BATCH_POOL: [Benchmark; 4] = [
+    Benchmark::Lbm,
+    Benchmark::Bwaves,
+    Benchmark::Cactu,
+    Benchmark::Roms,
+];
+
+/// The seed-derived stream set behind [`Benchmark::AdvScatter`]. All knobs
+/// come from `seed`, so the adversarial search driver explores a genuine
+/// space: scatter stride (odd, defeating power-of-two slice interleaving),
+/// per-PC line count, PC pool size, and the footprint of the background
+/// pressure stream.
+pub fn adv_scatter_streams(seed: u64) -> Vec<StreamSpec> {
+    let mut rng = Rng::new(seed ^ 0xAD5C_A77E);
+    let strides = [3u64, 5, 7, 9, 11, 13, 17, 21];
+    let slice_stride = strides[(rng.next_u64() % strides.len() as u64) as usize];
+    let lines_per_pc = 2 + rng.next_u64() % 15; // 2..=16
+    let pcs = 64 + (rng.next_u64() % 193) as u32; // 64..=256
+    let pressure_footprint = (1u64 << 18) << (rng.next_u64() % 3); // 256K..1M lines
+    vec![
+        StreamSpec::new(
+            Pattern::SliceScatter {
+                lines_per_pc,
+                slice_stride,
+            },
+            pcs,
+            0.6,
+        ),
+        StreamSpec::new(
+            Pattern::Stream {
+                footprint: pressure_footprint,
+                stride: 1,
+            },
+            8,
+            0.25,
+        ),
+        StreamSpec::new(
+            Pattern::Loop {
+                footprint: 24 * 1024,
+            },
+            12,
+            0.15,
+        ),
+    ]
+}
+
+/// A datacenter consolidation mix named `dc-<seed>`: roughly three
+/// quarters of the cores draw from the low-MPKI server pool
+/// ([`Benchmark::server`]) and the remainder (always at least one) from
+/// [`BATCH_POOL`]. Per-core seeds follow the heterogeneous-mix convention
+/// (`seed * 1000 + core`), so recorded traces of a datacenter mix pass the
+/// same header checks as any other mix's.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn datacenter_mix(cores: usize, seed: u64) -> Mix {
+    assert!(cores > 0, "datacenter mix needs at least one core");
+    let mut rng = Rng::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+    let servers = Benchmark::server();
+    let batch_cores = (cores / 4).max(1);
+    let benchmarks = (0..cores)
+        .map(|c| {
+            if c < cores - batch_cores {
+                servers[rng.below(servers.len() as u64) as usize]
+            } else {
+                BATCH_POOL[rng.below(BATCH_POOL.len() as u64) as usize]
+            }
+        })
+        .collect();
+    Mix {
+        name: format!("dc-{seed:02}"),
+        benchmarks,
+        seeds: (0..cores as u64).map(|c| seed * 1000 + c).collect(),
+    }
+}
+
+/// The scenario family a mix belongs to, as reported in the
+/// `scenario_coverage` table: `"datacenter"` (by the `dc-` name
+/// convention), `"adversarial"` (any core runs the scatter adversary),
+/// `"phase"` (any core runs a phase composite), else `"synthetic"` — the
+/// paper's plain archetype mixes. Ingested external traces are labelled
+/// `"ingested"` by the CLI at preload time, not here: a mix object carries
+/// no trace-source information.
+pub fn family_label(mix: &Mix) -> &'static str {
+    if mix.name.starts_with("dc-") {
+        return "datacenter";
+    }
+    if mix.benchmarks.contains(&Benchmark::AdvScatter) {
+        return "adversarial";
+    }
+    if mix
+        .benchmarks
+        .iter()
+        .any(|b| Benchmark::phase().contains(b))
+    {
+        return "phase";
+    }
+    "synthetic"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadGen;
+
+    #[test]
+    fn adv_scatter_knobs_vary_with_seed() {
+        let distinct: std::collections::HashSet<String> = (0..16)
+            .map(|s| format!("{:?}", adv_scatter_streams(s)[0].pattern))
+            .collect();
+        assert!(distinct.len() > 4, "seed space too flat: {distinct:?}");
+    }
+
+    #[test]
+    fn datacenter_mix_shape() {
+        let m = datacenter_mix(8, 3);
+        assert_eq!(m.name, "dc-03");
+        assert_eq!(m.cores(), 8);
+        let batch = m
+            .benchmarks
+            .iter()
+            .filter(|b| BATCH_POOL.contains(b))
+            .count();
+        let server = m
+            .benchmarks
+            .iter()
+            .filter(|b| Benchmark::server().contains(b))
+            .count();
+        assert_eq!(batch, 2, "8 cores → 2 batch thrashers");
+        assert_eq!(server, 6);
+        assert_eq!(m.seeds, (0..8).map(|c| 3000 + c).collect::<Vec<_>>());
+        // Deterministic and buildable.
+        assert_eq!(m, datacenter_mix(8, 3));
+        for core in 0..m.cores() {
+            assert_eq!(m.build_core(core).collect(50).len(), 50);
+        }
+    }
+
+    #[test]
+    fn single_core_datacenter_is_all_batch() {
+        let m = datacenter_mix(1, 1);
+        assert!(BATCH_POOL.contains(&m.benchmarks[0]));
+    }
+
+    #[test]
+    fn family_labels() {
+        use crate::mix::Mix;
+        assert_eq!(family_label(&datacenter_mix(4, 1)), "datacenter");
+        assert_eq!(
+            family_label(&Mix::homogeneous(Benchmark::AdvScatter, 4, 1)),
+            "adversarial"
+        );
+        assert_eq!(
+            family_label(&Mix::homogeneous(Benchmark::PhaseMcfLbm, 4, 1)),
+            "phase"
+        );
+        assert_eq!(
+            family_label(&Mix::homogeneous(Benchmark::Mcf, 4, 1)),
+            "synthetic"
+        );
+    }
+}

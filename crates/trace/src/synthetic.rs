@@ -50,10 +50,22 @@ struct StreamState {
 }
 
 /// A deterministic workload built from weighted streams.
+///
+/// A workload may carry several *phases* (stream sets): every
+/// `phase_period` emitted records the active set advances cyclically,
+/// flipping the program's archetype mid-run (see
+/// [`SyntheticWorkload::phased`]). Single-phase workloads — the common
+/// case — never switch.
 #[derive(Debug)]
 pub struct SyntheticWorkload {
     name: String,
     streams: Vec<StreamState>,
+    /// `streams` index range of each phase (single-phase: one full range).
+    phase_ranges: Vec<std::ops::Range<usize>>,
+    /// Records per phase before switching (unused when single-phase).
+    phase_period: u64,
+    /// Records emitted so far (drives phase selection).
+    emitted: u64,
     rng: Rng,
 }
 
@@ -72,21 +84,56 @@ impl SyntheticWorkload {
     /// Panics if `specs` is empty, any weight is non-positive, or any
     /// stream has zero PCs.
     pub fn new(name: impl Into<String>, specs: Vec<StreamSpec>, seed: u64) -> Self {
-        assert!(!specs.is_empty(), "workload needs at least one stream");
+        SyntheticWorkload::phased(name, vec![specs], 0, seed)
+    }
+
+    /// Build a *phase-alternating* workload: `phases[p]` is the stream set
+    /// active during phase `p`, and the active phase advances cyclically
+    /// every `period` emitted records. The archetype therefore flips
+    /// mid-run — the re-learning pressure the paper's §4.2 phase handling
+    /// targets: a predictor trained on phase 0's PCs/reuse must detect and
+    /// re-learn phase 1's, repeatedly.
+    ///
+    /// Address regions and PC pools are enumerated *across* phases, so
+    /// every stream of every phase stays disjoint exactly as in a
+    /// single-phase workload. With a single phase, `period` is ignored and
+    /// this is identical (bit-for-bit) to [`SyntheticWorkload::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, any phase's spec list is empty, any
+    /// weight is non-positive, any stream has zero PCs, or `period` is
+    /// zero while more than one phase is given.
+    pub fn phased(
+        name: impl Into<String>,
+        phases: Vec<Vec<StreamSpec>>,
+        period: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(!phases.is_empty(), "workload needs at least one phase");
+        assert!(
+            phases.len() == 1 || period > 0,
+            "multi-phase workloads need a nonzero phase period"
+        );
         let name = name.into();
         let name_ref = name.as_str();
         let mut rng = Rng::new(seed ^ 0xACE1_BEEF);
         // Private 2^40-line offset per seed keeps cores disjoint.
         let space_base = (seed & 0xffff) << 40;
-        let total: f64 = specs.iter().map(|s| s.weight).sum();
-        let mut cum = 0.0;
-        let streams = specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, spec)| {
+        let mut streams = Vec::new();
+        let mut phase_ranges = Vec::with_capacity(phases.len());
+        for specs in phases {
+            assert!(!specs.is_empty(), "workload needs at least one stream");
+            let start = streams.len();
+            let total: f64 = specs.iter().map(|s| s.weight).sum();
+            let mut cum = 0.0;
+            for spec in specs {
                 assert!(spec.weight > 0.0, "weights must be positive");
                 assert!(spec.pcs > 0, "streams need at least one PC");
                 cum += spec.weight / total;
+                // Streams are enumerated globally across phases, so
+                // regions, salts and PC pools stay disjoint.
+                let i = streams.len();
                 let base = space_base + (i as u64 + 1) * REGION_LINES;
                 // The salt is a function of the workload *name* and stream
                 // index — stable across seeds/cores of the same benchmark —
@@ -95,16 +142,24 @@ impl SyntheticWorkload {
                 let salt = name_ref.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
                     (h ^ u64::from(c)).wrapping_mul(0x1000_0000_01b3)
                 }) ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                StreamState {
+                streams.push(StreamState {
                     pattern: PatternState::with_salt(spec.pattern, base, salt, &mut rng),
                     pc_base: 0x40_0000 + seed.rotate_left(17) % 0xffff + (i as u64) * 0x1000,
                     pc_cursor: 0,
                     cum_weight: cum,
                     spec,
-                }
-            })
-            .collect();
-        SyntheticWorkload { name, streams, rng }
+                });
+            }
+            phase_ranges.push(start..streams.len());
+        }
+        SyntheticWorkload {
+            name,
+            streams,
+            phase_ranges,
+            phase_period: period,
+            emitted: 0,
+            rng,
+        }
     }
 }
 
@@ -114,12 +169,19 @@ impl WorkloadGen for SyntheticWorkload {
     }
 
     fn next_record(&mut self) -> TraceRecord {
+        let phase = if self.phase_ranges.len() == 1 {
+            0
+        } else {
+            ((self.emitted / self.phase_period) as usize) % self.phase_ranges.len()
+        };
+        self.emitted += 1;
+        let range = self.phase_ranges[phase].clone();
         let u = self.rng.unit();
-        let idx = self
-            .streams
+        let idx = self.streams[range.clone()]
             .iter()
             .position(|s| u <= s.cum_weight)
-            .unwrap_or(self.streams.len() - 1);
+            .map(|p| range.start + p)
+            .unwrap_or(range.end - 1);
         let s = &mut self.streams[idx];
         // Cycle deterministically through the stream's PC pool; each PC
         // keeps issuing from the shared pattern state.
@@ -224,5 +286,50 @@ mod tests {
     #[should_panic(expected = "at least one stream")]
     fn empty_specs_panic() {
         let _ = SyntheticWorkload::new("x", vec![], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero phase period")]
+    fn multi_phase_needs_period() {
+        let spec = || vec![StreamSpec::new(Pattern::Loop { footprint: 8 }, 1, 1.0)];
+        let _ = SyntheticWorkload::phased("x", vec![spec(), spec()], 0, 1);
+    }
+
+    #[test]
+    fn phased_flips_archetype_every_period() {
+        let phases = vec![
+            vec![StreamSpec::new(Pattern::Loop { footprint: 16 }, 2, 1.0)],
+            vec![StreamSpec::new(
+                Pattern::Stream {
+                    footprint: 1 << 20,
+                    stride: 1,
+                },
+                2,
+                1.0,
+            )],
+        ];
+        let mut w = SyntheticWorkload::phased("flip", phases, 100, 3);
+        let recs = w.collect(400);
+        // Streams are enumerated globally: phase 0 lives in region 1,
+        // phase 1 in region 2, and each 100-record window uses only its
+        // own phase's region.
+        for (i, r) in recs.iter().enumerate() {
+            let region = (r.line / super::REGION_LINES) & 0xff;
+            let expect = 1 + (i as u64 / 100) % 2;
+            assert_eq!(region, expect, "record {i} in wrong phase region");
+        }
+    }
+
+    #[test]
+    fn single_phase_phased_matches_new_bit_for_bit() {
+        let specs = || {
+            vec![
+                StreamSpec::new(Pattern::PointerChase { footprint: 512 }, 3, 2.0),
+                StreamSpec::new(Pattern::Loop { footprint: 64 }, 2, 1.0),
+            ]
+        };
+        let mut a = SyntheticWorkload::new("same", specs(), 9);
+        let mut b = SyntheticWorkload::phased("same", vec![specs()], 0, 9);
+        assert_eq!(a.collect(2_000), b.collect(2_000));
     }
 }

@@ -24,12 +24,16 @@ use drishti::policies::factory::PolicyKind;
 use drishti::sim::config::SystemConfig;
 use drishti::sim::runner::{alone_ipcs, mix_metrics, run_mix, RunConfig};
 use drishti::sim::sampling::SamplingSpec;
+use drishti::sim::sweep::report::{scenario_coverage_rows, SweepReport};
+use drishti::sim::sweep::{JobKind, SweepJob};
 use drishti::sim::telemetry::TelemetrySpec;
 use drishti::trace::mix::Mix;
 use drishti::trace::presets::Benchmark;
+use drishti::trace::scenario::datacenter_mix;
 use std::path::Path;
 
 const SNAPSHOT: &str = "tests/golden/metrics_4core.txt";
+const COVERAGE_SNAPSHOT: &str = "tests/golden/scenario_coverage.txt";
 
 fn rc() -> RunConfig {
     RunConfig {
@@ -79,14 +83,14 @@ fn compute_table() -> String {
     out
 }
 
-#[test]
-fn golden_metrics_match_snapshot() {
-    let table = compute_table();
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(SNAPSHOT);
+/// Check `table` against the snapshot at `snapshot`, or rewrite it when
+/// `DRISHTI_BLESS` is set.
+fn check_snapshot(table: &str, snapshot: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(snapshot);
     if std::env::var_os("DRISHTI_BLESS").is_some() {
         std::fs::create_dir_all(path.parent().expect("snapshot has a parent"))
             .expect("create snapshot dir");
-        std::fs::write(&path, &table).expect("write snapshot");
+        std::fs::write(&path, table).expect("write snapshot");
         eprintln!("blessed {}", path.display());
         return;
     }
@@ -98,7 +102,75 @@ fn golden_metrics_match_snapshot() {
     });
     assert_eq!(
         table, golden,
-        "metrics drifted from {SNAPSHOT}; if the change is intended, re-bless \
+        "output drifted from {snapshot}; if the change is intended, re-bless \
          with DRISHTI_BLESS=1 (see the module docs) and review the diff"
     );
+}
+
+#[test]
+fn golden_metrics_match_snapshot() {
+    check_snapshot(&compute_table(), SNAPSHOT);
+}
+
+/// A fixed job list touching every scenario family (plus an `AloneIpcs`
+/// job, which must not count): the classification and aggregation inputs
+/// for the coverage table.
+fn coverage_jobs() -> Vec<SweepJob> {
+    let mixes = [
+        Mix::homogeneous(Benchmark::PhaseMcfLbm, 4, 1),
+        Mix::homogeneous(Benchmark::PhaseMcfLbm, 4, 2),
+        Mix::homogeneous(Benchmark::AdvScatter, 4, 7),
+        datacenter_mix(4, 5),
+        datacenter_mix(8, 5),
+        Mix::homogeneous(Benchmark::Mcf, 4, 1),
+        Mix::heterogeneous(&Benchmark::spec_and_gap(), 4, 3),
+    ];
+    let mut jobs = Vec::new();
+    for (id, mix) in mixes.iter().enumerate() {
+        jobs.push(SweepJob {
+            id,
+            label: format!("{}/lru/baseline", mix.name),
+            seed: SweepJob::derive_seed(id),
+            rc: RunConfig::quick(mix.cores()),
+            kind: JobKind::Run {
+                mix: mix.clone(),
+                policy: PolicyKind::Lru,
+                org: DrishtiConfig::baseline(4),
+                org_label: "baseline".to_string(),
+            },
+        });
+    }
+    jobs.push(SweepJob {
+        id: mixes.len(),
+        label: format!("{}/alone", mixes[0].name),
+        seed: SweepJob::derive_seed(mixes.len()),
+        rc: RunConfig::quick(4),
+        kind: JobKind::AloneIpcs {
+            mix: mixes[0].clone(),
+        },
+    });
+    jobs
+}
+
+/// Pins the `scenario_coverage` table: the family classification and
+/// fixed-seed scenario names of every family (first block) and the exact
+/// `drishti-sweep/v1` JSON schema the table serialises under (second
+/// block). Classification, row ordering, mix naming and the JSON field
+/// set are all contracts consumers parse — any drift must be reviewed.
+#[test]
+fn golden_scenario_coverage_matches_snapshot() {
+    let rows = scenario_coverage_rows(&coverage_jobs());
+    let mut table = String::from("# family scenario cores cells\n");
+    for r in &rows {
+        table.push_str(&format!(
+            "{} {} {} {}\n",
+            r.family, r.scenario, r.cores, r.cells
+        ));
+    }
+    let mut report = SweepReport::new("coverage-golden");
+    report.scenario_coverage = rows;
+    table.push_str("# drishti-sweep/v1 serialisation\n");
+    table.push_str(&report.to_json_string());
+    table.push('\n');
+    check_snapshot(&table, COVERAGE_SNAPSHOT);
 }

@@ -10,6 +10,9 @@ use drishti::mem::access::Access;
 use drishti::mem::llc::{LlcGeometry, SlicedLlc};
 use drishti::policies::factory::PolicyKind;
 use drishti::policies::opt::simulate_opt;
+use drishti::trace::presets::Benchmark;
+use drishti::trace::scenario::datacenter_mix;
+use drishti::trace::{TraceRecord, WorkloadGen};
 
 fn small_geom() -> LlcGeometry {
     LlcGeometry {
@@ -75,6 +78,78 @@ fn opt_lower_bounds_every_policy_and_organisation() {
                 assert!(
                     opt.misses <= misses,
                     "seed {seed:#x}: OPT misses ({}) must lower-bound {policy}/{org_label} ({misses})",
+                    opt.misses
+                );
+            }
+        }
+    }
+}
+
+fn record_access(core: usize, r: &TraceRecord) -> Access {
+    if r.is_store {
+        Access::store(core, r.pc, r.line)
+    } else {
+        Access::load(core, r.pc, r.line)
+    }
+}
+
+/// The scenario families (DESIGN.md §18) as oracle traces. Phase and
+/// adversarial traces are single-core generator streams; the datacenter
+/// trace interleaves its mix's per-core generators round-robin, the way
+/// the lockstep engine presents a consolidation mix to the shared LLC.
+fn scenario_traces(len: usize) -> Vec<(String, Vec<Access>)> {
+    let mut traces = Vec::new();
+    for bench in [Benchmark::PhaseMcfLbm, Benchmark::AdvScatter] {
+        let records = bench.build(0x5eed).collect(len);
+        traces.push((
+            bench.label().to_string(),
+            records.iter().map(|r| record_access(0, r)).collect(),
+        ));
+    }
+    let mix = datacenter_mix(4, 2);
+    let mut gens: Vec<_> = (0..mix.cores())
+        .map(|c| mix.benchmarks[c].build(mix.seeds[c]))
+        .collect();
+    let dc: Vec<Access> = (0..len)
+        .map(|i| {
+            let core = i % gens.len();
+            record_access(core, &gens[core].next_record())
+        })
+        .collect();
+    traces.push((mix.name, dc));
+    traces
+}
+
+/// OPT lower-bounds the roster on the new scenario families too: the
+/// phase flip, the adversarial scatter and the datacenter interleaving
+/// all stress bookkeeping paths (store accesses, multi-core interleave,
+/// mid-trace archetype change) the lcg traces above never exercise.
+#[test]
+fn opt_lower_bounds_policies_on_scenario_families() {
+    let geom = small_geom();
+    let roster = [
+        PolicyKind::Lru,
+        PolicyKind::ShipPp,
+        PolicyKind::Hawkeye,
+        PolicyKind::Mockingjay,
+        PolicyKind::Glider,
+        PolicyKind::Chrome,
+    ];
+    for (name, trace) in scenario_traces(600) {
+        let opt = simulate_opt(&trace, &geom);
+        assert_eq!(opt.hits + opt.misses, trace.len() as u64);
+        assert!(opt.misses > 0, "{name}: a 600-record trace must cold-miss");
+        for policy in roster {
+            // Orgs are sized for the datacenter mix's 4 cores (the
+            // single-core traces only ever present core 0).
+            for (org_label, org) in [
+                ("baseline", DrishtiConfig::baseline(4)),
+                ("drishti", DrishtiConfig::drishti(4)),
+            ] {
+                let misses = policy_misses(policy, &org, &trace);
+                assert!(
+                    opt.misses <= misses,
+                    "{name}: OPT misses ({}) must lower-bound {policy}/{org_label} ({misses})",
                     opt.misses
                 );
             }
